@@ -1,0 +1,56 @@
+//! Criterion microbenchmarks of the cost metrics (paper Tables III/IV,
+//! Figures 4/5): per-message serialization and parsing time at obfuscation
+//! levels 0–4, for both evaluated protocols.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use protoobf_core::{Codec, Obfuscator};
+use protoobf_protocols::{http, modbus};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn codec_for(graph: &protoobf_core::FormatGraph, level: u32) -> Codec {
+    if level == 0 {
+        Codec::identity(graph)
+    } else {
+        Obfuscator::new(graph).seed(42).max_per_node(level).obfuscate().unwrap()
+    }
+}
+
+fn bench_modbus(c: &mut Criterion) {
+    let graph = modbus::request_graph();
+    let mut group = c.benchmark_group("modbus");
+    for level in [0u32, 1, 2, 4] {
+        let codec = codec_for(&graph, level);
+        let mut rng = StdRng::seed_from_u64(7);
+        let msg = modbus::build_request(&codec, modbus::Function::WriteMultipleRegisters, &mut rng);
+        let wire = codec.serialize_seeded(&msg, 1).unwrap();
+        group.bench_with_input(BenchmarkId::new("serialize", level), &level, |b, _| {
+            b.iter(|| codec.serialize_seeded(&msg, 1).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("parse", level), &level, |b, _| {
+            b.iter(|| codec.parse(&wire).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_http(c: &mut Criterion) {
+    let graph = http::request_graph();
+    let mut group = c.benchmark_group("http");
+    for level in [0u32, 1, 2, 4] {
+        let codec = codec_for(&graph, level);
+        let mut rng = StdRng::seed_from_u64(7);
+        let msg = http::build_request(&codec, &mut rng);
+        let wire = codec.serialize_seeded(&msg, 1).unwrap();
+        group.bench_with_input(BenchmarkId::new("serialize", level), &level, |b, _| {
+            b.iter(|| codec.serialize_seeded(&msg, 1).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("parse", level), &level, |b, _| {
+            b.iter(|| codec.parse(&wire).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_modbus, bench_http);
+criterion_main!(benches);

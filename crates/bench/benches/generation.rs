@@ -1,0 +1,38 @@
+//! Criterion microbenchmark of the generation-time cost metric (paper
+//! Tables III/IV "Generation time"): specification parse + random
+//! transformation selection + C library generation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use protoobf_codegen::generate;
+use protoobf_core::Obfuscator;
+use protoobf_protocols::{http, modbus};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generation");
+    group.sample_size(20);
+    for (name, spec) in [("modbus", modbus::REQUEST_SPEC), ("http", http::REQUEST_SPEC)] {
+        for level in [1u32, 2, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(name, level),
+                &level,
+                |b, &level| {
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed = seed.wrapping_add(1);
+                        let graph = protoobf_spec::parse_spec(spec).unwrap();
+                        let codec = Obfuscator::new(&graph)
+                            .seed(seed)
+                            .max_per_node(level)
+                            .obfuscate()
+                            .unwrap();
+                        generate(&codec)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

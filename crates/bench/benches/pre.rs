@@ -1,0 +1,32 @@
+//! Criterion microbenchmarks of the PRE toolkit: pairwise alignment,
+//! similarity matrix, clustering and format inference on a Modbus trace.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use protoobf_core::Codec;
+use protoobf_pre::align::{needleman_wunsch, similarity_matrix, ScoreParams};
+use protoobf_pre::cluster::upgma;
+use protoobf_pre::infer::multiple_alignment;
+use protoobf_protocols::{corpus, modbus};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_pre(c: &mut Criterion) {
+    let req = Codec::identity(&modbus::request_graph());
+    let mut rng = StdRng::seed_from_u64(3);
+    let samples = corpus::modbus_requests(&req, 3, &mut rng);
+    let msgs: Vec<&[u8]> = samples.iter().map(|s| s.wire.as_slice()).collect();
+    let p = ScoreParams::default();
+
+    c.bench_function("nw_align_pair", |b| {
+        b.iter(|| needleman_wunsch(msgs[0], msgs[1], p))
+    });
+    c.bench_function("similarity_matrix_24", |b| b.iter(|| similarity_matrix(&msgs, p)));
+    let sim = similarity_matrix(&msgs, p);
+    c.bench_function("upgma_24", |b| b.iter(|| upgma(&sim, 0.55)));
+    c.bench_function("multiple_alignment_8", |b| {
+        b.iter(|| multiple_alignment(&msgs[..8], p))
+    });
+}
+
+criterion_group!(benches, bench_pre);
+criterion_main!(benches);

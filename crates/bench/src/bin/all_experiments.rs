@@ -1,0 +1,39 @@
+//! Runs every table and figure in sequence (convenience wrapper; see the
+//! individual binaries `table3`, `table4`, `fig4`–`fig7`, `resilience`).
+
+use protoobf_bench::report::{comparative_table, cost_figure, potency_figure};
+use protoobf_bench::resilience::{dns_resilience, http_resilience, modbus_resilience, render};
+use protoobf_bench::runner::env_usize;
+use protoobf_bench::{run_experiment, ExperimentConfig, Protocol};
+
+fn main() {
+    let cfg = ExperimentConfig::default();
+    eprintln!("running full evaluation: {} runs/level", cfg.runs_per_level);
+
+    let http = run_experiment(Protocol::Http, &cfg);
+    let modbus = run_experiment(Protocol::Modbus, &cfg);
+
+    println!("TABLE III — A COMPARATIVE RESULTS FOR HTTP PROTOCOL");
+    print!("{}", comparative_table(&http));
+    println!();
+    println!("TABLE IV — A COMPARATIVE RESULTS FOR TCP-MODBUS PROTOCOL");
+    print!("{}", comparative_table(&modbus));
+    println!();
+    println!("FIGURE 4 — HTTP COSTS");
+    print!("{}", cost_figure(&http));
+    println!();
+    println!("FIGURE 5 — TCP-MODBUS COSTS");
+    print!("{}", cost_figure(&modbus));
+    println!();
+    println!("FIGURE 6 — HTTP POTENCY");
+    print!("{}", potency_figure(&http));
+    println!();
+    println!("FIGURE 7 — TCP-MODBUS POTENCY");
+    print!("{}", potency_figure(&modbus));
+    println!();
+    println!("RESILIENCE (§VII-D)");
+    let per_type = env_usize("PROTOOBF_TRACE_PER_TYPE", 8);
+    print!("{}", render(&modbus_resilience(per_type, 2, 0xD5)));
+    print!("{}", render(&http_resilience(per_type * 8, 2, 0xD5)));
+    print!("{}", render(&dns_resilience(per_type * 4, 2, 0xD5)));
+}

@@ -1,0 +1,11 @@
+//! Regenerates **Figure 4** — HTTP parsing and serialization time against
+//! the number of applied transformations (scatter + linear fit + r).
+
+use protoobf_bench::report::cost_figure;
+use protoobf_bench::{run_experiment, ExperimentConfig, Protocol};
+
+fn main() {
+    let data = run_experiment(Protocol::Http, &ExperimentConfig::default());
+    println!("FIGURE 4 — HTTP: PARSING AND SERIALIZATION TIME");
+    print!("{}", cost_figure(&data));
+}

@@ -1,0 +1,10 @@
+//! Regenerates **Figure 5** — Modbus parsing and serialization time.
+
+use protoobf_bench::report::cost_figure;
+use protoobf_bench::{run_experiment, ExperimentConfig, Protocol};
+
+fn main() {
+    let data = run_experiment(Protocol::Modbus, &ExperimentConfig::default());
+    println!("FIGURE 5 — TCP-MODBUS: PARSING AND SERIALIZATION TIME");
+    print!("{}", cost_figure(&data));
+}

@@ -1,0 +1,10 @@
+//! Regenerates **Figure 6** — HTTP normalized potency metrics.
+
+use protoobf_bench::report::potency_figure;
+use protoobf_bench::{run_experiment, ExperimentConfig, Protocol};
+
+fn main() {
+    let data = run_experiment(Protocol::Http, &ExperimentConfig::default());
+    println!("FIGURE 6 — HTTP: NORMALIZED POTENCY METRICS");
+    print!("{}", potency_figure(&data));
+}

@@ -1,0 +1,10 @@
+//! Regenerates **Figure 7** — Modbus normalized potency metrics.
+
+use protoobf_bench::report::potency_figure;
+use protoobf_bench::{run_experiment, ExperimentConfig, Protocol};
+
+fn main() {
+    let data = run_experiment(Protocol::Modbus, &ExperimentConfig::default());
+    println!("FIGURE 7 — TCP-MODBUS: NORMALIZED POTENCY METRICS");
+    print!("{}", potency_figure(&data));
+}

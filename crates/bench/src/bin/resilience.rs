@@ -1,0 +1,29 @@
+//! Regenerates the **§VII-D resilience assessment**, quantified: PRE
+//! quality (classification + format inference) on plain vs. obfuscated
+//! traces of the paper's Modbus scenario, plus an HTTP variant.
+
+use protoobf_bench::resilience::{dns_resilience, http_resilience, modbus_resilience, render};
+use protoobf_bench::runner::env_usize;
+
+fn main() {
+    let per_type = env_usize("PROTOOBF_TRACE_PER_TYPE", 8);
+    let max_level = env_usize("PROTOOBF_MAX_LEVEL", 2) as u32;
+    println!("RESILIENCE ASSESSMENT (paper §VII-D, quantified)");
+    println!();
+    println!("Modbus trace: 4 request types and their responses, {per_type} per type");
+    let rows = modbus_resilience(per_type, max_level, 0xD5);
+    print!("{}", render(&rows));
+    println!();
+    println!("HTTP trace: {} random requests", per_type * 8);
+    let rows = http_resilience(per_type * 8, max_level, 0xD5);
+    print!("{}", render(&rows));
+    println!();
+    println!("DNS trace: {} queries and responses", per_type * 8);
+    let rows = dns_resilience(per_type * 4, max_level, 0xD5);
+    print!("{}", render(&rows));
+    println!();
+    println!("Reading: level 0 is the plain protocol. Rising levels should reduce");
+    println!("purity/ARI (classification defeated), the static-column fraction");
+    println!("(format inference defeated) and delimiter visibility (field");
+    println!("delimitation defeated) — the paper's expert observations, measured.");
+}

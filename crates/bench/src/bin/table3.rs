@@ -1,0 +1,15 @@
+//! Regenerates **Table III** — comparative results for the HTTP protocol.
+
+use protoobf_bench::report::comparative_table;
+use protoobf_bench::{run_experiment, ExperimentConfig, Protocol};
+
+fn main() {
+    let cfg = ExperimentConfig::default();
+    eprintln!(
+        "TABLE III — HTTP: {} runs/level, {} messages/run (PROTOOBF_ITERS to change)",
+        cfg.runs_per_level, cfg.messages_per_run
+    );
+    let data = run_experiment(Protocol::Http, &cfg);
+    println!("TABLE III — A COMPARATIVE RESULTS FOR HTTP PROTOCOL");
+    print!("{}", comparative_table(&data));
+}

@@ -1,0 +1,15 @@
+//! Regenerates **Table IV** — comparative results for TCP-Modbus.
+
+use protoobf_bench::report::comparative_table;
+use protoobf_bench::{run_experiment, ExperimentConfig, Protocol};
+
+fn main() {
+    let cfg = ExperimentConfig::default();
+    eprintln!(
+        "TABLE IV — TCP-Modbus: {} runs/level, {} messages/run (PROTOOBF_ITERS to change)",
+        cfg.runs_per_level, cfg.messages_per_run
+    );
+    let data = run_experiment(Protocol::Modbus, &cfg);
+    println!("TABLE IV — A COMPARATIVE RESULTS FOR TCP-MODBUS PROTOCOL");
+    print!("{}", comparative_table(&data));
+}

@@ -1,0 +1,26 @@
+//! # protoobf-bench
+//!
+//! The experiment harness reproducing every table and figure of the
+//! paper's evaluation (§VII):
+//!
+//! | Artifact | Binary |
+//! |---|---|
+//! | Table III (HTTP comparative results) | `table3` |
+//! | Table IV (TCP-Modbus comparative results) | `table4` |
+//! | Figure 4 (HTTP parsing/serialization time) | `fig4` |
+//! | Figure 5 (Modbus parsing/serialization time) | `fig5` |
+//! | Figure 6 (HTTP normalized potency) | `fig6` |
+//! | Figure 7 (Modbus normalized potency) | `fig7` |
+//! | §VII-D resilience assessment | `resilience` |
+//!
+//! Run counts default to 100 regenerations per level (the paper used
+//! 1000); set `PROTOOBF_ITERS` to change. All binaries honour
+//! `PROTOOBF_SEED`.
+
+pub mod ablation;
+pub mod report;
+pub mod resilience;
+pub mod runner;
+pub mod stats;
+
+pub use runner::{run_experiment, run_once, ExperimentConfig, Protocol};

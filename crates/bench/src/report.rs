@@ -1,0 +1,298 @@
+//! Report rendering: the paper's tables and figures as text.
+//!
+//! [`comparative_table`] reproduces the layout of Tables III/IV;
+//! [`cost_figure`] reproduces Figures 4/5 (scatter + least-squares line +
+//! correlation coefficient); [`potency_figure`] reproduces Figures 6/7
+//! (normalized potency metric series against the number of applied
+//! obfuscations).
+
+use crate::runner::{ExperimentData, RunMetrics};
+use crate::stats::{linear_regression, Summary};
+
+fn column<F: Fn(&RunMetrics) -> f64>(data: &ExperimentData, level: u32, f: F) -> Summary {
+    let values: Vec<f64> = data.at_level(level).iter().map(|r| f(r)).collect();
+    Summary::of(&values)
+}
+
+fn levels(data: &ExperimentData) -> Vec<u32> {
+    let mut ls: Vec<u32> = data.runs.iter().map(|r| r.level).collect();
+    ls.sort_unstable();
+    ls.dedup();
+    ls
+}
+
+/// Renders the comparative results table (paper Tables III and IV).
+pub fn comparative_table(data: &ExperimentData) -> String {
+    let ls = levels(data);
+    let base = &data.baseline.potency;
+    let mut out = String::new();
+    let width = 22usize;
+    let colw = 24usize;
+
+    fn row(out: &mut String, width: usize, colw: usize, label: &str, cells: Vec<String>) {
+        out.push_str(&format!("{label:<width$}"));
+        for c in cells {
+            out.push_str(&format!("{c:>colw$}"));
+        }
+        out.push('\n');
+    }
+
+    row(
+        &mut out,
+        width,
+        colw,
+        "Nb. transf. per node",
+        ls.iter().map(|l| l.to_string()).collect(),
+    );
+    row(
+        &mut out,
+        width,
+        colw,
+        "Nb. transf. applied",
+        ls.iter().map(|&l| column(data, l, |r| r.applied as f64).render(0)).collect(),
+    );
+    out.push_str("Potency (normalized)\n");
+    let norm = |v: f64, b: usize| if b == 0 { 0.0 } else { v / b as f64 };
+    row(
+        &mut out,
+        width,
+        colw,
+        "  Nb. lines",
+        ls.iter()
+            .map(|&l| column(data, l, |r| norm(r.potency.lines as f64, base.lines)).render(1))
+            .collect(),
+    );
+    row(
+        &mut out,
+        width,
+        colw,
+        "  Nb. structs",
+        ls.iter()
+            .map(|&l| column(data, l, |r| norm(r.potency.structs as f64, base.structs)).render(1))
+            .collect(),
+    );
+    row(
+        &mut out,
+        width,
+        colw,
+        "  Call graph size",
+        ls.iter()
+            .map(|&l| {
+                column(data, l, |r| norm(r.potency.callgraph_size as f64, base.callgraph_size))
+                    .render(1)
+            })
+            .collect(),
+    );
+    row(
+        &mut out,
+        width,
+        colw,
+        "  Call graph depth",
+        ls.iter()
+            .map(|&l| {
+                column(data, l, |r| {
+                    norm(r.potency.callgraph_depth as f64, base.callgraph_depth)
+                })
+                .render(1)
+            })
+            .collect(),
+    );
+    out.push_str("Costs (absolute)\n");
+    row(
+        &mut out,
+        width,
+        colw,
+        "  Generation time (ms)",
+        ls.iter().map(|&l| column(data, l, |r| r.generation_ms).render(2)).collect(),
+    );
+    row(
+        &mut out,
+        width,
+        colw,
+        "  Parsing time (ms)",
+        ls.iter().map(|&l| column(data, l, |r| r.parse_ms).render(3)).collect(),
+    );
+    row(
+        &mut out,
+        width,
+        colw,
+        "  Serialization (ms)",
+        ls.iter().map(|&l| column(data, l, |r| r.serialize_ms).render(3)).collect(),
+    );
+    row(
+        &mut out,
+        width,
+        colw,
+        "  Buffer size (bytes)",
+        ls.iter().map(|&l| column(data, l, |r| r.buffer_bytes).render(0)).collect(),
+    );
+    out
+}
+
+/// ASCII scatter plot of `(x, y)` points, `rows` high and `cols` wide.
+fn scatter(points: &[(f64, f64)], rows: usize, cols: usize) -> String {
+    if points.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in points {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    if x_max == x_min {
+        x_max = x_min + 1.0;
+    }
+    if y_max == y_min {
+        y_max = y_min + 1.0;
+    }
+    let mut grid = vec![vec![b' '; cols]; rows];
+    for &(x, y) in points {
+        let cx = (((x - x_min) / (x_max - x_min)) * (cols - 1) as f64).round() as usize;
+        let cy = (((y - y_min) / (y_max - y_min)) * (rows - 1) as f64).round() as usize;
+        grid[rows - 1 - cy][cx] = b'*';
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{y_max:>10.3} +{}\n", "-".repeat(cols)));
+    for row in grid {
+        out.push_str("           |");
+        out.push_str(std::str::from_utf8(&row).expect("ascii grid"));
+        out.push('\n');
+    }
+    out.push_str(&format!("{y_min:>10.3} +{}\n", "-".repeat(cols)));
+    out.push_str(&format!("            {:<10.1}{:>width$.1}\n", x_min, x_max, width = cols - 10));
+    out
+}
+
+/// Renders a cost figure (paper Figures 4/5): parsing and serialization
+/// time against the number of applied transformations, with the
+/// least-squares fit and correlation coefficient.
+pub fn cost_figure(data: &ExperimentData) -> String {
+    let mut out = String::new();
+    for (label, pick) in [
+        ("Parsing time (ms)", Box::new(|r: &RunMetrics| r.parse_ms) as Box<dyn Fn(&RunMetrics) -> f64>),
+        ("Serialization time (ms)", Box::new(|r: &RunMetrics| r.serialize_ms)),
+    ] {
+        let points: Vec<(f64, f64)> =
+            data.runs.iter().map(|r| (r.applied as f64, pick(r))).collect();
+        out.push_str(&format!(
+            "\n{}: {} vs. number of applied transformations\n",
+            data.protocol.name(),
+            label
+        ));
+        out.push_str(&scatter(&points, 14, 60));
+        let xs: Vec<f64> = points.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = points.iter().map(|p| p.1).collect();
+        match linear_regression(&xs, &ys) {
+            Some(reg) => out.push_str(&format!(
+                "linear fit: y = {:.6}·x + {:.6}   correlation r = {:.3}\n",
+                reg.slope, reg.intercept, reg.r
+            )),
+            None => out.push_str("linear fit: insufficient data\n"),
+        }
+    }
+    out
+}
+
+/// Renders a potency figure (paper Figures 6/7): normalized potency
+/// metrics against the number of applied obfuscations, per level.
+pub fn potency_figure(data: &ExperimentData) -> String {
+    let base = &data.baseline.potency;
+    let ls = levels(data);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "\n{}: normalized potency metrics vs. applied obfuscations\n",
+        data.protocol.name()
+    ));
+    out.push_str(&format!(
+        "{:>10} {:>12} {:>10} {:>10} {:>12} {:>12}\n",
+        "level", "applied", "lines", "structs", "cg size", "cg depth"
+    ));
+    let norm = |v: f64, b: usize| if b == 0 { 0.0 } else { v / b as f64 };
+    for &l in &ls {
+        let applied = column(data, l, |r| r.applied as f64);
+        let lines = column(data, l, |r| norm(r.potency.lines as f64, base.lines));
+        let structs = column(data, l, |r| norm(r.potency.structs as f64, base.structs));
+        let size =
+            column(data, l, |r| norm(r.potency.callgraph_size as f64, base.callgraph_size));
+        let depth =
+            column(data, l, |r| norm(r.potency.callgraph_depth as f64, base.callgraph_depth));
+        out.push_str(&format!(
+            "{:>10} {:>12.1} {:>10.2} {:>10.2} {:>12.2} {:>12.2}\n",
+            l, applied.mean, lines.mean, structs.mean, size.mean, depth.mean
+        ));
+    }
+    // The shape checks of the paper: linear-ish lines/structs/size, slower
+    // depth growth.
+    let xs: Vec<f64> = data.runs.iter().map(|r| r.applied as f64).collect();
+    let lines_n: Vec<f64> =
+        data.runs.iter().map(|r| norm(r.potency.lines as f64, base.lines)).collect();
+    if let Some(reg) = linear_regression(&xs, &lines_n) {
+        out.push_str(&format!(
+            "lines ratio vs applied: slope {:.4}, r = {:.3}\n",
+            reg.slope, reg.r
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_experiment, ExperimentConfig, Protocol};
+
+    fn data() -> ExperimentData {
+        run_experiment(
+            Protocol::Http,
+            &ExperimentConfig {
+                runs_per_level: 2,
+                messages_per_run: 4,
+                base_seed: 5,
+                max_level: 2,
+            },
+        )
+    }
+
+    #[test]
+    fn table_contains_all_rows() {
+        let t = comparative_table(&data());
+        for row in [
+            "Nb. transf. per node",
+            "Nb. transf. applied",
+            "Nb. lines",
+            "Nb. structs",
+            "Call graph size",
+            "Call graph depth",
+            "Generation time",
+            "Parsing time",
+            "Serialization",
+            "Buffer size",
+        ] {
+            assert!(t.contains(row), "missing row {row}\n{t}");
+        }
+    }
+
+    #[test]
+    fn cost_figure_has_fit_and_plot() {
+        let f = cost_figure(&data());
+        assert!(f.contains("linear fit"));
+        assert!(f.contains("correlation"));
+        assert!(f.contains('*'));
+    }
+
+    #[test]
+    fn potency_figure_lists_levels() {
+        let f = potency_figure(&data());
+        assert!(f.contains("applied"));
+        assert!(f.contains("cg depth"));
+    }
+
+    #[test]
+    fn scatter_handles_degenerate_input() {
+        assert!(scatter(&[], 5, 10).contains("no data"));
+        let s = scatter(&[(1.0, 1.0)], 5, 10);
+        assert!(s.contains('*'));
+    }
+}

@@ -1,0 +1,156 @@
+//! Summary statistics and linear regression for the experiment reports:
+//! the paper presents every metric as `average[min; max]` and fits
+//! processing times against the number of applied transformations with a
+//! least-squares line and its correlation coefficient (figures 4 and 5).
+
+use std::fmt;
+
+/// `average[min; max]` summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample; zeroes for an empty one.
+    pub fn of(values: &[f64]) -> Summary {
+        if values.is_empty() {
+            return Summary { mean: 0.0, min: 0.0, max: 0.0 };
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &v in values {
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+        }
+        Summary { mean: sum / values.len() as f64, min, max }
+    }
+
+    /// Renders with `digits` decimal places, paper-style.
+    pub fn render(&self, digits: usize) -> String {
+        format!(
+            "{:.d$}[{:.d$}; {:.d$}]",
+            self.mean,
+            self.min,
+            self.max,
+            d = digits
+        )
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render(2))
+    }
+}
+
+/// Least-squares line `y = slope·x + intercept` with Pearson correlation
+/// coefficient `r`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Regression {
+    /// Slope of the fitted line.
+    pub slope: f64,
+    /// Intercept of the fitted line.
+    pub intercept: f64,
+    /// Pearson correlation coefficient.
+    pub r: f64,
+}
+
+/// Fits a least-squares line through `(x, y)` pairs.
+///
+/// Returns `None` for fewer than two points or zero variance in `x`.
+pub fn linear_regression(x: &[f64], y: &[f64]) -> Option<Regression> {
+    let n = x.len().min(y.len());
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let mean_x = x[..n].iter().sum::<f64>() / nf;
+    let mean_y = y[..n].iter().sum::<f64>() / nf;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    let mut sxy = 0.0;
+    for i in 0..n {
+        let dx = x[i] - mean_x;
+        let dy = y[i] - mean_y;
+        sxx += dx * dx;
+        syy += dy * dy;
+        sxy += dx * dy;
+    }
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let r = if syy == 0.0 { 1.0 } else { sxy / (sxx.sqrt() * syy.sqrt()) };
+    Some(Regression { slope, intercept, r })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic() {
+        let s = Summary::of(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.render(1), "2.0[1.0; 3.0]");
+    }
+
+    #[test]
+    fn summary_empty() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn summary_single() {
+        let s = Summary::of(&[5.5]);
+        assert_eq!(s.render(2), "5.50[5.50; 5.50]");
+    }
+
+    #[test]
+    fn regression_on_perfect_line() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [3.0, 5.0, 7.0, 9.0]; // y = 2x + 1
+        let r = linear_regression(&x, &y).unwrap();
+        assert!((r.slope - 2.0).abs() < 1e-9);
+        assert!((r.intercept - 1.0).abs() < 1e-9);
+        assert!((r.r - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regression_on_noise_has_low_r() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let y = [4.0, 1.0, 5.0, 2.0, 6.0, 1.5];
+        let r = linear_regression(&x, &y).unwrap();
+        assert!(r.r.abs() < 0.6);
+    }
+
+    #[test]
+    fn regression_degenerate_cases() {
+        assert!(linear_regression(&[1.0], &[2.0]).is_none());
+        assert!(linear_regression(&[2.0, 2.0], &[1.0, 5.0]).is_none());
+        let flat = linear_regression(&[1.0, 2.0], &[3.0, 3.0]).unwrap();
+        assert_eq!(flat.slope, 0.0);
+        assert_eq!(flat.r, 1.0); // zero variance in y: perfectly explained
+    }
+
+    #[test]
+    fn negative_correlation() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [3.0, 2.0, 1.0];
+        let r = linear_regression(&x, &y).unwrap();
+        assert!((r.r + 1.0).abs() < 1e-9);
+        assert!((r.slope + 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,256 @@
+//! A miniature `cflow`: static call-graph extraction from the generated C
+//! source. The paper uses the real cflow tool on its generated library and
+//! reports the size (number of nodes) and depth of the parsing process's
+//! call graph; this module computes the same quantities.
+
+use std::collections::{HashMap, HashSet};
+
+/// A static call graph: functions and their call edges.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    names: Vec<String>,
+    index: HashMap<String, usize>,
+    edges: Vec<Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Number of functions defined in the source.
+    pub fn function_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Index of a function by name.
+    pub fn find(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+
+    /// Callees of a function.
+    pub fn callees(&self, f: usize) -> &[usize] {
+        &self.edges[f]
+    }
+
+    /// Function name by index.
+    pub fn name(&self, f: usize) -> &str {
+        &self.names[f]
+    }
+
+    /// Number of functions reachable from `entry` (including itself) —
+    /// the paper's "call graph size".
+    pub fn reachable_size(&self, entry: &str) -> usize {
+        let start = match self.find(entry) {
+            Some(s) => s,
+            None => return 0,
+        };
+        let mut seen = HashSet::new();
+        let mut stack = vec![start];
+        while let Some(f) = stack.pop() {
+            if seen.insert(f) {
+                for &c in &self.edges[f] {
+                    stack.push(c);
+                }
+            }
+        }
+        seen.len()
+    }
+
+    /// Length (in nodes) of the longest call chain from `entry` — the
+    /// paper's "call graph depth". Cycles (never produced by the
+    /// generator) are cut at the back edge.
+    pub fn depth(&self, entry: &str) -> usize {
+        let start = match self.find(entry) {
+            Some(s) => s,
+            None => return 0,
+        };
+        let mut memo: HashMap<usize, usize> = HashMap::new();
+        let mut on_stack: HashSet<usize> = HashSet::new();
+        fn go(
+            g: &CallGraph,
+            f: usize,
+            memo: &mut HashMap<usize, usize>,
+            on_stack: &mut HashSet<usize>,
+        ) -> usize {
+            if let Some(&d) = memo.get(&f) {
+                return d;
+            }
+            if !on_stack.insert(f) {
+                return 0; // back edge
+            }
+            let best = g.edges[f]
+                .iter()
+                .map(|&c| go(g, c, memo, on_stack))
+                .max()
+                .unwrap_or(0);
+            on_stack.remove(&f);
+            memo.insert(f, best + 1);
+            best + 1
+        }
+        go(self, start, &mut memo, &mut on_stack)
+    }
+}
+
+/// Extracts the call graph from C source text.
+///
+/// Function definitions are recognized as lines that declare a name
+/// followed by `(` and end the header with `{`; call sites are identifiers
+/// followed by `(` inside bodies that match a defined function.
+pub fn extract(source: &str) -> CallGraph {
+    let defs = definitions(source);
+    let index: HashMap<String, usize> =
+        defs.iter().enumerate().map(|(i, (n, _, _))| (n.clone(), i)).collect();
+    let lines: Vec<&str> = source.lines().collect();
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); defs.len()];
+    for (i, (_, start, end)) in defs.iter().enumerate() {
+        let mut seen = HashSet::new();
+        for line in &lines[*start..*end] {
+            for name in call_sites(line) {
+                if let Some(&callee) = index.get(name) {
+                    if callee != i && seen.insert(callee) {
+                        edges[i].push(callee);
+                    }
+                }
+            }
+        }
+    }
+    CallGraph { names: defs.into_iter().map(|(n, _, _)| n).collect(), index, edges }
+}
+
+/// Finds function definitions: `(name, body_start_line, body_end_line)`.
+fn definitions(source: &str) -> Vec<(String, usize, usize)> {
+    let lines: Vec<&str> = source.lines().collect();
+    let mut defs = Vec::new();
+    let mut i = 0;
+    while i < lines.len() {
+        let line = lines[i];
+        if let Some(name) = definition_name(line) {
+            // Body runs until the matching closing brace at column 0.
+            let mut j = i + 1;
+            while j < lines.len() && !lines[j].starts_with('}') {
+                j += 1;
+            }
+            defs.push((name, i + 1, j.min(lines.len())));
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    defs
+}
+
+/// Heuristic matching the emitter's rigid format: a definition header is a
+/// top-level line with a `(`, ending in `{`, that is not a control keyword
+/// or struct declaration.
+fn definition_name(line: &str) -> Option<String> {
+    if !line.ends_with('{') || line.starts_with(' ') || line.starts_with('}') {
+        return None;
+    }
+    if line.starts_with("struct") || line.starts_with("typedef") {
+        return None;
+    }
+    let open = line.find('(')?;
+    let head = &line[..open];
+    let name = head.rsplit(|c: char| c.is_whitespace() || c == '*').next()?;
+    if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        return None;
+    }
+    Some(name.to_string())
+}
+
+/// Identifiers immediately followed by `(` in a body line.
+fn call_sites(line: &str) -> Vec<&str> {
+    let bytes = line.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if (bytes[i] as char).is_ascii_alphabetic() || bytes[i] == b'_' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            if i < bytes.len() && bytes[i] == b'(' {
+                out.push(&line[start..i]);
+            }
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+static void helper_a(int x) {
+    noop(x);
+}
+static void helper_b(int x) {
+    helper_a(x);
+}
+static int parse_root(int y) {
+    helper_b(y);
+    helper_a(y);
+    if (y) {
+        helper_b(y);
+    }
+    return 0;
+}
+int unrelated(void) {
+    return 1;
+}
+"#;
+
+    #[test]
+    fn extracts_definitions() {
+        let g = extract(SAMPLE);
+        assert_eq!(g.function_count(), 4);
+        assert!(g.find("parse_root").is_some());
+        assert!(g.find("noop").is_none()); // undefined callee ignored
+    }
+
+    #[test]
+    fn reachable_size_from_entry() {
+        let g = extract(SAMPLE);
+        assert_eq!(g.reachable_size("parse_root"), 3); // root, b, a
+        assert_eq!(g.reachable_size("helper_a"), 1);
+        assert_eq!(g.reachable_size("missing"), 0);
+    }
+
+    #[test]
+    fn depth_is_longest_chain() {
+        let g = extract(SAMPLE);
+        assert_eq!(g.depth("parse_root"), 3); // root -> b -> a
+        assert_eq!(g.depth("helper_a"), 1);
+    }
+
+    #[test]
+    fn duplicate_calls_counted_once() {
+        let g = extract(SAMPLE);
+        let root = g.find("parse_root").unwrap();
+        assert_eq!(g.callees(root).len(), 2);
+    }
+
+    #[test]
+    fn cycles_do_not_hang() {
+        let src = r#"
+static void a(void) {
+    b();
+}
+static void b(void) {
+    a();
+}
+"#;
+        let g = extract(src);
+        assert_eq!(g.depth("a"), 2);
+        assert_eq!(g.reachable_size("a"), 2);
+    }
+
+    #[test]
+    fn control_keywords_not_definitions() {
+        let src = "static int f(void) {\n    while (x) {\n    }\n    return 0;\n}\n";
+        let g = extract(src);
+        assert_eq!(g.function_count(), 1);
+    }
+}

@@ -1,0 +1,152 @@
+//! Potency metrics of a generated library (paper §VII-B).
+//!
+//! * **Number of code lines** — the amount of generated code for the
+//!   complete serialization library;
+//! * **Number of structures** — internal structures used to store data
+//!   during parsing;
+//! * **Call graph size / depth** — extracted from the parse entry point
+//!   with the miniature cflow.
+
+use crate::cflow;
+use crate::emit::GeneratedLibrary;
+
+/// The potency metrics the paper reports per experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PotencyMetrics {
+    /// Non-empty source lines.
+    pub lines: usize,
+    /// Structure definitions.
+    pub structs: usize,
+    /// Functions reachable from the parse entry.
+    pub callgraph_size: usize,
+    /// Longest call chain from the parse entry.
+    pub callgraph_depth: usize,
+}
+
+impl PotencyMetrics {
+    /// Normalizes against a baseline (the non-obfuscated library), giving
+    /// the paper's "potency (normalized)" rows.
+    pub fn normalized(&self, baseline: &PotencyMetrics) -> NormalizedPotency {
+        let ratio = |a: usize, b: usize| if b == 0 { 0.0 } else { a as f64 / b as f64 };
+        NormalizedPotency {
+            lines: ratio(self.lines, baseline.lines),
+            structs: ratio(self.structs, baseline.structs),
+            callgraph_size: ratio(self.callgraph_size, baseline.callgraph_size),
+            callgraph_depth: ratio(self.callgraph_depth, baseline.callgraph_depth),
+        }
+    }
+}
+
+/// Potency relative to the non-obfuscated library.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NormalizedPotency {
+    /// Lines ratio.
+    pub lines: f64,
+    /// Structures ratio.
+    pub structs: f64,
+    /// Call-graph size ratio.
+    pub callgraph_size: f64,
+    /// Call-graph depth ratio.
+    pub callgraph_depth: f64,
+}
+
+/// Measures a generated library.
+pub fn measure(lib: &GeneratedLibrary) -> PotencyMetrics {
+    let lines = lib.source.lines().filter(|l| !l.trim().is_empty()).count();
+    let structs = lib
+        .source
+        .lines()
+        .filter(|l| {
+            let t = l.trim_start();
+            (t.starts_with("struct ") || t.starts_with("typedef struct")) && t.ends_with('{')
+        })
+        .count();
+    let graph = cflow::extract(&lib.source);
+    PotencyMetrics {
+        lines,
+        structs,
+        callgraph_size: graph.reachable_size(&lib.parse_entry),
+        callgraph_depth: graph.depth(&lib.parse_entry),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emit::generate;
+    use protoobf_core::{Codec, Obfuscator};
+    use protoobf_spec::parse_spec;
+
+    fn graph() -> protoobf_core::FormatGraph {
+        parse_spec(
+            r#"
+            message T {
+                u16 id;
+                u16 length = len(data);
+                bytes data sized_by length;
+                ascii word until " ";
+                bytes tail rest;
+            }
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn baseline_metrics_are_positive() {
+        let m = measure(&generate(&Codec::identity(&graph())));
+        assert!(m.lines > 50);
+        assert!(m.structs >= 6);
+        assert!(m.callgraph_size >= 6);
+        assert!(m.callgraph_depth >= 2);
+    }
+
+    #[test]
+    fn obfuscation_increases_potency() {
+        let g = graph();
+        let base = measure(&generate(&Codec::identity(&g)));
+        let mut grew = 0;
+        for seed in 0..5 {
+            let codec = Obfuscator::new(&g).seed(seed).max_per_node(2).obfuscate().unwrap();
+            let m = measure(&generate(&codec));
+            let n = m.normalized(&base);
+            assert!(n.lines > 1.0, "lines ratio {} (seed {seed})", n.lines);
+            assert!(n.structs > 1.0, "structs ratio {}", n.structs);
+            if n.callgraph_size > 1.0 {
+                grew += 1;
+            }
+        }
+        assert!(grew >= 4, "call graph grew in {grew}/5 plans");
+    }
+
+    #[test]
+    fn potency_scales_with_level() {
+        let g = graph();
+        let base = measure(&generate(&Codec::identity(&g)));
+        let mut prev = 1.0;
+        for level in 1..=4 {
+            let codec = Obfuscator::new(&g).seed(9).max_per_node(level).obfuscate().unwrap();
+            let n = measure(&generate(&codec)).normalized(&base);
+            assert!(
+                n.lines >= prev * 0.95,
+                "lines ratio should not shrink: level {level} gives {}",
+                n.lines
+            );
+            prev = n.lines;
+        }
+        // Level 4 should be at least twice the baseline, echoing the
+        // paper's Tables III/IV trend.
+        assert!(prev > 2.0, "level-4 lines ratio was {prev}");
+    }
+
+    #[test]
+    fn normalization_math() {
+        let a = PotencyMetrics { lines: 200, structs: 20, callgraph_size: 30, callgraph_depth: 8 };
+        let b = PotencyMetrics { lines: 100, structs: 10, callgraph_size: 10, callgraph_depth: 4 };
+        let n = a.normalized(&b);
+        assert_eq!(n.lines, 2.0);
+        assert_eq!(n.structs, 2.0);
+        assert_eq!(n.callgraph_size, 3.0);
+        assert_eq!(n.callgraph_depth, 2.0);
+    }
+}

@@ -1,0 +1,290 @@
+//! Error types for specification validation, transformation, serialization
+//! and parsing.
+//!
+//! Every fallible public operation in this crate returns one of these types.
+//! They all implement [`std::error::Error`] and are `Send + Sync + 'static`
+//! so they compose with standard error-handling machinery.
+
+use std::fmt;
+
+/// Error raised while building or validating a [`FormatGraph`].
+///
+/// [`FormatGraph`]: crate::graph::FormatGraph
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// The graph has no root node.
+    EmptyGraph,
+    /// A node identifier did not resolve to a node of this graph.
+    UnknownNode(u32),
+    /// Two siblings share the same name, making paths ambiguous.
+    DuplicateSiblingName { parent: String, name: String },
+    /// The boundary attribute is not consistent with the node type
+    /// (paper §V-A: e.g. a Terminal cannot have a Counter boundary).
+    InconsistentBoundary { node: String, detail: String },
+    /// A `Length`, `Counter` or `Optional` reference points at a node that
+    /// is not parsed before its user (forward reference) or is inside the
+    /// referencing subtree.
+    ForwardReference { node: String, referenced: String },
+    /// A `Length`/`Counter` reference target is not an unsigned-integer
+    /// terminal and therefore cannot carry a size.
+    NonNumericReference { node: String, referenced: String },
+    /// A delimiter byte string is empty.
+    EmptyDelimiter { node: String },
+    /// A fixed-size terminal's declared width disagrees with its kind
+    /// (e.g. `u16` with `Fixed(3)`).
+    WidthMismatch { node: String, expected: usize, found: usize },
+    /// A node that must have exactly one child (Optional, Repetition,
+    /// Tabular) has zero or several.
+    ChildArity { node: String, expected: &'static str, found: usize },
+    /// A node kind that cannot carry children (Terminal) has children.
+    TerminalWithChildren { node: String },
+    /// A cycle was detected in the parent/child structure.
+    NotATree { node: String },
+    /// An auto-computed field (length-of / counter-of) references an
+    /// incompatible target.
+    BadAutoTarget { node: String, detail: String },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::EmptyGraph => write!(f, "format graph has no root node"),
+            SpecError::UnknownNode(id) => write!(f, "unknown node id {id}"),
+            SpecError::DuplicateSiblingName { parent, name } => {
+                write!(f, "duplicate sibling name {name:?} under {parent:?}")
+            }
+            SpecError::InconsistentBoundary { node, detail } => {
+                write!(f, "inconsistent boundary on node {node:?}: {detail}")
+            }
+            SpecError::ForwardReference { node, referenced } => write!(
+                f,
+                "node {node:?} references {referenced:?} which is not parsed before it"
+            ),
+            SpecError::NonNumericReference { node, referenced } => write!(
+                f,
+                "node {node:?} references {referenced:?} which is not an unsigned integer terminal"
+            ),
+            SpecError::EmptyDelimiter { node } => {
+                write!(f, "node {node:?} declares an empty delimiter")
+            }
+            SpecError::WidthMismatch { node, expected, found } => write!(
+                f,
+                "node {node:?} kind implies width {expected} but boundary declares {found}"
+            ),
+            SpecError::ChildArity { node, expected, found } => write!(
+                f,
+                "node {node:?} must have {expected} children, found {found}"
+            ),
+            SpecError::TerminalWithChildren { node } => {
+                write!(f, "terminal node {node:?} cannot have children")
+            }
+            SpecError::NotATree { node } => {
+                write!(f, "node {node:?} participates in a parent/child cycle")
+            }
+            SpecError::BadAutoTarget { node, detail } => {
+                write!(f, "auto field {node:?} has an invalid target: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Error raised when applying a generic transformation to an obfuscation
+/// graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransformError {
+    /// The transformation's applicability constraints are not met on the
+    /// targeted node (paper Table II "Constraints" row).
+    NotApplicable { transform: &'static str, node: String, reason: String },
+    /// The targeted node does not exist.
+    UnknownNode(u32),
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformError::NotApplicable { transform, node, reason } => {
+                write!(f, "{transform} is not applicable to node {node:?}: {reason}")
+            }
+            TransformError::UnknownNode(id) => write!(f, "unknown obfuscation node id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+/// Error raised while building a message through the accessor interface or
+/// while serializing it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The path does not resolve to a node of the plain specification.
+    UnknownPath(String),
+    /// The path resolves to a non-terminal node and therefore cannot hold a
+    /// value.
+    NotATerminal(String),
+    /// The value length is incompatible with the field's boundary
+    /// (e.g. 3 bytes into a `Fixed(2)` field).
+    BadValueLength { path: String, expected: usize, found: usize },
+    /// The value contains the field's delimiter, which would make the
+    /// serialized message ambiguous.
+    ValueContainsDelimiter { path: String },
+    /// The field is auto-computed (length-of / counter-of) and cannot be
+    /// set by the application.
+    AutoField(String),
+    /// A required field was never set.
+    MissingField(String),
+    /// An optional subtree's presence contradicts the value of its
+    /// condition subject.
+    OptionalMismatch { path: String, detail: String },
+    /// An integer does not fit in the field's width.
+    IntegerOverflow { path: String, width: usize, value: u64 },
+    /// Tabular/repetition elements were set with a gap in their indices.
+    NonContiguousElements { path: String, missing: usize },
+    /// A manually-set length/counter field disagrees with the actual plain
+    /// quantity it must describe.
+    LengthInconsistent { path: String, declared: u64, actual: u64 },
+    /// A derived quantity (length prefix, auto length field) does not fit
+    /// in its field width.
+    DerivedOverflow { path: String, width: usize, value: u64 },
+    /// An integer accessor was used on a field that is not an unsigned
+    /// integer.
+    NotNumeric(String),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnknownPath(p) => write!(f, "unknown field path {p:?}"),
+            BuildError::NotATerminal(p) => write!(f, "path {p:?} is not a terminal field"),
+            BuildError::BadValueLength { path, expected, found } => {
+                write!(f, "field {path:?} expects {expected} bytes, got {found}")
+            }
+            BuildError::ValueContainsDelimiter { path } => {
+                write!(f, "value for field {path:?} contains the field delimiter")
+            }
+            BuildError::AutoField(p) => {
+                write!(f, "field {p:?} is auto-computed and cannot be set")
+            }
+            BuildError::MissingField(p) => write!(f, "required field {p:?} was not set"),
+            BuildError::OptionalMismatch { path, detail } => {
+                write!(f, "optional {path:?} presence is inconsistent: {detail}")
+            }
+            BuildError::IntegerOverflow { path, width, value } => {
+                write!(f, "value {value} does not fit in {width} byte(s) for field {path:?}")
+            }
+            BuildError::NonContiguousElements { path, missing } => {
+                write!(f, "elements of {path:?} are not contiguous: index {missing} missing")
+            }
+            BuildError::LengthInconsistent { path, declared, actual } => write!(
+                f,
+                "field {path:?} declares {declared} but the described quantity is {actual}"
+            ),
+            BuildError::DerivedOverflow { path, width, value } => write!(
+                f,
+                "derived value {value} does not fit in {width} byte(s) for {path:?}"
+            ),
+            BuildError::NotNumeric(p) => {
+                write!(f, "field {p:?} is not an unsigned integer")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Error raised while parsing an (obfuscated) message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The buffer ended before the structure was complete.
+    UnexpectedEnd { node: String, needed: usize, available: usize },
+    /// A delimiter was not found within the current window.
+    DelimiterNotFound { node: String },
+    /// Trailing bytes remained after a window that must be consumed
+    /// exactly.
+    TrailingBytes { node: String, remaining: usize },
+    /// An auto length/counter sanity check failed: the recovered value does
+    /// not match the recomputed plain quantity.
+    AutoMismatch { node: String, stored: u64, computed: u64 },
+    /// The count recovered for a split repetition does not match its
+    /// sibling half (copy-language check, paper Table II RepSplit).
+    CountMismatch { node: String, left: usize, right: usize },
+    /// A reference needed during parsing (length, counter, condition or
+    /// split partner) was not yet recovered. Indicates a corrupted message
+    /// or a mismatched obfuscation plan.
+    UnresolvedReference { node: String, referenced: String },
+    /// A value recovered during parsing is structurally impossible
+    /// (e.g. a length that overflows the window).
+    Malformed { node: String, detail: String },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::UnexpectedEnd { node, needed, available } => write!(
+                f,
+                "unexpected end of message in {node:?}: needed {needed} byte(s), {available} available"
+            ),
+            ParseError::DelimiterNotFound { node } => {
+                write!(f, "delimiter for node {node:?} not found")
+            }
+            ParseError::TrailingBytes { node, remaining } => {
+                write!(f, "{remaining} trailing byte(s) after exactly-bounded node {node:?}")
+            }
+            ParseError::AutoMismatch { node, stored, computed } => write!(
+                f,
+                "auto field {node:?} sanity check failed: stored {stored}, computed {computed}"
+            ),
+            ParseError::CountMismatch { node, left, right } => write!(
+                f,
+                "split repetition {node:?} halves disagree on count: {left} vs {right}"
+            ),
+            ParseError::UnresolvedReference { node, referenced } => write!(
+                f,
+                "node {node:?} needs {referenced:?} which was not recovered yet"
+            ),
+            ParseError::Malformed { node, detail } => {
+                write!(f, "malformed message at node {node:?}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SpecError>();
+        assert_send_sync::<TransformError>();
+        assert_send_sync::<BuildError>();
+        assert_send_sync::<ParseError>();
+    }
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let samples: Vec<Box<dyn std::error::Error>> = vec![
+            Box::new(SpecError::EmptyGraph),
+            Box::new(TransformError::UnknownNode(3)),
+            Box::new(BuildError::UnknownPath("a.b".into())),
+            Box::new(ParseError::DelimiterNotFound { node: "uri".into() }),
+        ];
+        for e in samples {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            let first = s.chars().next().unwrap();
+            assert!(first.is_lowercase() || first.is_numeric(), "{s}");
+        }
+    }
+
+    #[test]
+    fn parse_error_display_mentions_node() {
+        let e = ParseError::UnexpectedEnd { node: "pdu".into(), needed: 4, available: 1 };
+        let s = e.to_string();
+        assert!(s.contains("pdu") && s.contains('4') && s.contains('1'));
+    }
+}

@@ -1,0 +1,472 @@
+//! Wire-extent calculus.
+//!
+//! Several transformations are only invertible when the parser can delimit
+//! the transformed bytes. This module classifies every obfuscation-graph
+//! node by *how* its wire extent can be determined:
+//!
+//! * [`ExtentClass::Static`] — a constant number of bytes;
+//! * [`ExtentClass::PlainDep`] — computable **before** parsing the node,
+//!   from plain values already recovered (length references, counters,
+//!   optional conditions);
+//! * [`ExtentClass::SelfDelim`] — discovered *while* parsing forward
+//!   (delimiters, length prefixes);
+//! * [`ExtentClass::WindowNeeded`] — requires an externally bounded window
+//!   (`End` boundaries, exhausted repetitions).
+//!
+//! `ReadFromEnd` (Mirror) must know its child's extent before it can
+//! un-reverse the bytes, so it requires `Static` or `PlainDep` — and all
+//! plain references used in that computation must live *outside* the
+//! mirrored subtree. These are exactly the checks
+//! [`mirror_applicable`] performs.
+
+use crate::graph::NodeId;
+use crate::obf::{ObfGraph, ObfId, ObfKind, RepStop, SeqBoundary, TermBoundary};
+
+/// How a node's wire extent can be determined. Ordered from most to least
+/// predictable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExtentClass {
+    /// Always exactly this many bytes.
+    Static(usize),
+    /// Computable before parsing, from recovered plain values.
+    PlainDep,
+    /// Discovered by parsing forward.
+    SelfDelim,
+    /// Requires an externally bounded window.
+    WindowNeeded,
+}
+
+impl ExtentClass {
+    /// Severity rank used when combining children.
+    fn rank(self) -> u8 {
+        match self {
+            ExtentClass::Static(_) => 0,
+            ExtentClass::PlainDep => 1,
+            ExtentClass::SelfDelim => 2,
+            ExtentClass::WindowNeeded => 3,
+        }
+    }
+
+    /// True if the extent is computable before parsing the node.
+    pub fn precomputable(self) -> bool {
+        self.rank() <= 1
+    }
+}
+
+/// Combines sibling extents (sequence-like concatenation).
+fn combine(classes: impl IntoIterator<Item = ExtentClass>) -> ExtentClass {
+    let mut sum: usize = 0;
+    let mut worst = 0u8;
+    let mut all_static = true;
+    for c in classes {
+        match c {
+            ExtentClass::Static(n) => sum += n,
+            other => {
+                all_static = false;
+                worst = worst.max(other.rank());
+            }
+        }
+    }
+    if all_static {
+        ExtentClass::Static(sum)
+    } else {
+        match worst {
+            1 => ExtentClass::PlainDep,
+            2 => ExtentClass::SelfDelim,
+            _ => ExtentClass::WindowNeeded,
+        }
+    }
+}
+
+/// Classifies the wire extent of `id`.
+pub fn classify(g: &ObfGraph, id: ObfId) -> ExtentClass {
+    let node = g.node(id);
+    match &node.kind {
+        ObfKind::Terminal { boundary, .. } => match boundary {
+            TermBoundary::Fixed(n) => ExtentClass::Static(*n),
+            TermBoundary::Delimited(_) => ExtentClass::SelfDelim,
+            TermBoundary::PlainLen { .. } => ExtentClass::PlainDep,
+            TermBoundary::End => ExtentClass::WindowNeeded,
+        },
+        ObfKind::SplitSeq { .. } => {
+            combine(node.children.iter().map(|&c| classify(g, c)))
+        }
+        ObfKind::Sequence { boundary } => match boundary {
+            SeqBoundary::Fixed(n) => ExtentClass::Static(*n),
+            SeqBoundary::PlainLen(_) => ExtentClass::PlainDep,
+            SeqBoundary::End => ExtentClass::WindowNeeded,
+            SeqBoundary::Delegated => {
+                combine(node.children.iter().map(|&c| classify(g, c)))
+            }
+        },
+        ObfKind::Optional { .. } => {
+            // Presence is runtime information: never better than PlainDep.
+            match classify(g, node.children[0]) {
+                ExtentClass::Static(_) | ExtentClass::PlainDep => ExtentClass::PlainDep,
+                other => other,
+            }
+        }
+        ObfKind::Repetition { stop } => match stop {
+            RepStop::Terminator(_) => match classify(g, node.children[0]) {
+                ExtentClass::WindowNeeded => ExtentClass::WindowNeeded,
+                _ => ExtentClass::SelfDelim,
+            },
+            RepStop::Exhausted => ExtentClass::WindowNeeded,
+            RepStop::CountOf(_) => match classify(g, node.children[0]) {
+                // The linked count is known once the first half parsed, so a
+                // statically sized element makes the whole extent
+                // precomputable at that point.
+                ExtentClass::Static(_) => ExtentClass::PlainDep,
+                ExtentClass::WindowNeeded => ExtentClass::WindowNeeded,
+                _ => ExtentClass::SelfDelim,
+            },
+        },
+        ObfKind::Tabular { .. } => match classify(g, node.children[0]) {
+            ExtentClass::Static(_) => ExtentClass::PlainDep,
+            ExtentClass::WindowNeeded => ExtentClass::WindowNeeded,
+            _ => ExtentClass::SelfDelim,
+        },
+        ObfKind::Mirror => classify(g, node.children[0]),
+        ObfKind::Prefixed { .. } => ExtentClass::SelfDelim,
+    }
+}
+
+/// The plain terminals whose recovered values the extent computation of
+/// `id`'s subtree will read at parse time.
+pub fn extent_refs(g: &ObfGraph, id: ObfId) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    for n in g.subtree(id) {
+        match &g.node(n).kind {
+            ObfKind::Terminal { boundary: TermBoundary::PlainLen { source, .. }, .. } => {
+                if let Some(r) = g.plain().node(*source).boundary().reference() {
+                    if !out.contains(&r) {
+                        out.push(r);
+                    }
+                }
+            }
+            ObfKind::Sequence { boundary: SeqBoundary::PlainLen(p) } => {
+                if let Some(r) = g.plain().node(*p).boundary().reference() {
+                    if !out.contains(&r) {
+                        out.push(r);
+                    }
+                }
+            }
+            ObfKind::Optional { condition }
+                if !out.contains(&condition.subject) => {
+                    out.push(condition.subject);
+                }
+            ObfKind::Tabular { counter }
+                if !out.contains(counter) => {
+                    out.push(*counter);
+                }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Checks whether a `ReadFromEnd` (Mirror) wrapper can be applied around
+/// `id`: the extent must be precomputable, and every plain reference that
+/// computation needs must be held *outside* the mirrored subtree (otherwise
+/// the value would only become available after un-mirroring — a cycle).
+pub fn mirror_applicable(g: &ObfGraph, id: ObfId) -> Result<(), String> {
+    let class = classify(g, id);
+    if !class.precomputable() {
+        return Err(format!(
+            "subtree extent is {class:?}; ReadFromEnd needs Static or PlainDep"
+        ));
+    }
+    for r in extent_refs(g, id) {
+        let holder = match g.holder_of(r) {
+            Some(h) => h,
+            None => {
+                return Err(format!(
+                    "reference {} has no recoverable holder",
+                    g.plain().node(r).name()
+                ))
+            }
+        };
+        if g.is_descendant(holder, id) {
+            return Err(format!(
+                "reference {} is held inside the mirrored subtree",
+                g.plain().node(r).name()
+            ));
+        }
+    }
+    // Count-linked repetitions inside the subtree must resolve their count
+    // from a repetition *outside* it (chasing CountOf chains), otherwise
+    // the extent depends on parsing the mirrored bytes themselves.
+    for n in g.subtree(id) {
+        if let ObfKind::Repetition { stop: RepStop::CountOf(first) } = g.node(n).kind() {
+            let mut cur = *first;
+            loop {
+                if !g.is_descendant(cur, id) {
+                    break; // escapes the subtree: count known before the mirror
+                }
+                match g.node(cur).kind() {
+                    ObfKind::Repetition { stop: RepStop::CountOf(next) } => cur = *next,
+                    _ => {
+                        return Err(format!(
+                            "count link of {} resolves inside the mirrored subtree",
+                            g.node(n).name()
+                        ))
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks that every rest-of-window node sits in tail position under a
+/// window-providing ancestor — i.e. that `End` boundaries and exhausted
+/// repetitions will actually receive a bounded window at parse time.
+pub fn check_windows(g: &ObfGraph) -> Result<(), String> {
+    for id in g.preorder() {
+        if classify(g, id) != ExtentClass::WindowNeeded {
+            continue;
+        }
+        // Walk up: `id` must be the last child at every level until a
+        // window provider (root, Prefixed, Mirror, Fixed/PlainLen
+        // sequence) is reached.
+        let mut cur = id;
+        loop {
+            let parent = match g.node(cur).parent() {
+                None => break, // reached the root: whole-message window
+                Some(p) => p,
+            };
+            let pnode = g.node(parent);
+            let provides_window = matches!(
+                pnode.kind,
+                ObfKind::Prefixed { .. }
+                    | ObfKind::Mirror
+                    | ObfKind::Sequence {
+                        boundary: SeqBoundary::Fixed(_) | SeqBoundary::PlainLen(_)
+                    }
+            );
+            let is_last = pnode.children.last() == Some(&cur);
+            if !is_last {
+                return Err(format!(
+                    "rest-of-window node {} is not in tail position under {}",
+                    g.node(id).name(),
+                    pnode.name()
+                ));
+            }
+            if provides_window {
+                break;
+            }
+            // Repetition/tabular elements never receive exact windows.
+            if matches!(pnode.kind, ObfKind::Repetition { .. } | ObfKind::Tabular { .. }) {
+                return Err(format!(
+                    "rest-of-window node {} sits inside repeated element {}",
+                    g.node(id).name(),
+                    pnode.name()
+                ));
+            }
+            cur = parent;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{AutoValue, Boundary, Condition, GraphBuilder, Predicate, StopRule};
+    use crate::value::{TerminalKind, Value};
+
+    fn build(f: impl FnOnce(&mut GraphBuilder)) -> ObfGraph {
+        let mut b = GraphBuilder::new("t");
+        f(&mut b);
+        ObfGraph::from_plain(&b.build().unwrap())
+    }
+
+    fn find(g: &ObfGraph, name: &str) -> ObfId {
+        g.preorder().into_iter().find(|&id| g.node(id).name() == name).unwrap()
+    }
+
+    #[test]
+    fn fixed_terminals_are_static() {
+        let g = build(|b| {
+            let root = b.root_sequence("m", Boundary::End);
+            b.uint_be(root, "a", 2);
+            b.uint_be(root, "b", 4);
+        });
+        assert_eq!(classify(&g, find(&g, "a")), ExtentClass::Static(2));
+        assert_eq!(classify(&g, find(&g, "b")), ExtentClass::Static(4));
+    }
+
+    #[test]
+    fn delegated_sequence_sums_static_children() {
+        let g = build(|b| {
+            let root = b.root_sequence("m", Boundary::End);
+            let s = b.sequence(root, "s", Boundary::Delegated);
+            b.uint_be(s, "a", 2);
+            b.uint_be(s, "b", 4);
+        });
+        assert_eq!(classify(&g, find(&g, "s")), ExtentClass::Static(6));
+    }
+
+    #[test]
+    fn length_bounded_field_is_plain_dep() {
+        let g = build(|b| {
+            let root = b.root_sequence("m", Boundary::End);
+            let len = b.uint_be(root, "len", 2);
+            let data = b.terminal(root, "data", TerminalKind::Bytes, Boundary::Length(len));
+            b.set_auto(len, AutoValue::LengthOf(data));
+        });
+        assert_eq!(classify(&g, find(&g, "data")), ExtentClass::PlainDep);
+    }
+
+    #[test]
+    fn delimited_field_is_self_delim() {
+        let g = build(|b| {
+            let root = b.root_sequence("m", Boundary::End);
+            b.terminal(root, "uri", TerminalKind::Ascii, Boundary::Delimited(b" ".to_vec()));
+            b.uint_be(root, "x", 1);
+        });
+        assert_eq!(classify(&g, find(&g, "uri")), ExtentClass::SelfDelim);
+    }
+
+    #[test]
+    fn end_terminal_needs_window() {
+        let g = build(|b| {
+            let root = b.root_sequence("m", Boundary::End);
+            b.uint_be(root, "x", 1);
+            b.terminal(root, "body", TerminalKind::Bytes, Boundary::End);
+        });
+        assert_eq!(classify(&g, find(&g, "body")), ExtentClass::WindowNeeded);
+        assert!(check_windows(&g).is_ok()); // tail position under root
+    }
+
+    #[test]
+    fn end_terminal_not_last_fails_window_check() {
+        // Built directly at the obf level: the plain validator would also
+        // reject this, so force the shape via from_plain on a valid graph
+        // and then reorder children.
+        let mut g = build(|b| {
+            let root = b.root_sequence("m", Boundary::End);
+            b.uint_be(root, "x", 1);
+            b.terminal(root, "body", TerminalKind::Bytes, Boundary::End);
+        });
+        let root = g.root();
+        g.node_mut(root).children.reverse();
+        assert!(check_windows(&g).is_err());
+    }
+
+    #[test]
+    fn tabular_of_static_elements_is_plain_dep() {
+        let g = build(|b| {
+            let root = b.root_sequence("m", Boundary::End);
+            let c = b.uint_be(root, "count", 1);
+            let t = b.tabular(root, "items", c);
+            b.set_auto(c, AutoValue::CounterOf(t));
+            b.uint_be(t, "item", 2);
+        });
+        assert_eq!(classify(&g, find(&g, "items")), ExtentClass::PlainDep);
+    }
+
+    #[test]
+    fn repetition_with_terminator_is_self_delim() {
+        let g = build(|b| {
+            let root = b.root_sequence("m", Boundary::End);
+            let r = b.repetition(
+                root,
+                "headers",
+                StopRule::Terminator(b"\r\n".to_vec()),
+                Boundary::Delegated,
+            );
+            let h = b.sequence(r, "header", Boundary::Delegated);
+            b.terminal(h, "name", TerminalKind::Ascii, Boundary::Delimited(b":".to_vec()));
+            b.terminal(h, "value", TerminalKind::Ascii, Boundary::Delimited(b"\r\n".to_vec()));
+        });
+        assert_eq!(classify(&g, find(&g, "headers")), ExtentClass::SelfDelim);
+    }
+
+    #[test]
+    fn optional_is_at_best_plain_dep() {
+        let g = build(|b| {
+            let root = b.root_sequence("m", Boundary::End);
+            let f = b.uint_be(root, "flag", 1);
+            let o = b.optional(
+                root,
+                "extra",
+                Condition {
+                    subject: f,
+                    predicate: Predicate::Equals(Value::from_bytes(vec![1])),
+                },
+            );
+            b.uint_be(o, "v", 4);
+        });
+        assert_eq!(classify(&g, find(&g, "extra")), ExtentClass::PlainDep);
+    }
+
+    #[test]
+    fn mirror_applicable_on_static_subtree() {
+        let g = build(|b| {
+            let root = b.root_sequence("m", Boundary::End);
+            let s = b.sequence(root, "s", Boundary::Delegated);
+            b.uint_be(s, "a", 2);
+            b.uint_be(s, "b", 2);
+        });
+        assert!(mirror_applicable(&g, find(&g, "s")).is_ok());
+    }
+
+    #[test]
+    fn mirror_rejected_on_delimited_subtree() {
+        let g = build(|b| {
+            let root = b.root_sequence("m", Boundary::End);
+            b.terminal(root, "uri", TerminalKind::Ascii, Boundary::Delimited(b" ".to_vec()));
+            b.uint_be(root, "x", 1);
+        });
+        assert!(mirror_applicable(&g, find(&g, "uri")).is_err());
+    }
+
+    #[test]
+    fn mirror_rejected_when_length_ref_is_inside() {
+        let g = build(|b| {
+            let root = b.root_sequence("m", Boundary::End);
+            let s = b.sequence(root, "s", Boundary::Delegated);
+            let len = b.uint_be(s, "len", 2);
+            let data = b.terminal(s, "data", TerminalKind::Bytes, Boundary::Length(len));
+            b.set_auto(len, AutoValue::LengthOf(data));
+        });
+        // Mirroring `s` would need `len`'s value, which is inside `s`.
+        assert!(mirror_applicable(&g, find(&g, "s")).is_err());
+        // Mirroring just the data field is fine: the ref is outside.
+        assert!(mirror_applicable(&g, find(&g, "data")).is_ok());
+    }
+
+    #[test]
+    fn extent_refs_reports_length_sources() {
+        let g = build(|b| {
+            let root = b.root_sequence("m", Boundary::End);
+            let len = b.uint_be(root, "len", 2);
+            let data = b.terminal(root, "data", TerminalKind::Bytes, Boundary::Length(len));
+            b.set_auto(len, AutoValue::LengthOf(data));
+        });
+        let refs = extent_refs(&g, g.root());
+        let len_plain = g.plain().resolve_names(&["len"]).unwrap();
+        assert_eq!(refs, vec![len_plain]);
+    }
+
+    #[test]
+    fn combine_orders_by_severity() {
+        assert_eq!(
+            combine([ExtentClass::Static(2), ExtentClass::Static(3)]),
+            ExtentClass::Static(5)
+        );
+        assert_eq!(
+            combine([ExtentClass::Static(2), ExtentClass::PlainDep]),
+            ExtentClass::PlainDep
+        );
+        assert_eq!(
+            combine([ExtentClass::PlainDep, ExtentClass::SelfDelim]),
+            ExtentClass::SelfDelim
+        );
+        assert_eq!(
+            combine([ExtentClass::SelfDelim, ExtentClass::WindowNeeded]),
+            ExtentClass::WindowNeeded
+        );
+    }
+}

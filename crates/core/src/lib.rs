@@ -1,0 +1,66 @@
+//! # protoobf-core
+//!
+//! Specification-based protocol obfuscation, after *"Specification-Based
+//! Protocol Obfuscation"* (Duchêne, Alata, Nicomette, Kaâniche,
+//! Le Guernic — DSN 2018).
+//!
+//! The crate implements the paper's full pipeline:
+//!
+//! 1. a protocol's message format is described as a [`graph::FormatGraph`]
+//!    (built programmatically with [`graph::GraphBuilder`] or from the DSL
+//!    in the `protoobf-spec` crate);
+//! 2. the [`engine::Obfuscator`] derives an obfuscation graph
+//!    ([`obf::ObfGraph`]) by randomly applying the paper's invertible
+//!    generic transformations ([`transform`]);
+//! 3. the resulting [`codec::Codec`] serializes and parses messages in the
+//!    obfuscated wire format, while applications keep using the **stable
+//!    accessor interface** ([`message::Message`]) keyed on plain-spec field
+//!    paths.
+//!
+//! ```
+//! use protoobf_core::graph::{Boundary, GraphBuilder};
+//! use protoobf_core::engine::Obfuscator;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = GraphBuilder::new("demo");
+//! let root = b.root_sequence("msg", Boundary::End);
+//! b.uint_be(root, "id", 2);
+//! b.uint_be(root, "code", 4);
+//! let graph = b.build()?;
+//!
+//! let codec = Obfuscator::new(&graph).seed(42).max_per_node(2).obfuscate()?;
+//! let mut msg = codec.message();
+//! msg.set_uint("id", 0x1234)?;
+//! msg.set_uint("code", 7)?;
+//! let wire = codec.serialize(&msg)?;
+//! let back = codec.parse(&wire)?;
+//! assert_eq!(back.get_uint("id")?, 0x1234);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod codec;
+pub mod dot;
+pub mod engine;
+pub mod error;
+pub mod extent;
+pub mod framing;
+pub mod graph;
+pub mod message;
+pub mod obf;
+pub mod parse;
+pub mod path;
+pub mod runtime;
+pub mod sample;
+pub mod serialize;
+pub mod transform;
+pub mod value;
+
+pub use codec::Codec;
+pub use engine::Obfuscator;
+pub use error::{BuildError, ParseError, SpecError, TransformError};
+pub use graph::{Boundary, FormatGraph, GraphBuilder, NodeId};
+pub use message::Message;
+pub use path::Path;
+pub use transform::TransformKind;
+pub use value::{ByteOp, Endian, TerminalKind, Value};

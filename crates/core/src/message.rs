@@ -1,0 +1,499 @@
+//! The accessor interface and the *intermediate AST* (paper §VI).
+//!
+//! A [`Message`] is the in-memory representation of one protocol message.
+//! Following the paper's design, it does **not** store the plain abstract
+//! syntax tree: setters run the aggregation transformations on the fly and
+//! store the already-transformed wire values of every obfuscated terminal
+//! (the "intermediate representation … after the application of aggregation
+//! transformations and before the application of ordering
+//! transformations"). Getters invert them on the fly. The interface —
+//! plain-spec field paths — is stable regardless of the obfuscation plan.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::error::BuildError;
+use crate::graph::{AutoValue, Boundary, NodeId, NodeType, StopRule};
+use crate::obf::{ObfGraph, ObfId};
+use crate::path::{self, Path};
+use crate::runtime::{self, Scope};
+use crate::value::{Endian, TerminalKind, Value};
+
+/// A message under construction (or recovered by the parser), exposing the
+/// stable setter/getter interface over plain-specification field paths.
+#[derive(Debug)]
+pub struct Message<'c> {
+    graph: &'c ObfGraph,
+    wires: HashMap<(ObfId, Scope), Value>,
+    presence: HashMap<(NodeId, Scope), bool>,
+    counts: HashMap<(NodeId, Scope), usize>,
+    rng: StdRng,
+}
+
+impl<'c> Message<'c> {
+    /// Creates an empty message for the given obfuscation graph, seeding
+    /// the share-generation RNG from the OS.
+    pub fn new(graph: &'c ObfGraph) -> Self {
+        Message::with_seed(graph, rand::random())
+    }
+
+    /// Creates an empty message with a deterministic RNG seed (reproducible
+    /// random shares and pads).
+    pub fn with_seed(graph: &'c ObfGraph, seed: u64) -> Self {
+        Message {
+            graph,
+            wires: HashMap::new(),
+            presence: HashMap::new(),
+            counts: HashMap::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    pub(crate) fn from_parts(
+        graph: &'c ObfGraph,
+        wires: HashMap<(ObfId, Scope), Value>,
+        presence: HashMap<(NodeId, Scope), bool>,
+        counts: HashMap<(NodeId, Scope), usize>,
+    ) -> Self {
+        Message { graph, wires, presence, counts, rng: StdRng::seed_from_u64(rand::random()) }
+    }
+
+    /// The obfuscation graph this message is bound to.
+    pub fn graph(&self) -> &'c ObfGraph {
+        self.graph
+    }
+
+    fn resolve(&self, path: &str) -> Result<(NodeId, Scope), BuildError> {
+        let parsed: Path =
+            path.parse().map_err(|_| BuildError::UnknownPath(path.to_string()))?;
+        let resolved = path::resolve(self.graph.plain(), &parsed)?;
+        let scope: Scope = resolved.scope.iter().map(|&i| i as u32).collect();
+        Ok((resolved.node, scope))
+    }
+
+    /// Sets a field to a byte value, applying every aggregation
+    /// transformation of the obfuscation plan on the fly.
+    ///
+    /// Setting a field inside an optional subtree marks it present; setting
+    /// `items[i]...` extends the element count of `items` to at least
+    /// `i + 1`.
+    ///
+    /// # Errors
+    ///
+    /// * [`BuildError::UnknownPath`] / [`BuildError::NotATerminal`] for bad
+    ///   paths;
+    /// * [`BuildError::AutoField`] when the field is auto-computed;
+    /// * [`BuildError::BadValueLength`], [`BuildError::IntegerOverflow`],
+    ///   [`BuildError::ValueContainsDelimiter`] for invalid values.
+    pub fn set(&mut self, path: &str, value: impl Into<Value>) -> Result<(), BuildError> {
+        let value = value.into();
+        let (x, scope) = self.resolve(path)?;
+        let plain = self.graph.plain();
+        let node = plain.node(x);
+        let kind = match node.node_type() {
+            NodeType::Terminal(k) => k,
+            _ => return Err(BuildError::NotATerminal(path.to_string())),
+        };
+        if node.auto().is_auto() {
+            return Err(BuildError::AutoField(path.to_string()));
+        }
+        if let Some(w) = kind.implied_width() {
+            if value.len() != w {
+                return Err(BuildError::BadValueLength {
+                    path: path.to_string(),
+                    expected: w,
+                    found: value.len(),
+                });
+            }
+        }
+        if let Boundary::Delimited(d) = node.boundary() {
+            if runtime::contains(value.as_bytes(), d) {
+                return Err(BuildError::ValueContainsDelimiter { path: path.to_string() });
+            }
+        }
+        self.mark_ancestors(x, &scope);
+        let holder = self
+            .graph
+            .holder_of(x)
+            .ok_or_else(|| BuildError::UnknownPath(path.to_string()))?;
+        let wires = &mut self.wires;
+        runtime::distribute(self.graph, holder, value, &scope, &mut self.rng, &mut |id, sc, v| {
+            wires.insert((id, sc), v);
+        })
+    }
+
+    /// Sets an unsigned-integer field, encoding it with the field's
+    /// declared width and byte order.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::NotNumeric`] if the field is not an unsigned integer;
+    /// [`BuildError::IntegerOverflow`] if the value does not fit.
+    pub fn set_uint(&mut self, path: &str, v: u64) -> Result<(), BuildError> {
+        let (x, _) = self.resolve(path)?;
+        let (width, endian) = self.numeric_kind(x, path)?;
+        let value = Value::from_uint(v, width, endian).ok_or(BuildError::IntegerOverflow {
+            path: path.to_string(),
+            width,
+            value: v,
+        })?;
+        self.set(path, value)
+    }
+
+    /// Sets a text field.
+    pub fn set_str(&mut self, path: &str, v: &str) -> Result<(), BuildError> {
+        self.set(path, Value::from(v))
+    }
+
+    /// Marks an optional subtree present without setting any of its fields
+    /// (useful when the subtree only contains auto-computed fields).
+    pub fn mark_present(&mut self, path: &str) -> Result<(), BuildError> {
+        let (x, scope) = self.resolve(path)?;
+        if !matches!(self.graph.plain().node(x).node_type(), NodeType::Optional(_)) {
+            return Err(BuildError::UnknownPath(format!("{path} is not an optional node")));
+        }
+        self.mark_ancestors(x, &scope);
+        self.presence.insert((x, scope), true);
+        Ok(())
+    }
+
+    /// True if the optional subtree at `path` is present.
+    pub fn is_present(&self, path: &str) -> bool {
+        match self.resolve(path) {
+            Ok((x, scope)) => *self.presence.get(&(x, scope)).unwrap_or(&false),
+            Err(_) => false,
+        }
+    }
+
+    /// Number of elements of the repetition/tabular node at `path`.
+    pub fn element_count(&self, path: &str) -> usize {
+        match self.resolve(path) {
+            Ok((x, scope)) => *self.counts.get(&(x, scope)).unwrap_or(&0),
+            Err(_) => 0,
+        }
+    }
+
+    /// Recovers a field's plain value, inverting every aggregation
+    /// transformation on the fly.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::MissingField`] if the field was never set (or, after
+    /// parsing, is inside an absent optional).
+    pub fn get(&self, path: &str) -> Result<Value, BuildError> {
+        let (x, scope) = self.resolve(path)?;
+        if !self.graph.plain().node(x).is_terminal() {
+            return Err(BuildError::NotATerminal(path.to_string()));
+        }
+        self.value_at(x, &scope)
+            .ok_or_else(|| BuildError::MissingField(path.to_string()))
+    }
+
+    /// Recovers an unsigned-integer field.
+    ///
+    /// # Errors
+    ///
+    /// As [`Message::get`], plus [`BuildError::NotNumeric`].
+    pub fn get_uint(&self, path: &str) -> Result<u64, BuildError> {
+        let (x, _) = self.resolve(path)?;
+        let (_, endian) = self.numeric_kind(x, path)?;
+        let v = self.get(path)?;
+        v.to_uint(endian).ok_or_else(|| BuildError::NotNumeric(path.to_string()))
+    }
+
+    /// Recovers a text field (lossy UTF-8).
+    ///
+    /// # Errors
+    ///
+    /// As [`Message::get`].
+    pub fn get_string(&self, path: &str) -> Result<String, BuildError> {
+        Ok(String::from_utf8_lossy(self.get(path)?.as_bytes()).into_owned())
+    }
+
+    fn numeric_kind(&self, x: NodeId, path: &str) -> Result<(usize, Endian), BuildError> {
+        match self.graph.plain().node(x).terminal_kind() {
+            Some(TerminalKind::UInt { width, endian }) => Ok((*width, *endian)),
+            _ => Err(BuildError::NotNumeric(path.to_string())),
+        }
+    }
+
+    /// Marks presence/counts for every optional / repetition / tabular
+    /// ancestor of `x` under the given scope.
+    fn mark_ancestors(&mut self, x: NodeId, scope: &[u32]) {
+        let plain = self.graph.plain();
+        let mut d = scope.len();
+        let mut cur = plain.node(x).parent();
+        while let Some(a) = cur {
+            match plain.node(a).node_type() {
+                NodeType::Repetition(_) | NodeType::Tabular => {
+                    debug_assert!(d > 0, "scope shallower than container nesting");
+                    let idx = scope[d - 1] as usize;
+                    d -= 1;
+                    let key = (a, scope[..d].to_vec());
+                    let entry = self.counts.entry(key).or_insert(0);
+                    *entry = (*entry).max(idx + 1);
+                }
+                NodeType::Optional(_) => {
+                    self.presence.insert((a, scope[..d].to_vec()), true);
+                }
+                _ => {}
+            }
+            cur = plain.node(a).parent();
+        }
+    }
+
+    /// Plain value of terminal `x` at `scope`: recovered from stored wires,
+    /// or computed for auto fields that were never materialized.
+    pub(crate) fn value_at(&self, x: NodeId, scope: &[u32]) -> Option<Value> {
+        let holder = self.graph.holder_of(x)?;
+        let recovered = runtime::recover(self.graph, holder, scope, &|id, sc| {
+            self.wires.get(&(id, sc.to_vec())).cloned()
+        });
+        if recovered.is_some() {
+            return recovered;
+        }
+        // Auto fields can be computed from structure before serialization.
+        self.auto_value(x, scope)
+    }
+
+    fn auto_value(&self, x: NodeId, scope: &[u32]) -> Option<Value> {
+        let plain = self.graph.plain();
+        let node = plain.node(x);
+        let (width, endian) = match node.terminal_kind() {
+            Some(TerminalKind::UInt { width, endian }) => (*width, *endian),
+            _ => return None,
+        };
+        let quantity = match node.auto() {
+            AutoValue::None => return None,
+            AutoValue::Literal(v) => return Some(v.clone()),
+            AutoValue::LengthOf(t) => {
+                let tscope = runtime::scoped(plain, *t, scope);
+                self.plain_len(*t, &tscope)?
+            }
+            AutoValue::CounterOf(t) => {
+                let tscope = runtime::scoped(plain, *t, scope);
+                *self.counts.get(&(*t, tscope)).unwrap_or(&0)
+            }
+        };
+        Value::from_uint(quantity as u64, width, endian)
+    }
+
+    /// Length in bytes of the **plain** serialization of the plain subtree
+    /// `p` at `scope` (delimiters and terminators included). This is the
+    /// quantity auto length fields carry, exactly as in the non-obfuscated
+    /// protocol.
+    pub(crate) fn plain_len(&self, p: NodeId, scope: &[u32]) -> Option<usize> {
+        let plain = self.graph.plain();
+        let node = plain.node(p);
+        match node.node_type() {
+            NodeType::Terminal(kind) => {
+                let body = match node.boundary() {
+                    Boundary::Fixed(k) => *k,
+                    _ => match kind.implied_width() {
+                        Some(w) => w,
+                        None => self.value_at(p, scope)?.len(),
+                    },
+                };
+                let delim = match node.boundary() {
+                    Boundary::Delimited(d) => d.len(),
+                    _ => 0,
+                };
+                Some(body + delim)
+            }
+            NodeType::Sequence => {
+                let mut total = 0;
+                for &c in node.children() {
+                    total += self.plain_len(c, scope)?;
+                }
+                Some(total)
+            }
+            NodeType::Optional(_) => {
+                if *self.presence.get(&(p, scope.to_vec())).unwrap_or(&false) {
+                    self.plain_len(node.children()[0], scope)
+                } else {
+                    Some(0)
+                }
+            }
+            NodeType::Repetition(stop) => {
+                let m = *self.counts.get(&(p, scope.to_vec())).unwrap_or(&0);
+                let mut total = 0;
+                let mut sc = scope.to_vec();
+                for i in 0..m {
+                    sc.push(i as u32);
+                    total += self.plain_len(node.children()[0], &sc)?;
+                    sc.pop();
+                }
+                if let StopRule::Terminator(t) = stop {
+                    total += t.len();
+                }
+                Some(total)
+            }
+            NodeType::Tabular => {
+                let m = *self.counts.get(&(p, scope.to_vec())).unwrap_or(&0);
+                let mut total = 0;
+                let mut sc = scope.to_vec();
+                for i in 0..m {
+                    sc.push(i as u32);
+                    total += self.plain_len(node.children()[0], &sc)?;
+                    sc.pop();
+                }
+                Some(total)
+            }
+        }
+    }
+
+    pub(crate) fn wire(&self, id: ObfId, scope: &[u32]) -> Option<&Value> {
+        self.wires.get(&(id, scope.to_vec()))
+    }
+
+    pub(crate) fn presence_of(&self, x: NodeId, scope: &[u32]) -> bool {
+        *self.presence.get(&(x, scope.to_vec())).unwrap_or(&false)
+    }
+
+    pub(crate) fn count_of(&self, x: NodeId, scope: &[u32]) -> usize {
+        *self.counts.get(&(x, scope.to_vec())).unwrap_or(&0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Condition, GraphBuilder, Predicate};
+    use crate::transform::{apply, TransformKind};
+
+    fn sample_graph() -> crate::graph::FormatGraph {
+        let mut b = GraphBuilder::new("s");
+        let root = b.root_sequence("m", Boundary::End);
+        let len = b.uint_be(root, "len", 2);
+        let data = b.terminal(root, "data", TerminalKind::Bytes, Boundary::Length(len));
+        b.set_auto(len, AutoValue::LengthOf(data));
+        let flag = b.uint_be(root, "flag", 1);
+        let opt = b.optional(
+            root,
+            "extra",
+            Condition { subject: flag, predicate: Predicate::Equals(Value::from_bytes(vec![1])) },
+        );
+        b.uint_be(opt, "extra_val", 2);
+        let count = b.uint_be(root, "count", 1);
+        let tab = b.tabular(root, "items", count);
+        b.set_auto(count, AutoValue::CounterOf(tab));
+        let item = b.sequence(tab, "item", Boundary::Delegated);
+        b.uint_be(item, "v", 2);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn set_get_roundtrip_plain() {
+        let g = ObfGraph::from_plain(&sample_graph());
+        let mut m = Message::with_seed(&g, 1);
+        m.set("data", b"abc".as_slice()).unwrap();
+        m.set_uint("flag", 0).unwrap();
+        assert_eq!(m.get("data").unwrap().as_bytes(), b"abc");
+        assert_eq!(m.get_uint("flag").unwrap(), 0);
+    }
+
+    #[test]
+    fn set_get_roundtrip_under_transforms() {
+        let mut g = ObfGraph::from_plain(&sample_graph());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let data_plain = g.plain().resolve_names(&["data"]).unwrap();
+        let holder = g.holder_of(data_plain).unwrap();
+        apply(&mut g, holder, TransformKind::SplitAdd, &mut rng).unwrap();
+        let holder2 = g.holder_of(data_plain).unwrap();
+        apply(&mut g, holder2, TransformKind::ReadFromEnd, &mut rng).unwrap();
+
+        let mut m = Message::with_seed(&g, 2);
+        m.set("data", b"obfuscate me".as_slice()).unwrap();
+        assert_eq!(m.get("data").unwrap().as_bytes(), b"obfuscate me");
+        // The stored wires are NOT the plain value (aggregation applied).
+        let stored: Vec<&Value> =
+            m.wires.values().collect();
+        assert_eq!(stored.len(), 2, "split produced two shares");
+        assert!(stored.iter().all(|v| v.as_bytes() != b"obfuscate me"));
+    }
+
+    #[test]
+    fn auto_fields_cannot_be_set_but_can_be_read() {
+        let g = ObfGraph::from_plain(&sample_graph());
+        let mut m = Message::with_seed(&g, 1);
+        assert!(matches!(m.set_uint("len", 5), Err(BuildError::AutoField(_))));
+        m.set("data", b"12345".as_slice()).unwrap();
+        assert_eq!(m.get_uint("len").unwrap(), 5);
+    }
+
+    #[test]
+    fn counter_auto_field_tracks_elements() {
+        let g = ObfGraph::from_plain(&sample_graph());
+        let mut m = Message::with_seed(&g, 1);
+        m.set_uint("items[0].v", 10).unwrap();
+        m.set_uint("items[2].v", 30).unwrap();
+        assert_eq!(m.element_count("items"), 3);
+        assert_eq!(m.get_uint("count").unwrap(), 3);
+        assert_eq!(m.get_uint("items[2].v").unwrap(), 30);
+    }
+
+    #[test]
+    fn presence_marked_by_setting_inside_optional() {
+        let g = ObfGraph::from_plain(&sample_graph());
+        let mut m = Message::with_seed(&g, 1);
+        assert!(!m.is_present("extra"));
+        m.set_uint("extra.extra_val", 7).unwrap();
+        assert!(m.is_present("extra"));
+    }
+
+    #[test]
+    fn mark_present_requires_optional() {
+        let g = ObfGraph::from_plain(&sample_graph());
+        let mut m = Message::with_seed(&g, 1);
+        assert!(m.mark_present("extra").is_ok());
+        assert!(m.mark_present("flag").is_err());
+    }
+
+    #[test]
+    fn value_validation() {
+        let g = ObfGraph::from_plain(&sample_graph());
+        let mut m = Message::with_seed(&g, 1);
+        assert!(matches!(
+            m.set("flag", b"toolong".as_slice()),
+            Err(BuildError::BadValueLength { .. })
+        ));
+        assert!(matches!(
+            m.set_uint("flag", 300),
+            Err(BuildError::IntegerOverflow { .. })
+        ));
+        assert!(matches!(m.set_uint("data", 1), Err(BuildError::NotNumeric(_))));
+        assert!(matches!(m.get("nope"), Err(BuildError::UnknownPath(_))));
+        assert!(matches!(m.get("data"), Err(BuildError::MissingField(_))));
+    }
+
+    #[test]
+    fn plain_len_counts_delimiters_and_elements() {
+        let mut b = GraphBuilder::new("d");
+        let root = b.root_sequence("m", Boundary::End);
+        b.terminal(root, "word", TerminalKind::Ascii, Boundary::Delimited(b" ".to_vec()));
+        b.uint_be(root, "n", 2);
+        let plain = b.build().unwrap();
+        let g = ObfGraph::from_plain(&plain);
+        let mut m = Message::with_seed(&g, 1);
+        m.set_str("word", "GET").unwrap();
+        m.set_uint("n", 9).unwrap();
+        let root_id = plain.root();
+        assert_eq!(m.plain_len(root_id, &[]), Some(3 + 1 + 2));
+    }
+
+    #[test]
+    fn delimiter_containment_rejected() {
+        let mut b = GraphBuilder::new("d");
+        let root = b.root_sequence("m", Boundary::End);
+        b.terminal(root, "word", TerminalKind::Ascii, Boundary::Delimited(b" ".to_vec()));
+        b.uint_be(root, "n", 2);
+        let g = ObfGraph::from_plain(&b.build().unwrap());
+        let mut m = Message::with_seed(&g, 1);
+        assert!(matches!(
+            m.set_str("word", "two words"),
+            Err(BuildError::ValueContainsDelimiter { .. })
+        ));
+    }
+}

@@ -1,0 +1,309 @@
+//! Field paths: the stable addressing scheme of the accessor interface.
+//!
+//! A path names a terminal (or subtree) of the **plain** specification, e.g.
+//! `pdu.write_multiple.values[3].value`. Indices select elements of
+//! repetition/tabular nodes. Paths are what the generated setters/getters
+//! are keyed on, and they never change when the obfuscation plan changes —
+//! the paper's "stable interface" requirement (§VI).
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::BuildError;
+use crate::graph::{FormatGraph, NodeId, NodeType};
+
+/// One path segment: a child name plus an optional element index.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Segment {
+    /// Node name.
+    pub name: String,
+    /// Element index when the named node is a repetition/tabular.
+    pub index: Option<usize>,
+}
+
+impl Segment {
+    /// Plain segment without an index.
+    pub fn named(name: impl Into<String>) -> Self {
+        Segment { name: name.into(), index: None }
+    }
+
+    /// Indexed segment (`name[i]`).
+    pub fn indexed(name: impl Into<String>, index: usize) -> Self {
+        Segment { name: name.into(), index: Some(index) }
+    }
+}
+
+impl fmt::Display for Segment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.index {
+            Some(i) => write!(f, "{}[{}]", self.name, i),
+            None => write!(f, "{}", self.name),
+        }
+    }
+}
+
+/// A dotted field path.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Path {
+    segments: Vec<Segment>,
+}
+
+impl Path {
+    /// The empty path (addresses the root).
+    pub fn root() -> Self {
+        Path { segments: Vec::new() }
+    }
+
+    /// Builds a path from segments.
+    pub fn from_segments(segments: Vec<Segment>) -> Self {
+        Path { segments }
+    }
+
+    /// Path segments.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// True for the root path.
+    pub fn is_root(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Returns a new path with `segment` appended.
+    pub fn child(&self, segment: Segment) -> Path {
+        let mut segments = self.segments.clone();
+        segments.push(segment);
+        Path { segments }
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.segments.iter().enumerate() {
+            if i > 0 {
+                write!(f, ".")?;
+            }
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error produced when parsing a path string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePathError {
+    text: String,
+    reason: &'static str,
+}
+
+impl fmt::Display for ParsePathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid path {:?}: {}", self.text, self.reason)
+    }
+}
+
+impl std::error::Error for ParsePathError {}
+
+impl FromStr for Path {
+    type Err = ParsePathError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = |reason| ParsePathError { text: s.to_string(), reason };
+        if s.is_empty() {
+            return Ok(Path::root());
+        }
+        let mut segments = Vec::new();
+        for part in s.split('.') {
+            if part.is_empty() {
+                return Err(err("empty segment"));
+            }
+            if let Some(open) = part.find('[') {
+                if !part.ends_with(']') {
+                    return Err(err("unterminated index"));
+                }
+                let name = &part[..open];
+                let idx = &part[open + 1..part.len() - 1];
+                if name.is_empty() {
+                    return Err(err("empty segment name"));
+                }
+                let index: usize = idx.parse().map_err(|_| err("index is not a number"))?;
+                segments.push(Segment::indexed(name, index));
+            } else {
+                segments.push(Segment::named(part));
+            }
+        }
+        Ok(Path { segments })
+    }
+}
+
+/// Result of resolving a path against a plain graph: the target node and
+/// the element-index *scope* accumulated along repetition/tabular
+/// ancestors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Resolved {
+    /// The plain node the path addresses.
+    pub node: NodeId,
+    /// Element indices of every repetition/tabular crossed, outermost
+    /// first. This is the instance scope used by the message store.
+    pub scope: Vec<usize>,
+}
+
+/// Resolves `path` against `graph`, checking indices appear exactly on
+/// repetition/tabular nodes.
+///
+/// Optional nodes are transparent wrappers: naming the optional resolves to
+/// it, and the next segment matches either its child directly or the
+/// child's own children (so `pdu.read_coils.start` works whether or not the
+/// intermediate body sequence is named in the path).
+///
+/// # Errors
+///
+/// Returns [`BuildError::UnknownPath`] when a segment does not match.
+pub fn resolve(graph: &FormatGraph, path: &Path) -> Result<Resolved, BuildError> {
+    let mut cur = graph.root();
+    let mut scope = Vec::new();
+    let mut segments = path.segments().iter().peekable();
+    // Allow the first segment to name the root itself.
+    if let Some(first) = segments.peek() {
+        if first.name == graph.node(cur).name() && first.index.is_none() {
+            segments.next();
+        }
+    }
+    for seg in segments {
+        cur = descend(graph, cur, seg, &mut scope)
+            .ok_or_else(|| BuildError::UnknownPath(path.to_string()))?;
+    }
+    Ok(Resolved { node: cur, scope })
+}
+
+fn descend(
+    graph: &FormatGraph,
+    at: NodeId,
+    seg: &Segment,
+    scope: &mut Vec<usize>,
+) -> Option<NodeId> {
+    let node = graph.node(at);
+    match node.node_type() {
+        NodeType::Sequence => {
+            let child =
+                node.children().iter().copied().find(|&c| graph.node(c).name() == seg.name)?;
+            enter(graph, child, seg, scope)
+        }
+        NodeType::Optional(_) | NodeType::Repetition(_) | NodeType::Tabular => {
+            // Wrapper already entered; look in its single child.
+            let child = *node.children().first()?;
+            if graph.node(child).name() == seg.name {
+                enter(graph, child, seg, scope)
+            } else {
+                descend(graph, child, seg, scope)
+            }
+        }
+        NodeType::Terminal(_) => None,
+    }
+}
+
+/// Handles index bookkeeping when stepping onto `node`.
+fn enter(
+    graph: &FormatGraph,
+    node: NodeId,
+    seg: &Segment,
+    scope: &mut Vec<usize>,
+) -> Option<NodeId> {
+    let is_elem_container =
+        matches!(graph.node(node).node_type(), NodeType::Repetition(_) | NodeType::Tabular);
+    match (is_elem_container, seg.index) {
+        (true, Some(i)) => {
+            scope.push(i);
+            Some(node)
+        }
+        (true, None) => Some(node), // addressing the container itself
+        (false, None) => Some(node),
+        (false, Some(_)) => None, // index on a non-repeated node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{AutoValue, Boundary, GraphBuilder};
+    use crate::value::TerminalKind;
+
+    fn graph_with_tabular() -> FormatGraph {
+        let mut b = GraphBuilder::new("t");
+        let root = b.root_sequence("m", Boundary::End);
+        let count = b.uint_be(root, "count", 1);
+        let tab = b.tabular(root, "items", count);
+        b.set_auto(count, AutoValue::CounterOf(tab));
+        let item = b.sequence(tab, "item", Boundary::Delegated);
+        b.uint_be(item, "addr", 2);
+        b.terminal(item, "data", TerminalKind::Bytes, Boundary::Fixed(2));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for text in ["a", "a.b", "items[3].addr", "a.b[0].c[12].d"] {
+            let p: Path = text.parse().unwrap();
+            assert_eq!(p.to_string(), text);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_paths() {
+        assert!("a..b".parse::<Path>().is_err());
+        assert!("a[".parse::<Path>().is_err());
+        assert!("a[x]".parse::<Path>().is_err());
+        assert!("[3]".parse::<Path>().is_err());
+        assert!("a.".parse::<Path>().is_err());
+    }
+
+    #[test]
+    fn empty_string_is_root() {
+        let p: Path = "".parse().unwrap();
+        assert!(p.is_root());
+    }
+
+    #[test]
+    fn resolve_indexed_element_field() {
+        let g = graph_with_tabular();
+        let r = resolve(&g, &"items[2].addr".parse().unwrap()).unwrap();
+        assert_eq!(g.node(r.node).name(), "addr");
+        assert_eq!(r.scope, vec![2]);
+    }
+
+    #[test]
+    fn resolve_skips_transparent_element_name() {
+        let g = graph_with_tabular();
+        // The element sequence "item" may be named or skipped.
+        let a = resolve(&g, &"items[0].item.addr".parse().unwrap()).unwrap();
+        let b = resolve(&g, &"items[0].addr".parse().unwrap()).unwrap();
+        assert_eq!(a.node, b.node);
+        assert_eq!(a.scope, b.scope);
+    }
+
+    #[test]
+    fn resolve_root_prefix_optional() {
+        let g = graph_with_tabular();
+        let a = resolve(&g, &"m.count".parse().unwrap()).unwrap();
+        let b = resolve(&g, &"count".parse().unwrap()).unwrap();
+        assert_eq!(a.node, b.node);
+    }
+
+    #[test]
+    fn resolve_rejects_index_on_scalar() {
+        let g = graph_with_tabular();
+        assert!(resolve(&g, &"count[0]".parse().unwrap()).is_err());
+    }
+
+    #[test]
+    fn resolve_rejects_unknown_name() {
+        let g = graph_with_tabular();
+        assert!(resolve(&g, &"bogus".parse().unwrap()).is_err());
+    }
+
+    #[test]
+    fn child_appends() {
+        let p = Path::root().child(Segment::named("a")).child(Segment::indexed("b", 1));
+        assert_eq!(p.to_string(), "a.b[1]");
+    }
+}

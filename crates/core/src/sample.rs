@@ -1,0 +1,298 @@
+//! Random message sampling for any specification.
+//!
+//! Generates structurally valid messages for arbitrary format graphs:
+//! useful for demos, fuzzing and experiments on user-supplied
+//! specifications (protocol-specific generators, like the Modbus/HTTP core
+//! applications, produce more realistic values).
+
+use rand::Rng;
+
+use crate::codec::Codec;
+use crate::graph::{Boundary, FormatGraph, NodeId, NodeType};
+use crate::message::Message;
+use crate::value::{TerminalKind, Value};
+
+/// Builds a random, structurally valid message for `codec`'s plain
+/// specification.
+///
+/// * fixed-width fields get random bytes/integers;
+/// * delimited fields get short alphanumeric strings free of their
+///   delimiter;
+/// * optional presence follows the (random) value of the condition
+///   subject;
+/// * repetitions/tabulars get 0–3 elements, with user-set counter fields
+///   kept consistent.
+pub fn random_message<'c, R: Rng + ?Sized>(codec: &'c Codec, rng: &mut R) -> Message<'c> {
+    let mut msg = codec.message_seeded(rng.gen());
+    let plain = codec.plain();
+    let mut set_paths = std::collections::HashMap::new();
+    fill(plain, plain.root(), &mut msg, String::new(), rng, &mut set_paths);
+    msg
+}
+
+fn join(prefix: &str, name: &str) -> String {
+    if prefix.is_empty() {
+        name.to_string()
+    } else {
+        format!("{prefix}.{name}")
+    }
+}
+
+fn fill<R: Rng + ?Sized>(
+    plain: &FormatGraph,
+    id: NodeId,
+    msg: &mut Message<'_>,
+    path: String,
+    rng: &mut R,
+    set_paths: &mut std::collections::HashMap<NodeId, String>,
+) {
+    let node = plain.node(id);
+    match node.node_type() {
+        NodeType::Terminal(kind) => {
+            if node.auto().is_auto() {
+                return; // serializer computes these
+            }
+            // Tabular counters that are user-set were already written by
+            // the tabular handler; don't overwrite them.
+            if msg.get(&path).is_ok() {
+                return;
+            }
+            let value = random_value(plain, id, kind, rng);
+            msg.set(&path, value).expect("generated value satisfies the field constraints");
+            set_paths.insert(id, path);
+        }
+        NodeType::Sequence => {
+            for &c in node.children() {
+                let p = join(&path, plain.node(c).name());
+                fill(plain, c, msg, p, rng, set_paths);
+            }
+        }
+        NodeType::Optional(cond) => {
+            // Presence must follow the subject's (already set) value. The
+            // subject is in a scope-prefix of this optional (validated), so
+            // its most recently set concrete instance is the right one.
+            let present = set_paths
+                .get(&cond.subject)
+                .and_then(|p| msg.get(p).ok())
+                .map(|v| cond.predicate.eval(&v))
+                .unwrap_or(false);
+            if present {
+                let child = node.children()[0];
+                msg.mark_present(&path).expect("optional path resolves");
+                let p = join(&path, plain.node(child).name());
+                fill(plain, child, msg, p, rng, set_paths);
+            }
+        }
+        NodeType::Repetition(_) | NodeType::Tabular => {
+            let count = rng.gen_range(0..=3usize);
+            if let (NodeType::Tabular, Boundary::Counter(c)) = (node.node_type(), node.boundary())
+            {
+                // A user-set counter must agree with the element count; the
+                // counter's concrete instance path was recorded when it was
+                // first filled (scope-prefix of this tabular).
+                if !plain.node(*c).auto().is_auto() {
+                    let cpath = set_paths
+                        .get(c)
+                        .cloned()
+                        .unwrap_or_else(|| path_of(plain, *c));
+                    if let Some(TerminalKind::UInt { width, endian }) =
+                        plain.node(*c).terminal_kind().cloned()
+                    {
+                        let v = Value::from_uint(count as u64, width, endian)
+                            .expect("small count fits");
+                        msg.set(&cpath, v).expect("counter path resolves");
+                        set_paths.insert(*c, cpath);
+                    }
+                }
+            }
+            let child = node.children()[0];
+            for i in 0..count {
+                let p = format!("{path}[{i}].{}", plain.node(child).name());
+                fill(plain, child, msg, p, rng, set_paths);
+            }
+        }
+    }
+}
+
+/// Dotted path of a node from the root (skipping the root name).
+fn path_of(plain: &FormatGraph, id: NodeId) -> String {
+    let mut parts = vec![plain.node(id).name().to_string()];
+    let mut cur = plain.node(id).parent();
+    while let Some(p) = cur {
+        if plain.node(p).parent().is_none() {
+            break;
+        }
+        parts.push(plain.node(p).name().to_string());
+        cur = plain.node(p).parent();
+    }
+    parts.reverse();
+    parts.join(".")
+}
+
+fn random_value<R: Rng + ?Sized>(
+    plain: &FormatGraph,
+    id: NodeId,
+    kind: &TerminalKind,
+    rng: &mut R,
+) -> Value {
+    let node = plain.node(id);
+    match (kind, node.boundary()) {
+        (TerminalKind::UInt { width, endian }, _) => {
+            let max = if *width >= 8 { u64::MAX } else { (1u64 << (8 * width)) - 1 };
+            Value::from_uint(rng.gen_range(0..=max), *width, *endian).expect("in range")
+        }
+        (_, Boundary::Fixed(k)) => {
+            Value::from_bytes((0..*k).map(|_| rng.gen()).collect::<Vec<u8>>())
+        }
+        (_, Boundary::Delimited(delim)) => {
+            // Alphanumeric text that cannot contain the delimiter.
+            const CHARSET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
+            let safe: Vec<u8> =
+                CHARSET.iter().copied().filter(|b| !delim.contains(b)).collect();
+            let len = rng.gen_range(0..12usize);
+            Value::from_bytes(
+                (0..len).map(|_| safe[rng.gen_range(0..safe.len())]).collect::<Vec<u8>>(),
+            )
+        }
+        (_, Boundary::Length(_)) | (_, Boundary::End) => {
+            let len = rng.gen_range(0..24usize);
+            Value::from_bytes((0..len).map(|_| rng.gen()).collect::<Vec<u8>>())
+        }
+        _ => Value::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Obfuscator;
+    use crate::graph::{AutoValue, Condition, GraphBuilder, Predicate, StopRule};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rich() -> FormatGraph {
+        let mut b = GraphBuilder::new("rich");
+        let root = b.root_sequence("m", Boundary::End);
+        let len = b.uint_be(root, "len", 2);
+        let data = b.terminal(root, "data", TerminalKind::Bytes, Boundary::Length(len));
+        b.set_auto(len, AutoValue::LengthOf(data));
+        let flag = b.uint_be(root, "flag", 1);
+        let opt = b.optional(
+            root,
+            "extra",
+            Condition {
+                subject: flag,
+                predicate: Predicate::OneOf(
+                    (0..128u8).map(|v| Value::from_bytes(vec![v])).collect(),
+                ),
+            },
+        );
+        b.uint_be(opt, "ev", 2);
+        let count = b.uint_be(root, "count", 1);
+        let tab = b.tabular(root, "items", count);
+        b.uint_be(tab, "item", 2);
+        // NB: count is user-set (not auto) — the sampler must keep it
+        // consistent with the element count.
+        let _ = count;
+        let rep = b.repetition(
+            root,
+            "words",
+            StopRule::Terminator(b"|".to_vec()),
+            Boundary::Delegated,
+        );
+        b.terminal(rep, "w", TerminalKind::Ascii, Boundary::Delimited(b";".to_vec()));
+        b.terminal(root, "tail", TerminalKind::Bytes, Boundary::End);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn random_messages_roundtrip_plain() {
+        let g = rich();
+        let codec = Codec::identity(&g);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..40 {
+            let msg = random_message(&codec, &mut rng);
+            let wire = codec.serialize_seeded(&msg, 1).unwrap();
+            let back = codec.parse(&wire).unwrap();
+            assert_eq!(back.get("tail").unwrap(), msg.get("tail").unwrap());
+            assert_eq!(back.element_count("items"), msg.element_count("items"));
+        }
+    }
+
+    #[test]
+    fn random_messages_roundtrip_obfuscated() {
+        let g = rich();
+        for seed in 0..6u64 {
+            let codec = Obfuscator::new(&g).seed(seed).max_per_node(2).obfuscate().unwrap();
+            let mut rng = StdRng::seed_from_u64(seed + 9);
+            for _ in 0..10 {
+                let msg = random_message(&codec, &mut rng);
+                let wire = codec.serialize_seeded(&msg, seed).unwrap();
+                let back = codec.parse(&wire).unwrap();
+                assert_eq!(back.get("data").unwrap(), msg.get("data").unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn sampler_respects_optional_condition() {
+        let g = rich();
+        let codec = Codec::identity(&g);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen_present = false;
+        let mut seen_absent = false;
+        for _ in 0..60 {
+            let msg = random_message(&codec, &mut rng);
+            let flag = msg.get_uint("flag").unwrap();
+            assert_eq!(msg.is_present("extra"), flag < 128);
+            seen_present |= msg.is_present("extra");
+            seen_absent |= !msg.is_present("extra");
+            // Must serialize without optional-mismatch errors.
+            codec.serialize_seeded(&msg, 1).unwrap();
+        }
+        assert!(seen_present && seen_absent, "both branches exercised");
+    }
+
+    #[test]
+    fn sampler_keeps_user_counters_consistent() {
+        let g = rich();
+        let codec = Codec::identity(&g);
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..20 {
+            let msg = random_message(&codec, &mut rng);
+            assert_eq!(
+                msg.get_uint("count").unwrap() as usize,
+                msg.element_count("items")
+            );
+        }
+    }
+
+    #[test]
+    fn works_on_embedded_protocol_specs() {
+        // The sampler must handle arbitrary validated specs, including the
+        // shipped ones.
+        let spec = r#"
+            message T {
+                ascii method until " ";
+                ascii uri until " ";
+                bytes body rest;
+            }
+        "#;
+        // Parse through the builder API equivalent: use spec crate in
+        // integration tests; here build manually.
+        let mut b = GraphBuilder::new("T");
+        let root = b.root_sequence("t", Boundary::End);
+        b.terminal(root, "method", TerminalKind::Ascii, Boundary::Delimited(b" ".to_vec()));
+        b.terminal(root, "uri", TerminalKind::Ascii, Boundary::Delimited(b" ".to_vec()));
+        b.terminal(root, "body", TerminalKind::Bytes, Boundary::End);
+        let g = b.build().unwrap();
+        let _ = spec;
+        let codec = Codec::identity(&g);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10 {
+            let msg = random_message(&codec, &mut rng);
+            let wire = codec.serialize_seeded(&msg, 3).unwrap();
+            codec.parse(&wire).unwrap();
+        }
+    }
+}

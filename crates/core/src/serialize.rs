@@ -1,0 +1,494 @@
+//! The obfuscating serializer.
+//!
+//! Serialization walks the obfuscation graph depth-first, exactly as the
+//! paper's generated serializer does: aggregation transformations were
+//! already applied by the setters (the wire values live in the
+//! [`Message`]), and the **ordering** transformations — child permutations,
+//! split tabulars, mirrors, length prefixes, pads — are executed on the
+//! fly during the traversal. Auto-computed fields (lengths, counters) are
+//! evaluated here, because only the complete message determines them.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::error::BuildError;
+use crate::message::Message;
+use crate::obf::{Base, ObfGraph, ObfId, ObfKind, RepStop, SeqBoundary, TermBoundary};
+use crate::runtime::{self, Scope};
+use crate::value::{TerminalKind, Value};
+
+/// Serializes `msg` into the obfuscated wire format.
+///
+/// Random material (pads, shares of auto-field splits) is drawn from an
+/// OS-seeded RNG; use [`serialize_seeded`] for reproducible output.
+///
+/// # Errors
+///
+/// [`BuildError`] when required fields are missing, lengths/counters are
+/// inconsistent, or derived values overflow their width.
+pub fn serialize(g: &ObfGraph, msg: &Message<'_>) -> Result<Vec<u8>, BuildError> {
+    serialize_seeded(g, msg, rand::random())
+}
+
+/// Serializes with a deterministic RNG seed for the serialization-time
+/// random material.
+///
+/// # Errors
+///
+/// See [`serialize`].
+pub fn serialize_seeded(g: &ObfGraph, msg: &Message<'_>, seed: u64) -> Result<Vec<u8>, BuildError> {
+    let mut ctx = Ctx { g, msg, overlay: HashMap::new(), rng: StdRng::seed_from_u64(seed) };
+    let mut scope = Vec::new();
+    ctx.emit(g.root(), &mut scope)
+}
+
+struct Ctx<'a, 'c> {
+    g: &'a ObfGraph,
+    msg: &'a Message<'c>,
+    /// Wire values computed at serialization time (auto-field subtrees,
+    /// pads) — never stored back into the message.
+    overlay: HashMap<(ObfId, Scope), Value>,
+    rng: StdRng,
+}
+
+impl<'a, 'c> Ctx<'a, 'c> {
+    fn emit(&mut self, id: ObfId, scope: &mut Scope) -> Result<Vec<u8>, BuildError> {
+        let node = self.g.node(id);
+        match &node.kind {
+            ObfKind::Terminal { base, boundary, .. } => {
+                let wire = self.wire_of(id, base, scope)?;
+                let mut out = wire.into_bytes();
+                if let TermBoundary::Delimited(d) = boundary {
+                    out.extend_from_slice(d);
+                }
+                Ok(out)
+            }
+            ObfKind::SplitSeq { expr, .. } => {
+                self.materialize_if_needed(id, &expr.base, scope)?;
+                let mut out = Vec::new();
+                for &c in node.children() {
+                    out.extend_from_slice(&self.emit(c, scope)?);
+                }
+                Ok(out)
+            }
+            ObfKind::Sequence { boundary } => {
+                let mut out = Vec::new();
+                for &c in node.children() {
+                    out.extend_from_slice(&self.emit(c, scope)?);
+                }
+                match boundary {
+                    SeqBoundary::Fixed(k) => {
+                        if out.len() != *k {
+                            return Err(BuildError::LengthInconsistent {
+                                path: node.name().to_string(),
+                                declared: *k as u64,
+                                actual: out.len() as u64,
+                            });
+                        }
+                    }
+                    SeqBoundary::PlainLen(p) => {
+                        let declared = self.ref_uint_of(*p, scope)?;
+                        if declared != out.len() as u64 {
+                            return Err(BuildError::LengthInconsistent {
+                                path: node.name().to_string(),
+                                declared,
+                                actual: out.len() as u64,
+                            });
+                        }
+                    }
+                    SeqBoundary::Delegated | SeqBoundary::End => {}
+                }
+                Ok(out)
+            }
+            ObfKind::Optional { condition } => {
+                let origin = node.origin().expect("optionals always have plain origins");
+                let oscope = runtime::scoped(self.g.plain(), origin, scope);
+                let present = self.msg.presence_of(origin, &oscope);
+                let subject_scope =
+                    runtime::scoped(self.g.plain(), condition.subject, scope);
+                let subject = self
+                    .msg
+                    .value_at(condition.subject, &subject_scope)
+                    .ok_or_else(|| BuildError::MissingField(
+                        self.g.plain().node(condition.subject).name().to_string(),
+                    ))?;
+                let implied = condition.predicate.eval(&subject);
+                if implied != present {
+                    return Err(BuildError::OptionalMismatch {
+                        path: node.name().to_string(),
+                        detail: format!(
+                            "condition on {:?} implies present={implied} but message says {present}",
+                            self.g.plain().node(condition.subject).name()
+                        ),
+                    });
+                }
+                if present {
+                    self.emit(node.children()[0], scope)
+                } else {
+                    Ok(Vec::new())
+                }
+            }
+            ObfKind::Repetition { stop } => {
+                let origin = node.origin().expect("repetitions always have plain origins");
+                let oscope = runtime::scoped(self.g.plain(), origin, scope);
+                let m = self.msg.count_of(origin, &oscope);
+                let mut out = Vec::new();
+                for i in 0..m {
+                    scope.push(i as u32);
+                    let piece = self.emit(node.children()[0], scope);
+                    scope.pop();
+                    out.extend_from_slice(&piece?);
+                }
+                if let RepStop::Terminator(t) = stop {
+                    out.extend_from_slice(t);
+                }
+                Ok(out)
+            }
+            ObfKind::Tabular { counter } => {
+                let origin = node.origin().expect("tabulars always have plain origins");
+                let oscope = runtime::scoped(self.g.plain(), origin, scope);
+                let m = self.msg.count_of(origin, &oscope);
+                let declared = self.ref_uint_of_counter(*counter, scope)?;
+                if declared != m as u64 {
+                    return Err(BuildError::LengthInconsistent {
+                        path: node.name().to_string(),
+                        declared,
+                        actual: m as u64,
+                    });
+                }
+                let mut out = Vec::new();
+                for i in 0..m {
+                    scope.push(i as u32);
+                    let piece = self.emit(node.children()[0], scope);
+                    scope.pop();
+                    out.extend_from_slice(&piece?);
+                }
+                Ok(out)
+            }
+            ObfKind::Mirror => {
+                let mut out = self.emit(node.children()[0], scope)?;
+                out.reverse();
+                Ok(out)
+            }
+            ObfKind::Prefixed { width, endian } => {
+                let body = self.emit(node.children()[0], scope)?;
+                let prefix = Value::from_uint(body.len() as u64, *width, *endian).ok_or(
+                    BuildError::DerivedOverflow {
+                        path: node.name().to_string(),
+                        width: *width,
+                        value: body.len() as u64,
+                    },
+                )?;
+                let mut out = prefix.into_bytes();
+                out.extend_from_slice(&body);
+                Ok(out)
+            }
+        }
+    }
+
+    /// The wire value of a terminal: from the serialization overlay (auto
+    /// subtrees), the message (set-time aggregation / parsed wires), or
+    /// generated on the spot (pads).
+    ///
+    /// Auto-computed bases are **always** rematerialized: a parsed message
+    /// may have been mutated through the accessors, so stored length/count
+    /// wires can be stale. Pads reuse stored wires (their value is
+    /// irrelevant but reuse keeps re-serialization stable).
+    fn wire_of(&mut self, id: ObfId, base: &Base, scope: &[u32]) -> Result<Value, BuildError> {
+        if let Some(v) = self.overlay.get(&(id, scope.to_vec())) {
+            return Ok(v.clone());
+        }
+        match base {
+            Base::AutoLen(_) | Base::AutoCount(_) | Base::Const(_) => {
+                self.materialize_auto(id, base, scope)?;
+                return self
+                    .overlay
+                    .get(&(id, scope.to_vec()))
+                    .cloned()
+                    .ok_or_else(|| BuildError::MissingField(self.g.node(id).name().to_string()));
+            }
+            Base::Pad(_) | Base::Source(_) | Base::Inherit => {}
+        }
+        if let Some(v) = self.msg.wire(id, scope) {
+            return Ok(v.clone());
+        }
+        match base {
+            Base::Pad(k) => {
+                let bytes: Vec<u8> = (0..*k).map(|_| rand::Rng::gen(&mut self.rng)).collect();
+                Ok(Value::from_bytes(bytes))
+            }
+            Base::Source(x) => Err(BuildError::MissingField(
+                self.g.plain().node(*x).name().to_string(),
+            )),
+            Base::Inherit | Base::AutoLen(_) | Base::AutoCount(_) | Base::Const(_) => {
+                Err(BuildError::MissingField(self.g.node(id).name().to_string()))
+            }
+        }
+    }
+
+    /// When a split sequence's base is auto-computed (or a pad), its
+    /// children's wires are not in the message: distribute them into the
+    /// overlay now. Auto bases always rematerialize (stored wires may be
+    /// stale after mutation); split pads reuse stored wires when present.
+    fn materialize_if_needed(
+        &mut self,
+        id: ObfId,
+        base: &Base,
+        scope: &[u32],
+    ) -> Result<(), BuildError> {
+        match base {
+            Base::AutoLen(_) | Base::AutoCount(_) | Base::Const(_) => {
+                self.materialize_auto(id, base, scope)
+            }
+            Base::Pad(_) => {
+                let stored = self
+                    .g
+                    .subtree(id)
+                    .into_iter()
+                    .find(|&n| self.g.node(n).is_terminal())
+                    .map(|t| self.msg.wire(t, scope).is_some())
+                    .unwrap_or(false);
+                if stored {
+                    Ok(())
+                } else {
+                    self.materialize_auto(id, base, scope)
+                }
+            }
+            Base::Source(_) | Base::Inherit => Ok(()),
+        }
+    }
+
+    fn materialize_auto(
+        &mut self,
+        id: ObfId,
+        base: &Base,
+        scope: &[u32],
+    ) -> Result<(), BuildError> {
+        if self.overlay.contains_key(&(id, scope.to_vec()))
+            || self
+                .g
+                .node(id)
+                .children()
+                .first()
+                .map(|&c| self.overlay.contains_key(&(c, scope.to_vec())))
+                .unwrap_or(false)
+        {
+            return Ok(());
+        }
+        let raw = match base {
+            Base::AutoLen(t) => {
+                let tscope = runtime::scoped(self.g.plain(), *t, scope);
+                let len = self.msg.plain_len(*t, &tscope).ok_or_else(|| {
+                    BuildError::MissingField(self.g.plain().node(*t).name().to_string())
+                })?;
+                self.encode_auto(id, len as u64)?
+            }
+            Base::AutoCount(t) => {
+                let tscope = runtime::scoped(self.g.plain(), *t, scope);
+                let count = self.msg.count_of(*t, &tscope);
+                self.encode_auto(id, count as u64)?
+            }
+            Base::Pad(k) => {
+                Value::from_bytes((0..*k).map(|_| rand::Rng::gen(&mut self.rng)).collect::<Vec<u8>>())
+            }
+            Base::Const(v) => v.clone(),
+            _ => unreachable!("materialize_auto only handles auto/pad/const bases"),
+        };
+        let overlay = &mut self.overlay;
+        runtime::distribute(self.g, id, raw, scope, &mut self.rng, &mut |nid, sc, v| {
+            overlay.insert((nid, sc), v);
+        })
+    }
+
+    /// Encodes an auto quantity with the width/endian of the obf terminal
+    /// (or of the split expression's original terminal kind).
+    fn encode_auto(&self, id: ObfId, quantity: u64) -> Result<Value, BuildError> {
+        let (width, endian) = self.auto_encoding(id);
+        Value::from_uint(quantity, width, endian).ok_or(BuildError::DerivedOverflow {
+            path: self.g.node(id).name().to_string(),
+            width,
+            value: quantity,
+        })
+    }
+
+    fn auto_encoding(&self, id: ObfId) -> (usize, crate::value::Endian) {
+        // Walk to the original terminal kind: either this node is the
+        // terminal, or it is a SplitSeq whose origin terminal kind was
+        // preserved on the plain graph.
+        if let ObfKind::Terminal { kind: TerminalKind::UInt { width, endian }, .. } =
+            &self.g.node(id).kind
+        {
+            return (*width, *endian);
+        }
+        if let Some(origin) = self.g.node(id).origin() {
+            if let Some(TerminalKind::UInt { width, endian }) =
+                self.g.plain().node(origin).terminal_kind()
+            {
+                return (*width, *endian);
+            }
+        }
+        // Fallback: 8-byte big-endian (never reached for validated specs).
+        (8, crate::value::Endian::Big)
+    }
+
+    /// Plain value of the `Length` reference of plain node `p`, as an
+    /// unsigned integer.
+    fn ref_uint_of(&self, p: crate::graph::NodeId, scope: &[u32]) -> Result<u64, BuildError> {
+        let r = self
+            .g
+            .plain()
+            .node(p)
+            .boundary()
+            .reference()
+            .expect("PlainLen sequences have Length boundaries");
+        self.decode_plain_uint(r, scope)
+    }
+
+    fn ref_uint_of_counter(
+        &self,
+        counter: crate::graph::NodeId,
+        scope: &[u32],
+    ) -> Result<u64, BuildError> {
+        self.decode_plain_uint(counter, scope)
+    }
+
+    fn decode_plain_uint(
+        &self,
+        x: crate::graph::NodeId,
+        scope: &[u32],
+    ) -> Result<u64, BuildError> {
+        let xscope = runtime::scoped(self.g.plain(), x, scope);
+        let v = self
+            .msg
+            .value_at(x, &xscope)
+            .ok_or_else(|| BuildError::MissingField(self.g.plain().node(x).name().to_string()))?;
+        let endian = match self.g.plain().node(x).terminal_kind() {
+            Some(TerminalKind::UInt { endian, .. }) => *endian,
+            _ => crate::value::Endian::Big,
+        };
+        v.to_uint(endian)
+            .ok_or_else(|| BuildError::NotNumeric(self.g.plain().node(x).name().to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{AutoValue, Boundary, Condition, GraphBuilder, Predicate, StopRule};
+    use crate::value::TerminalKind;
+
+    fn modbus_mini() -> ObfGraph {
+        let mut b = GraphBuilder::new("mb");
+        let root = b.root_sequence("frame", Boundary::End);
+        let _tid = b.uint_be(root, "tid", 2);
+        let len = b.uint_be(root, "len", 2);
+        let pdu = b.sequence(root, "pdu", Boundary::Delegated);
+        b.set_auto(len, AutoValue::LengthOf(pdu));
+        let func = b.uint_be(pdu, "func", 1);
+        let wr = b.optional(
+            pdu,
+            "write",
+            Condition { subject: func, predicate: Predicate::Equals(Value::from_bytes(vec![6])) },
+        );
+        let wbody = b.sequence(wr, "write_body", Boundary::Delegated);
+        b.uint_be(wbody, "addr", 2);
+        b.uint_be(wbody, "value", 2);
+        ObfGraph::from_plain(&b.build().unwrap())
+    }
+
+    #[test]
+    fn plain_serialization_matches_classic_wire_format() {
+        let g = modbus_mini();
+        let mut m = Message::with_seed(&g, 1);
+        m.set_uint("tid", 0x0102).unwrap();
+        m.set_uint("pdu.func", 6).unwrap();
+        m.set_uint("pdu.write.addr", 0x0010).unwrap();
+        m.set_uint("pdu.write.value", 0xBEEF).unwrap();
+        let wire = serialize_seeded(&g, &m, 9).unwrap();
+        assert_eq!(
+            wire,
+            vec![0x01, 0x02, 0x00, 0x05, 0x06, 0x00, 0x10, 0xBE, 0xEF],
+            "tid, auto len=5, func, addr, value"
+        );
+    }
+
+    #[test]
+    fn absent_optional_is_skipped_and_len_shrinks() {
+        let g = modbus_mini();
+        let mut m = Message::with_seed(&g, 1);
+        m.set_uint("tid", 1).unwrap();
+        m.set_uint("pdu.func", 3).unwrap(); // not 6: optional absent
+        let wire = serialize_seeded(&g, &m, 9).unwrap();
+        assert_eq!(wire, vec![0x00, 0x01, 0x00, 0x01, 0x03]);
+    }
+
+    #[test]
+    fn optional_mismatch_detected() {
+        let g = modbus_mini();
+        let mut m = Message::with_seed(&g, 1);
+        m.set_uint("tid", 1).unwrap();
+        m.set_uint("pdu.func", 3).unwrap();
+        // Force presence although func != 6.
+        m.set_uint("pdu.write.addr", 1).unwrap();
+        m.set_uint("pdu.write.value", 1).unwrap();
+        assert!(matches!(
+            serialize_seeded(&g, &m, 9),
+            Err(BuildError::OptionalMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_required_field_reported_with_plain_name() {
+        let g = modbus_mini();
+        let mut m = Message::with_seed(&g, 1);
+        m.set_uint("pdu.func", 3).unwrap();
+        match serialize_seeded(&g, &m, 9) {
+            Err(BuildError::MissingField(f)) => assert_eq!(f, "tid"),
+            other => panic!("expected MissingField, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repetition_with_terminator_and_delimited_fields() {
+        let mut b = GraphBuilder::new("http-ish");
+        let root = b.root_sequence("m", Boundary::End);
+        let rep = b.repetition(
+            root,
+            "headers",
+            StopRule::Terminator(b"\r\n".to_vec()),
+            Boundary::Delegated,
+        );
+        let h = b.sequence(rep, "header", Boundary::Delegated);
+        b.terminal(h, "name", TerminalKind::Ascii, Boundary::Delimited(b": ".to_vec()));
+        b.terminal(h, "value", TerminalKind::Ascii, Boundary::Delimited(b"\r\n".to_vec()));
+        let g = ObfGraph::from_plain(&b.build().unwrap());
+
+        let mut m = Message::with_seed(&g, 1);
+        m.set_str("headers[0].name", "Host").unwrap();
+        m.set_str("headers[0].value", "example.org").unwrap();
+        m.set_str("headers[1].name", "Accept").unwrap();
+        m.set_str("headers[1].value", "*/*").unwrap();
+        let wire = serialize_seeded(&g, &m, 1).unwrap();
+        assert_eq!(wire, b"Host: example.org\r\nAccept: */*\r\n\r\n");
+    }
+
+    #[test]
+    fn tabular_serializes_counted_elements() {
+        let mut b = GraphBuilder::new("tab");
+        let root = b.root_sequence("m", Boundary::End);
+        let count = b.uint_be(root, "count", 1);
+        let tab = b.tabular(root, "vals", count);
+        b.set_auto(count, AutoValue::CounterOf(tab));
+        let item = b.sequence(tab, "val", Boundary::Delegated);
+        b.uint_be(item, "v", 2);
+        let g = ObfGraph::from_plain(&b.build().unwrap());
+
+        let mut m = Message::with_seed(&g, 1);
+        m.set_uint("vals[0].v", 0x0a0b).unwrap();
+        m.set_uint("vals[1].v", 0x0c0d).unwrap();
+        let wire = serialize_seeded(&g, &m, 1).unwrap();
+        assert_eq!(wire, vec![2, 0x0a, 0x0b, 0x0c, 0x0d]);
+    }
+}

@@ -1,0 +1,174 @@
+//! Window machinery tests: `Length`-bounded sequences (exact sub-windows
+//! with rest-of-window fields inside), fixed-size sequences, and their
+//! interaction with obfuscation constraints.
+//!
+//! These paths are not exercised by the shipped protocol specs (which use
+//! auto length fields + delegated sequences), so they get a dedicated
+//! suite.
+
+use protoobf_core::graph::{AutoValue, Boundary, FormatGraph, GraphBuilder};
+use protoobf_core::{Codec, Obfuscator, TerminalKind, TransformKind};
+
+/// A format with a Length-bounded sequence whose last field consumes the
+/// rest of the window — the classic TLV-with-inner-rest shape.
+fn windowed() -> FormatGraph {
+    let mut b = GraphBuilder::new("win");
+    let root = b.root_sequence("m", Boundary::End);
+    let len = b.uint_be(root, "len", 2);
+    let pdu = b.sequence(root, "pdu", Boundary::Length(len));
+    b.set_auto(len, AutoValue::LengthOf(pdu));
+    b.uint_be(pdu, "kind", 1);
+    b.terminal(pdu, "body", TerminalKind::Bytes, Boundary::End);
+    b.uint_be(root, "crc", 2);
+    b.build().unwrap()
+}
+
+#[test]
+fn length_bounded_sequence_windows_inner_rest_field() {
+    let g = windowed();
+    let codec = Codec::identity(&g);
+    let mut m = codec.message_seeded(1);
+    m.set_uint("pdu.kind", 7).unwrap();
+    m.set("pdu.body", b"window body".as_slice()).unwrap();
+    m.set_uint("crc", 0xAABB).unwrap();
+    let wire = codec.serialize_seeded(&m, 1).unwrap();
+    // len = 1 + 11 = 12; crc follows the window.
+    assert_eq!(&wire[..2], &[0x00, 0x0C]);
+    assert_eq!(&wire[wire.len() - 2..], &[0xAA, 0xBB]);
+    let back = codec.parse(&wire).unwrap();
+    assert_eq!(back.get("pdu.body").unwrap().as_bytes(), b"window body");
+    assert_eq!(back.get_uint("crc").unwrap(), 0xAABB);
+}
+
+#[test]
+fn empty_inner_rest_field() {
+    let g = windowed();
+    let codec = Codec::identity(&g);
+    let mut m = codec.message_seeded(1);
+    m.set_uint("pdu.kind", 1).unwrap();
+    m.set("pdu.body", b"".as_slice()).unwrap();
+    m.set_uint("crc", 0).unwrap();
+    let wire = codec.serialize_seeded(&m, 1).unwrap();
+    assert_eq!(&wire[..2], &[0x00, 0x01]);
+    let back = codec.parse(&wire).unwrap();
+    assert_eq!(back.get("pdu.body").unwrap().len(), 0);
+}
+
+#[test]
+fn corrupted_window_length_is_rejected() {
+    let g = windowed();
+    let codec = Codec::identity(&g);
+    let mut m = codec.message_seeded(1);
+    m.set_uint("pdu.kind", 7).unwrap();
+    m.set("pdu.body", b"abc".as_slice()).unwrap();
+    m.set_uint("crc", 1).unwrap();
+    let wire = codec.serialize_seeded(&m, 1).unwrap();
+    for delta in [1i32, -1, 100] {
+        let mut corrupted = wire.clone();
+        let len = u16::from_be_bytes([wire[0], wire[1]]) as i32 + delta;
+        if len < 0 {
+            continue;
+        }
+        corrupted[0] = ((len >> 8) & 0xFF) as u8;
+        corrupted[1] = (len & 0xFF) as u8;
+        assert!(
+            codec.parse(&corrupted).is_err(),
+            "length {delta:+} must break the window"
+        );
+    }
+}
+
+#[test]
+fn size_changing_transforms_rejected_inside_pinned_windows() {
+    use protoobf_core::transform::applicable;
+    let g = windowed();
+    let codec = Codec::identity(&g);
+    let og = codec.obf_graph();
+    let kind = og
+        .preorder()
+        .into_iter()
+        .find(|&id| og.node(id).name() == "kind")
+        .unwrap();
+    // `kind` sits inside the Length-bounded pdu: size-changing transforms
+    // are barred (the paper's "parents must be Delegated or End" rule)...
+    assert!(applicable(og, kind, TransformKind::SplitAdd).is_err());
+    assert!(applicable(og, kind, TransformKind::BoundaryChange).is_err());
+    // ...but size-preserving ones are fine.
+    assert!(applicable(og, kind, TransformKind::ConstAdd).is_ok());
+}
+
+#[test]
+fn obfuscation_still_works_around_pinned_windows() {
+    // The engine must find sound plans that respect the pinned window:
+    // transforms land on the header/crc and value transforms inside.
+    let g = windowed();
+    for seed in 0..10u64 {
+        let codec = Obfuscator::new(&g).seed(seed).max_per_node(3).obfuscate().unwrap();
+        assert!(codec.transform_count() > 0, "seed {seed}");
+        let mut m = codec.message_seeded(seed);
+        m.set_uint("pdu.kind", 3).unwrap();
+        m.set("pdu.body", b"payload".as_slice()).unwrap();
+        m.set_uint("crc", 0x0102).unwrap();
+        let wire = codec.serialize_seeded(&m, seed).unwrap();
+        let back = codec.parse(&wire).unwrap_or_else(|e| {
+            panic!("seed {seed}: {e}\nplan: {:#?}", codec.records())
+        });
+        assert_eq!(back.get("pdu.body").unwrap().as_bytes(), b"payload");
+        assert_eq!(back.get_uint("crc").unwrap(), 0x0102);
+    }
+}
+
+#[test]
+fn fixed_size_sequence_is_checked_on_both_sides() {
+    let mut b = GraphBuilder::new("fixed");
+    let root = b.root_sequence("m", Boundary::End);
+    let hdr = b.sequence(root, "hdr", Boundary::Fixed(4));
+    b.uint_be(hdr, "a", 2);
+    b.uint_be(hdr, "b", 2);
+    b.terminal(root, "rest_field", TerminalKind::Bytes, Boundary::End);
+    let g = b.build().unwrap();
+    let codec = Codec::identity(&g);
+    let mut m = codec.message_seeded(1);
+    m.set_uint("hdr.a", 1).unwrap();
+    m.set_uint("hdr.b", 2).unwrap();
+    m.set("rest_field", b"xyz".as_slice()).unwrap();
+    let wire = codec.serialize_seeded(&m, 1).unwrap();
+    assert_eq!(wire.len(), 7);
+    let back = codec.parse(&wire).unwrap();
+    assert_eq!(back.get_uint("hdr.b").unwrap(), 2);
+}
+
+#[test]
+fn dsl_supports_sized_by_sequences() {
+    let g = protoobf_spec::parse_spec(
+        r#"
+        message W {
+            u16 len;
+            seq pdu sized_by len {
+                u8 kind;
+                bytes body rest;
+            }
+            u16 crc;
+        }
+        "#,
+    )
+    .unwrap();
+    let codec = Codec::identity(&g);
+    let mut m = codec.message_seeded(1);
+    // `len` is user-set here (no auto annotation): it must be consistent.
+    m.set_uint("len", 4).unwrap();
+    m.set_uint("pdu.kind", 9).unwrap();
+    m.set("pdu.body", b"abc".as_slice()).unwrap();
+    m.set_uint("crc", 5).unwrap();
+    let wire = codec.serialize_seeded(&m, 1).unwrap();
+    let back = codec.parse(&wire).unwrap();
+    assert_eq!(back.get("pdu.body").unwrap().as_bytes(), b"abc");
+
+    // An inconsistent user-set length must be rejected at serialization.
+    let mut bad = codec.message_seeded(2);
+    bad.set_uint("len", 9).unwrap();
+    bad.set_uint("pdu.kind", 9).unwrap();
+    bad.set("pdu.body", b"abc".as_slice()).unwrap();
+    bad.set_uint("crc", 5).unwrap();
+    assert!(codec.serialize_seeded(&bad, 1).is_err());
+}

@@ -1,0 +1,206 @@
+//! Needleman–Wunsch global sequence alignment on byte strings.
+//!
+//! This is the algorithm family the PI project introduced to protocol
+//! reverse engineering (paper §II-B) and that Netzob-style tools use for
+//! message comparison: align two messages, score their similarity, and use
+//! the aligned columns for format inference.
+
+/// Scoring parameters for the alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScoreParams {
+    /// Score for two equal bytes.
+    pub matched: i32,
+    /// Score for two different bytes.
+    pub mismatch: i32,
+    /// Score for aligning a byte against a gap.
+    pub gap: i32,
+}
+
+impl Default for ScoreParams {
+    fn default() -> Self {
+        // Classic PI-project weights: reward identity, punish gaps mildly.
+        ScoreParams { matched: 2, mismatch: -1, gap: -1 }
+    }
+}
+
+/// Result of aligning two byte strings: two equal-length rows where `None`
+/// is a gap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alignment {
+    /// Alignment row for the first input.
+    pub a: Vec<Option<u8>>,
+    /// Alignment row for the second input.
+    pub b: Vec<Option<u8>>,
+    /// Raw alignment score.
+    pub score: i32,
+}
+
+impl Alignment {
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.a.len()
+    }
+
+    /// True if the alignment is empty.
+    pub fn is_empty(&self) -> bool {
+        self.a.is_empty()
+    }
+
+    /// Number of columns where both rows hold the same byte.
+    pub fn matches(&self) -> usize {
+        self.a
+            .iter()
+            .zip(&self.b)
+            .filter(|(x, y)| x.is_some() && x == y)
+            .count()
+    }
+}
+
+/// Globally aligns `a` and `b`.
+pub fn needleman_wunsch(a: &[u8], b: &[u8], p: ScoreParams) -> Alignment {
+    let n = a.len();
+    let m = b.len();
+    // DP matrix, row-major (n+1) x (m+1).
+    let w = m + 1;
+    let mut dp = vec![0i32; (n + 1) * w];
+    for i in 1..=n {
+        dp[i * w] = dp[(i - 1) * w] + p.gap;
+    }
+    for j in 1..=m {
+        dp[j] = dp[j - 1] + p.gap;
+    }
+    for i in 1..=n {
+        for j in 1..=m {
+            let s = if a[i - 1] == b[j - 1] { p.matched } else { p.mismatch };
+            let diag = dp[(i - 1) * w + (j - 1)] + s;
+            let up = dp[(i - 1) * w + j] + p.gap;
+            let left = dp[i * w + (j - 1)] + p.gap;
+            dp[i * w + j] = diag.max(up).max(left);
+        }
+    }
+    // Traceback.
+    let mut ra = Vec::with_capacity(n.max(m));
+    let mut rb = Vec::with_capacity(n.max(m));
+    let (mut i, mut j) = (n, m);
+    while i > 0 || j > 0 {
+        if i > 0 && j > 0 {
+            let s = if a[i - 1] == b[j - 1] { p.matched } else { p.mismatch };
+            if dp[i * w + j] == dp[(i - 1) * w + (j - 1)] + s {
+                ra.push(Some(a[i - 1]));
+                rb.push(Some(b[j - 1]));
+                i -= 1;
+                j -= 1;
+                continue;
+            }
+        }
+        if i > 0 && dp[i * w + j] == dp[(i - 1) * w + j] + p.gap {
+            ra.push(Some(a[i - 1]));
+            rb.push(None);
+            i -= 1;
+        } else {
+            ra.push(None);
+            rb.push(Some(b[j - 1]));
+            j -= 1;
+        }
+    }
+    ra.reverse();
+    rb.reverse();
+    Alignment { score: dp[n * w + m], a: ra, b: rb }
+}
+
+/// Similarity in `[0, 1]`: matched columns over the longer input length.
+/// Two identical messages score 1; unrelated random bytes score near the
+/// coincidence floor (~1/256 per byte plus alignment slack).
+pub fn similarity(a: &[u8], b: &[u8], p: ScoreParams) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let al = needleman_wunsch(a, b, p);
+    al.matches() as f64 / a.len().max(b.len()) as f64
+}
+
+/// Pairwise similarity matrix of a message set (symmetric, 1.0 diagonal).
+pub fn similarity_matrix(messages: &[&[u8]], p: ScoreParams) -> Vec<Vec<f64>> {
+    let n = messages.len();
+    let mut m = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        m[i][i] = 1.0;
+        for j in i + 1..n {
+            let s = similarity(messages[i], messages[j], p);
+            m[i][j] = s;
+            m[j][i] = s;
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sequences_align_perfectly() {
+        let al = needleman_wunsch(b"hello", b"hello", ScoreParams::default());
+        assert_eq!(al.matches(), 5);
+        assert_eq!(al.len(), 5);
+        assert_eq!(similarity(b"hello", b"hello", ScoreParams::default()), 1.0);
+    }
+
+    #[test]
+    fn insertion_produces_gap() {
+        let al = needleman_wunsch(b"abcd", b"abXcd", ScoreParams::default());
+        assert_eq!(al.matches(), 4);
+        assert_eq!(al.len(), 5);
+        assert!(al.a.contains(&None));
+        assert!(!al.b.contains(&None));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let al = needleman_wunsch(b"", b"abc", ScoreParams::default());
+        assert_eq!(al.len(), 3);
+        assert_eq!(al.matches(), 0);
+        assert!(al.is_empty() || !al.is_empty()); // len 3
+        assert_eq!(similarity(b"", b"", ScoreParams::default()), 1.0);
+        assert_eq!(similarity(b"", b"abc", ScoreParams::default()), 0.0);
+    }
+
+    #[test]
+    fn alignment_rows_have_equal_length() {
+        let al = needleman_wunsch(b"GET /a HTTP/1.1", b"POST /bb HTTP/1.1", ScoreParams::default());
+        assert_eq!(al.a.len(), al.b.len());
+        // The shared suffix should align.
+        assert!(al.matches() >= b" HTTP/1.1".len());
+    }
+
+    #[test]
+    fn similar_messages_score_higher_than_dissimilar() {
+        let p = ScoreParams::default();
+        let m1 = b"\x00\x01\x00\x00\x00\x06\x11\x03\x00\x6B\x00\x03";
+        let m2 = b"\x00\x02\x00\x00\x00\x06\x11\x03\x00\x10\x00\x01";
+        let m3 = b"GET /index.html HTTP/1.1\r\n\r\n";
+        assert!(similarity(m1, m2, p) > 0.6);
+        assert!(similarity(m1, m2, p) > similarity(m1, m3, p));
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn matrix_is_symmetric_with_unit_diagonal() {
+        let msgs: Vec<&[u8]> = vec![b"aaa", b"aab", b"zzz"];
+        let m = similarity_matrix(&msgs, ScoreParams::default());
+        for i in 0..3 {
+            assert_eq!(m[i][i], 1.0);
+            for j in 0..3 {
+                assert_eq!(m[i][j], m[j][i]);
+            }
+        }
+        assert!(m[0][1] > m[0][2]);
+    }
+
+    #[test]
+    fn score_reflects_parameters() {
+        let strict = ScoreParams { matched: 1, mismatch: -10, gap: -10 };
+        let al = needleman_wunsch(b"abc", b"abc", strict);
+        assert_eq!(al.score, 3);
+    }
+}

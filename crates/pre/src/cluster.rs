@@ -1,0 +1,113 @@
+//! UPGMA hierarchical clustering over a similarity matrix — the message
+//! classification step of PRE (paper §II-C3: classification quality is the
+//! key leverage point the obfuscation attacks).
+
+/// Clusters message indices by average-linkage (UPGMA): repeatedly merge
+/// the two clusters with the highest average pairwise similarity until it
+/// drops below `threshold`.
+///
+/// Returns clusters as index lists, each sorted, ordered by first member.
+pub fn upgma(similarity: &[Vec<f64>], threshold: f64) -> Vec<Vec<usize>> {
+    let n = similarity.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut clusters: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+    loop {
+        // Find the closest pair of clusters.
+        let mut best: Option<(usize, usize, f64)> = None;
+        for i in 0..clusters.len() {
+            for j in i + 1..clusters.len() {
+                let s = average_link(similarity, &clusters[i], &clusters[j]);
+                if best.map(|(_, _, bs)| s > bs).unwrap_or(true) {
+                    best = Some((i, j, s));
+                }
+            }
+        }
+        match best {
+            Some((i, j, s)) if s >= threshold => {
+                let merged = clusters.swap_remove(j);
+                clusters[i].extend(merged);
+                clusters[i].sort_unstable();
+            }
+            _ => break,
+        }
+    }
+    clusters.sort_by_key(|c| c[0]);
+    clusters
+}
+
+fn average_link(similarity: &[Vec<f64>], a: &[usize], b: &[usize]) -> f64 {
+    let mut total = 0.0;
+    for &x in a {
+        for &y in b {
+            total += similarity[x][y];
+        }
+    }
+    total / (a.len() * b.len()) as f64
+}
+
+/// Assigns each element its cluster id, for label-based scoring.
+pub fn assignments(clusters: &[Vec<usize>], n: usize) -> Vec<usize> {
+    let mut out = vec![usize::MAX; n];
+    for (cid, members) in clusters.iter().enumerate() {
+        for &m in members {
+            out[m] = cid;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[allow(clippy::needless_range_loop)]
+    fn block_matrix() -> Vec<Vec<f64>> {
+        // Two tight groups {0,1,2} and {3,4}, dissimilar across.
+        let mut m = vec![vec![0.1; 5]; 5];
+        for i in 0..5 {
+            m[i][i] = 1.0;
+        }
+        for &(i, j) in &[(0, 1), (0, 2), (1, 2), (3, 4)] {
+            m[i][j] = 0.9;
+            m[j][i] = 0.9;
+        }
+        m
+    }
+
+    #[test]
+    fn clusters_tight_groups() {
+        let c = upgma(&block_matrix(), 0.5);
+        assert_eq!(c, vec![vec![0, 1, 2], vec![3, 4]]);
+    }
+
+    #[test]
+    fn threshold_one_keeps_singletons() {
+        let c = upgma(&block_matrix(), 1.01);
+        assert_eq!(c.len(), 5);
+        assert!(c.iter().all(|cl| cl.len() == 1));
+    }
+
+    #[test]
+    fn threshold_zero_merges_everything() {
+        let c = upgma(&block_matrix(), 0.0);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0], vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(upgma(&[], 0.5).is_empty());
+    }
+
+    #[test]
+    fn assignments_cover_all() {
+        let c = upgma(&block_matrix(), 0.5);
+        let a = assignments(&c, 5);
+        assert_eq!(a[0], a[1]);
+        assert_eq!(a[0], a[2]);
+        assert_eq!(a[3], a[4]);
+        assert_ne!(a[0], a[3]);
+    }
+}

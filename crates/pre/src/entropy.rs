@@ -1,0 +1,159 @@
+//! Column entropy and field-type guessing.
+//!
+//! Netzob-family tools annotate inferred fields with semantic guesses:
+//! constants, flags, counters, random/encrypted data. The byte entropy of
+//! an alignment column separates them — and gives another resilience
+//! signal: obfuscated traffic pushes most columns toward maximum entropy
+//! (random shares, keys), while plain protocols show low-entropy keywords
+//! and counters.
+
+use crate::infer::Profile;
+
+/// Semantic guess for an inferred field position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldGuess {
+    /// One value across all messages.
+    Constant,
+    /// Very few distinct values (flags, opcodes, versions).
+    LowCardinality,
+    /// Small numeric range (counters, small lengths).
+    Counter,
+    /// High entropy: payload, random shares, or encrypted data.
+    Random,
+}
+
+/// Shannon entropy (bits) of the byte distribution in one column,
+/// ignoring gaps. 0 for constant columns, up to 8 for uniform bytes.
+pub fn column_entropy(profile: &Profile, col: usize) -> f64 {
+    let mut counts = [0u32; 256];
+    let mut total = 0u32;
+    for b in profile.columns[col].iter().flatten() {
+        counts[*b as usize] += 1;
+        total += 1;
+    }
+    if total == 0 {
+        return 0.0;
+    }
+    let mut h = 0.0;
+    for &c in &counts {
+        if c > 0 {
+            let p = f64::from(c) / f64::from(total);
+            h -= p * p.log2();
+        }
+    }
+    h
+}
+
+/// Mean column entropy of a profile — the aggregate randomness an analyst
+/// observes in a message type.
+pub fn mean_entropy(profile: &Profile) -> f64 {
+    if profile.columns.is_empty() {
+        return 0.0;
+    }
+    let total: f64 =
+        (0..profile.columns.len()).map(|c| column_entropy(profile, c)).sum();
+    total / profile.columns.len() as f64
+}
+
+/// Guesses the field type of a column from its value distribution.
+pub fn guess_column(profile: &Profile, col: usize) -> FieldGuess {
+    let values: Vec<u8> = profile.columns[col].iter().flatten().copied().collect();
+    if values.is_empty() {
+        return FieldGuess::Constant;
+    }
+    let mut distinct: Vec<u8> = values.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+    if distinct.len() == 1 {
+        return FieldGuess::Constant;
+    }
+    let n = values.len();
+    let min = *distinct.first().expect("non-empty");
+    let max = *distinct.last().expect("non-empty");
+    // Small dense numeric range: counters and small lengths take many
+    // distinct-but-adjacent values, so check the range before cardinality.
+    if max < 64 && usize::from(max - min) <= n * 2 {
+        return FieldGuess::Counter;
+    }
+    if distinct.len() <= (n / 4).max(2) {
+        return FieldGuess::LowCardinality;
+    }
+    FieldGuess::Random
+}
+
+/// Fraction of columns guessed as `Random` — rises sharply under
+/// obfuscation (split shares, padding, constant-op ciphertexts).
+pub fn random_fraction(profile: &Profile) -> f64 {
+    if profile.columns.is_empty() {
+        return 0.0;
+    }
+    let r = (0..profile.columns.len())
+        .filter(|&c| guess_column(profile, c) == FieldGuess::Random)
+        .count();
+    r as f64 / profile.columns.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::align::ScoreParams;
+    use crate::infer::multiple_alignment;
+
+    fn profile(msgs: &[&[u8]]) -> Profile {
+        multiple_alignment(msgs, ScoreParams::default())
+    }
+
+    #[test]
+    fn constant_column_has_zero_entropy() {
+        let p = profile(&[b"AAAA", b"AAAA", b"AAAA"]);
+        for c in 0..p.columns.len() {
+            assert_eq!(column_entropy(&p, c), 0.0);
+            assert_eq!(guess_column(&p, c), FieldGuess::Constant);
+        }
+        assert_eq!(mean_entropy(&p), 0.0);
+    }
+
+    #[test]
+    fn two_valued_column_has_one_bit() {
+        let p = profile(&[b"A", b"B", b"A", b"B"]);
+        assert!((column_entropy(&p, 0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counter_detected() {
+        // A column holding 0..8 across messages.
+        let msgs: Vec<Vec<u8>> = (0u8..8).map(|i| vec![b'X', i, b'Y']).collect();
+        let refs: Vec<&[u8]> = msgs.iter().map(Vec::as_slice).collect();
+        let p = profile(&refs);
+        assert_eq!(guess_column(&p, 0), FieldGuess::Constant);
+        assert_eq!(guess_column(&p, 1), FieldGuess::Counter);
+    }
+
+    #[test]
+    fn random_bytes_detected() {
+        let msgs: Vec<Vec<u8>> = (0u8..16)
+            .map(|i| vec![i.wrapping_mul(37).wrapping_add(11), i.wrapping_mul(91) ^ 0x5A])
+            .collect();
+        let refs: Vec<&[u8]> = msgs.iter().map(Vec::as_slice).collect();
+        let p = profile(&refs);
+        assert_eq!(guess_column(&p, 0), FieldGuess::Random);
+        assert!(random_fraction(&p) > 0.4);
+    }
+
+    #[test]
+    fn low_cardinality_detected() {
+        // Opcode-like column: two spread-out values.
+        let msgs: Vec<Vec<u8>> =
+            (0..12).map(|i| vec![if i % 2 == 0 { 0x10 } else { 0x80 }]).collect();
+        let refs: Vec<&[u8]> = msgs.iter().map(Vec::as_slice).collect();
+        let p = profile(&refs);
+        assert_eq!(guess_column(&p, 0), FieldGuess::LowCardinality);
+    }
+
+    #[test]
+    fn empty_profile_is_safe() {
+        let p = profile(&[]);
+        assert_eq!(mean_entropy(&p), 0.0);
+        assert_eq!(random_fraction(&p), 0.0);
+    }
+}

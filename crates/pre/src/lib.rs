@@ -1,0 +1,35 @@
+//! # protoobf-pre
+//!
+//! A protocol reverse-engineering (PRE) toolkit in the style of the
+//! network-based inference tools the paper defends against (PI project,
+//! Netzob — §II): Needleman–Wunsch sequence alignment, UPGMA message
+//! classification, and alignment-based message format inference, plus the
+//! scoring metrics used to quantify the resilience experiment (§VII-D).
+//!
+//! The pipeline mirrors figure 1 of the paper: observation (a trace of
+//! byte strings) → classification ([`cluster::upgma`] on
+//! [`align::similarity_matrix`]) → format inference
+//! ([`infer::multiple_alignment`] per class).
+//!
+//! ```
+//! use protoobf_pre::align::{similarity_matrix, ScoreParams};
+//! use protoobf_pre::cluster::upgma;
+//! use protoobf_pre::score::purity;
+//!
+//! let msgs: Vec<&[u8]> = vec![b"GET /a", b"GET /b", b"PUT /c", b"PUT /d"];
+//! let labels = ["get", "get", "put", "put"];
+//! let sim = similarity_matrix(&msgs, ScoreParams::default());
+//! let clusters = upgma(&sim, 0.7);
+//! assert_eq!(purity(&clusters, &labels), 1.0);
+//! ```
+
+pub mod align;
+pub mod cluster;
+pub mod entropy;
+pub mod infer;
+pub mod score;
+
+pub use align::{needleman_wunsch, similarity, similarity_matrix, Alignment, ScoreParams};
+pub use cluster::upgma;
+pub use infer::{multiple_alignment, InferredField, Profile};
+pub use score::{adjusted_rand_index, purity};

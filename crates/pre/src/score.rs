@@ -1,0 +1,119 @@
+//! Scoring inference quality against ground truth: classification metrics
+//! (purity, adjusted Rand index) used to quantify the paper's resilience
+//! claim (§VII-D) instead of an anecdotal expert report.
+
+use std::collections::HashMap;
+
+/// Fraction of messages whose cluster's majority label matches their own:
+/// 1.0 means every cluster is label-pure.
+pub fn purity(clusters: &[Vec<usize>], labels: &[&str]) -> f64 {
+    let n: usize = clusters.iter().map(Vec::len).sum();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut agree = 0usize;
+    for cluster in clusters {
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for &m in cluster {
+            *counts.entry(labels[m]).or_insert(0) += 1;
+        }
+        agree += counts.values().copied().max().unwrap_or(0);
+    }
+    agree as f64 / n as f64
+}
+
+/// Adjusted Rand index between the clustering and the ground-truth labels:
+/// 1.0 for identical partitions, ≈0 for random assignment, negative for
+/// worse-than-random.
+pub fn adjusted_rand_index(clusters: &[Vec<usize>], labels: &[&str]) -> f64 {
+    let n: usize = clusters.iter().map(Vec::len).sum();
+    if n < 2 {
+        return 1.0;
+    }
+    // Contingency table clusters × labels.
+    let mut label_ids: HashMap<&str, usize> = HashMap::new();
+    for &l in labels {
+        let next = label_ids.len();
+        label_ids.entry(l).or_insert(next);
+    }
+    let k = label_ids.len();
+    let mut table = vec![vec![0usize; k]; clusters.len()];
+    for (ci, cluster) in clusters.iter().enumerate() {
+        for &m in cluster {
+            table[ci][label_ids[labels[m]]] += 1;
+        }
+    }
+    let choose2 = |x: usize| (x * x.saturating_sub(1)) / 2;
+    let sum_ij: usize = table.iter().flatten().map(|&x| choose2(x)).sum();
+    let sum_i: usize = table.iter().map(|row| choose2(row.iter().sum())).sum();
+    let sum_j: usize = (0..k)
+        .map(|j| choose2(table.iter().map(|row| row[j]).sum()))
+        .sum();
+    let total = choose2(n) as f64;
+    let expected = (sum_i as f64 * sum_j as f64) / total;
+    let max_index = (sum_i as f64 + sum_j as f64) / 2.0;
+    if (max_index - expected).abs() < f64::EPSILON {
+        return 1.0;
+    }
+    (sum_ij as f64 - expected) / (max_index - expected)
+}
+
+/// Number of ground-truth types in a label set.
+pub fn type_count(labels: &[&str]) -> usize {
+    let mut set: Vec<&str> = labels.to_vec();
+    set.sort_unstable();
+    set.dedup();
+    set.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_clustering_scores_one() {
+        let clusters = vec![vec![0, 1], vec![2, 3]];
+        let labels = ["a", "a", "b", "b"];
+        assert_eq!(purity(&clusters, &labels), 1.0);
+        assert!((adjusted_rand_index(&clusters, &labels) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_cluster_of_mixed_labels() {
+        let clusters = vec![vec![0, 1, 2, 3]];
+        let labels = ["a", "a", "b", "b"];
+        assert_eq!(purity(&clusters, &labels), 0.5);
+        let ari = adjusted_rand_index(&clusters, &labels);
+        assert!(ari.abs() < 0.01, "ari = {ari}");
+    }
+
+    #[test]
+    fn all_singletons_are_pure_but_uninformative() {
+        let clusters: Vec<Vec<usize>> = (0..4).map(|i| vec![i]).collect();
+        let labels = ["a", "a", "b", "b"];
+        assert_eq!(purity(&clusters, &labels), 1.0);
+        let ari = adjusted_rand_index(&clusters, &labels);
+        assert!(ari.abs() < 0.01, "ari = {ari}");
+    }
+
+    #[test]
+    fn partial_agreement_in_between() {
+        let clusters = vec![vec![0, 1, 2], vec![3]];
+        let labels = ["a", "a", "b", "b"];
+        let p = purity(&clusters, &labels);
+        assert!(p > 0.5 && p < 1.0);
+        // Over-merged cluster with one stray: exactly chance-level ARI.
+        assert!(adjusted_rand_index(&clusters, &labels).abs() < 1e-9);
+        // One pure pair recovered, rest singletons: between 0 and 1.
+        let partial = vec![vec![0, 1], vec![2], vec![3]];
+        let ari = adjusted_rand_index(&partial, &labels);
+        assert!(ari > 0.3 && ari < 1.0, "ari = {ari}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(purity(&[], &[]), 0.0);
+        assert_eq!(adjusted_rand_index(&[vec![0]], &["a"]), 1.0);
+        assert_eq!(type_count(&["a", "b", "a"]), 2);
+    }
+}

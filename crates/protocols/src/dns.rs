@@ -1,0 +1,277 @@
+//! Simplified DNS message formats — a third evaluation protocol beyond the
+//! paper's two.
+//!
+//! DNS exercises the features the paper's protocols do not combine:
+//! *per-element* length prefixes (labels inside names), a zero-byte name
+//! terminator whose ambiguity rules mirror real DNS (a label length can
+//! never be zero), constant header fields, and tabular sections counted by
+//! header fields. Compression pointers are out of scope (the paper's
+//! framework has no backreference primitive either).
+
+use protoobf_core::{Codec, FormatGraph, Message};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Specification of DNS queries (header + question section).
+pub const QUERY_SPEC: &str = r#"
+message DnsQuery {
+    u16 id;
+    u16 flags;
+    u16 qdcount = count(questions);
+    u16 ancount = const 0;
+    u16 nscount = const 0;
+    u16 arcount = const 0;
+    tabular questions count_by qdcount {
+        repeat qname until "\x00" {
+            u8 label_len = len(label);
+            bytes label sized_by label_len;
+        }
+        u16 qtype;
+        u16 qclass;
+    }
+}
+"#;
+
+/// Specification of DNS responses (header + question echo + answers).
+pub const RESPONSE_SPEC: &str = r#"
+message DnsResponse {
+    u16 id;
+    u16 flags;
+    u16 qdcount = count(questions);
+    u16 ancount = count(answers);
+    u16 nscount = const 0;
+    u16 arcount = const 0;
+    tabular questions count_by qdcount {
+        repeat qname until "\x00" {
+            u8 label_len = len(label);
+            bytes label sized_by label_len;
+        }
+        u16 qtype;
+        u16 qclass;
+    }
+    tabular answers count_by ancount {
+        repeat aname until "\x00" {
+            u8 alabel_len = len(alabel);
+            bytes alabel sized_by alabel_len;
+        }
+        u16 atype;
+        u16 aclass;
+        u32 ttl;
+        u16 rdlength = len(rdata);
+        bytes rdata sized_by rdlength;
+    }
+}
+"#;
+
+/// The query format graph.
+pub fn query_graph() -> FormatGraph {
+    protoobf_spec::parse_spec(QUERY_SPEC).expect("embedded DNS query spec is valid")
+}
+
+/// The response format graph.
+pub fn response_graph() -> FormatGraph {
+    protoobf_spec::parse_spec(RESPONSE_SPEC).expect("embedded DNS response spec is valid")
+}
+
+const WORDS: &[&str] =
+    &["www", "mail", "api", "cdn", "example", "internal", "files", "net", "org", "com", "lab"];
+
+/// Record types the generator draws from (A, NS, CNAME, MX, TXT, AAAA).
+const QTYPES: &[u64] = &[1, 2, 5, 15, 16, 28];
+
+fn set_name<R: Rng + ?Sized>(
+    m: &mut Message<'_>,
+    prefix: &str,
+    label_field: &str,
+    rng: &mut R,
+) {
+    let labels = rng.gen_range(2..=4usize);
+    for i in 0..labels {
+        let word = WORDS.choose(rng).expect("non-empty");
+        m.set(&format!("{prefix}[{i}].{label_field}"), word.as_bytes())
+            .expect("label fits");
+    }
+}
+
+/// Builds a query with 1–2 random questions.
+///
+/// # Panics
+///
+/// Never for codecs built from [`query_graph`].
+pub fn build_query<'c, R: Rng + ?Sized>(codec: &'c Codec, rng: &mut R) -> Message<'c> {
+    let mut m = codec.message_seeded(rng.gen());
+    m.set_uint("id", rng.gen_range(0..=0xFFFF)).unwrap();
+    m.set_uint("flags", 0x0100).unwrap(); // recursion desired
+    let qd = rng.gen_range(1..=2usize);
+    for q in 0..qd {
+        set_name(&mut m, &format!("questions[{q}].qname"), "label", rng);
+        m.set_uint(
+            &format!("questions[{q}].qtype"),
+            *QTYPES.choose(rng).expect("non-empty"),
+        )
+        .unwrap();
+        m.set_uint(&format!("questions[{q}].qclass"), 1).unwrap(); // IN
+    }
+    m
+}
+
+/// Builds a response echoing one question with 1–3 answers.
+pub fn build_response<'c, R: Rng + ?Sized>(codec: &'c Codec, rng: &mut R) -> Message<'c> {
+    let mut m = codec.message_seeded(rng.gen());
+    m.set_uint("id", rng.gen_range(0..=0xFFFF)).unwrap();
+    m.set_uint("flags", 0x8180).unwrap(); // standard response
+    set_name(&mut m, "questions[0].qname", "label", rng);
+    m.set_uint("questions[0].qtype", 1).unwrap();
+    m.set_uint("questions[0].qclass", 1).unwrap();
+    let an = rng.gen_range(1..=3usize);
+    for a in 0..an {
+        set_name(&mut m, &format!("answers[{a}].aname"), "alabel", rng);
+        m.set_uint(&format!("answers[{a}].atype"), 1).unwrap();
+        m.set_uint(&format!("answers[{a}].aclass"), 1).unwrap();
+        m.set_uint(&format!("answers[{a}].ttl"), rng.gen_range(60..=86_400)).unwrap();
+        let addr: Vec<u8> = (0..4).map(|_| rng.gen()).collect();
+        m.set(&format!("answers[{a}].rdata"), addr).unwrap();
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protoobf_core::Obfuscator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn specs_parse() {
+        assert_eq!(query_graph().name(), "DnsQuery");
+        assert_eq!(response_graph().name(), "DnsResponse");
+    }
+
+    #[test]
+    fn plain_wire_matches_real_dns_layout() {
+        let g = query_graph();
+        let codec = Codec::identity(&g);
+        let mut m = codec.message_seeded(1);
+        m.set_uint("id", 0xBEEF).unwrap();
+        m.set_uint("flags", 0x0100).unwrap();
+        m.set("questions[0].qname[0].label", b"www".as_slice()).unwrap();
+        m.set("questions[0].qname[1].label", b"example".as_slice()).unwrap();
+        m.set("questions[0].qname[2].label", b"org".as_slice()).unwrap();
+        m.set_uint("questions[0].qtype", 1).unwrap();
+        m.set_uint("questions[0].qclass", 1).unwrap();
+        let wire = codec.serialize_seeded(&m, 1).unwrap();
+        let expected: Vec<u8> = [
+            0xBE, 0xEF, // id
+            0x01, 0x00, // flags
+            0x00, 0x01, // qdcount
+            0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // an/ns/ar counts (const 0)
+            3, b'w', b'w', b'w', 7, b'e', b'x', b'a', b'm', b'p', b'l', b'e', 3, b'o', b'r',
+            b'g', 0, // qname with the root terminator
+            0x00, 0x01, // qtype A
+            0x00, 0x01, // qclass IN
+        ]
+        .to_vec();
+        assert_eq!(wire, expected);
+    }
+
+    #[test]
+    fn const_header_fields_are_emitted_and_checked() {
+        let g = query_graph();
+        let codec = Codec::identity(&g);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut m = build_query(&codec, &mut rng);
+        assert!(m.set_uint("ancount", 3).is_err(), "const fields are not settable");
+        let mut wire = codec.serialize_seeded(&m, 1).unwrap();
+        let back = codec.parse(&wire).unwrap();
+        assert_eq!(back.get_uint("ancount").unwrap(), 0);
+        // Corrupting a const field must be detected.
+        wire[7] ^= 0x01; // low byte of ancount
+        assert!(codec.parse(&wire).is_err());
+    }
+
+    #[test]
+    fn queries_roundtrip_plain_and_obfuscated() {
+        let g = query_graph();
+        for level in 0..=3u32 {
+            let codec = if level == 0 {
+                Codec::identity(&g)
+            } else {
+                Obfuscator::new(&g).seed(u64::from(level)).max_per_node(level).obfuscate().unwrap()
+            };
+            let mut rng = StdRng::seed_from_u64(u64::from(level) + 5);
+            for _ in 0..10 {
+                let m = build_query(&codec, &mut rng);
+                let wire = codec.serialize_seeded(&m, 2).unwrap();
+                let back = codec.parse(&wire).unwrap_or_else(|e| {
+                    panic!("level {level}: {e}\nplan: {:#?}", codec.records())
+                });
+                assert_eq!(back.get_uint("id").unwrap(), m.get_uint("id").unwrap());
+                let qd = m.element_count("questions");
+                assert_eq!(back.element_count("questions"), qd);
+                for q in 0..qd {
+                    let labels = m.element_count(&format!("questions[{q}].qname"));
+                    assert_eq!(
+                        back.element_count(&format!("questions[{q}].qname")),
+                        labels
+                    );
+                    for l in 0..labels {
+                        let path = format!("questions[{q}].qname[{l}].label");
+                        assert_eq!(back.get(&path).unwrap(), m.get(&path).unwrap());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip_obfuscated() {
+        let g = response_graph();
+        for seed in 0..4u64 {
+            let codec = Obfuscator::new(&g).seed(seed).max_per_node(2).obfuscate().unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..5 {
+                let m = build_response(&codec, &mut rng);
+                let wire = codec.serialize_seeded(&m, seed).unwrap();
+                let back = codec.parse(&wire).unwrap_or_else(|e| {
+                    panic!("seed {seed}: {e}\nplan: {:#?}", codec.records())
+                });
+                let an = m.element_count("answers");
+                assert_eq!(back.element_count("answers"), an);
+                for a in 0..an {
+                    assert_eq!(
+                        back.get_uint(&format!("answers[{a}].ttl")).unwrap(),
+                        m.get_uint(&format!("answers[{a}].ttl")).unwrap()
+                    );
+                    assert_eq!(
+                        back.get(&format!("answers[{a}].rdata")).unwrap(),
+                        m.get(&format!("answers[{a}].rdata")).unwrap()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_element_length_refs_scope_correctly() {
+        // Two questions with different label counts: per-element label_len
+        // fields must resolve within their own element scope.
+        let g = query_graph();
+        let codec = Codec::identity(&g);
+        let mut m = codec.message_seeded(1);
+        m.set_uint("id", 1).unwrap();
+        m.set_uint("flags", 0).unwrap();
+        m.set("questions[0].qname[0].label", b"a".as_slice()).unwrap();
+        m.set("questions[1].qname[0].label", b"longer".as_slice()).unwrap();
+        m.set("questions[1].qname[1].label", b"name".as_slice()).unwrap();
+        for q in 0..2 {
+            m.set_uint(&format!("questions[{q}].qtype"), 1).unwrap();
+            m.set_uint(&format!("questions[{q}].qclass"), 1).unwrap();
+        }
+        let wire = codec.serialize_seeded(&m, 1).unwrap();
+        let back = codec.parse(&wire).unwrap();
+        assert_eq!(back.get_string("questions[1].qname[0].label").unwrap(), "longer");
+        assert_eq!(back.element_count("questions[0].qname"), 1);
+        assert_eq!(back.element_count("questions[1].qname"), 2);
+    }
+}

@@ -1,0 +1,29 @@
+//! # protoobf-protocols
+//!
+//! The two application protocols the paper evaluates ProtoObf on
+//! (§VII): **Modbus/TCP** (binary; Tabular field, Length and Counter
+//! boundaries) and **HTTP/1.1** (text; Optional field, Repetition,
+//! Delimited boundaries) — together with *core applications* that build
+//! random request/response populations, and corpus helpers for the
+//! classification/resilience experiments.
+//!
+//! ```
+//! use protoobf_core::{Codec, Obfuscator};
+//! use protoobf_protocols::modbus;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let graph = modbus::request_graph();
+//! let codec = Obfuscator::new(&graph).seed(1).max_per_node(1).obfuscate()?;
+//! let mut rng = rand::thread_rng();
+//! let msg = modbus::build_request(&codec, modbus::Function::ReadCoils, &mut rng);
+//! let wire = codec.serialize(&msg)?;
+//! let back = codec.parse(&wire)?;
+//! assert_eq!(back.get_uint("pdu.function")?, 0x01);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod corpus;
+pub mod dns;
+pub mod http;
+pub mod modbus;

@@ -1,0 +1,453 @@
+//! Modbus/TCP message formats and core application (paper §VII).
+//!
+//! The paper evaluates the framework on TCP-Modbus with the request and
+//! response messages of function codes 1, 2, 3, 4, 5, 6, 15 and 16 (the
+//! set exercised by the simplymodbus client), plus exception responses.
+//! The format contains a Tabular field, a Length boundary and a Counter
+//! boundary — exactly the features called out in §VII.
+
+use protoobf_core::{Codec, FormatGraph, Message};
+use rand::Rng;
+
+/// Specification of Modbus/TCP requests (MBAP header + PDU).
+pub const REQUEST_SPEC: &str = r#"
+message ModbusRequest {
+    u16 transaction_id;
+    u16 protocol_id;
+    u16 length = len(pdu);
+    seq pdu {
+        u8 unit_id;
+        u8 function;
+        optional read_coils if function == 0x01 {
+            u16 rc_start;
+            u16 rc_quantity;
+        }
+        optional read_discrete if function == 0x02 {
+            u16 rd_start;
+            u16 rd_quantity;
+        }
+        optional read_holding if function == 0x03 {
+            u16 rh_start;
+            u16 rh_quantity;
+        }
+        optional read_input if function == 0x04 {
+            u16 ri_start;
+            u16 ri_quantity;
+        }
+        optional write_coil if function == 0x05 {
+            u16 wc_address;
+            u16 wc_value;
+        }
+        optional write_register if function == 0x06 {
+            u16 wr_address;
+            u16 wr_value;
+        }
+        optional write_coils if function == 0x0F {
+            u16 wmc_start;
+            u16 wmc_quantity;
+            u8 wmc_byte_count = len(wmc_values);
+            bytes wmc_values sized_by wmc_byte_count;
+        }
+        optional write_registers if function == 0x10 {
+            u16 wmr_start;
+            u16 wmr_quantity;
+            u8 wmr_byte_count = len(wmr_values);
+            tabular wmr_values count_by wmr_quantity {
+                u16 wmr_value;
+            }
+        }
+    }
+}
+"#;
+
+/// Specification of Modbus/TCP responses (normal and exception).
+pub const RESPONSE_SPEC: &str = r#"
+message ModbusResponse {
+    u16 transaction_id;
+    u16 protocol_id;
+    u16 length = len(pdu);
+    seq pdu {
+        u8 unit_id;
+        u8 function;
+        optional read_coils if function == 0x01 {
+            u8 rc_byte_count = len(rc_status);
+            bytes rc_status sized_by rc_byte_count;
+        }
+        optional read_discrete if function == 0x02 {
+            u8 rd_byte_count = len(rd_status);
+            bytes rd_status sized_by rd_byte_count;
+        }
+        optional read_holding if function == 0x03 {
+            u8 rh_byte_count = len(rh_values);
+            bytes rh_values sized_by rh_byte_count;
+        }
+        optional read_input if function == 0x04 {
+            u8 ri_byte_count = len(ri_values);
+            bytes ri_values sized_by ri_byte_count;
+        }
+        optional write_coil if function == 0x05 {
+            u16 wc_address;
+            u16 wc_value;
+        }
+        optional write_register if function == 0x06 {
+            u16 wr_address;
+            u16 wr_value;
+        }
+        optional write_coils if function == 0x0F {
+            u16 wmc_start;
+            u16 wmc_quantity;
+        }
+        optional write_registers if function == 0x10 {
+            u16 wmr_start;
+            u16 wmr_quantity;
+        }
+        optional exception if function in [0x81, 0x82, 0x83, 0x84, 0x85, 0x86, 0x8F, 0x90] {
+            u8 exception_code;
+        }
+    }
+}
+"#;
+
+/// The request format graph.
+///
+/// # Panics
+///
+/// Never: the embedded specification is tested.
+pub fn request_graph() -> FormatGraph {
+    protoobf_spec::parse_spec(REQUEST_SPEC).expect("embedded Modbus request spec is valid")
+}
+
+/// The response format graph.
+pub fn response_graph() -> FormatGraph {
+    protoobf_spec::parse_spec(RESPONSE_SPEC).expect("embedded Modbus response spec is valid")
+}
+
+/// The Modbus function codes the paper's experiments cover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Function {
+    /// FC 0x01.
+    ReadCoils,
+    /// FC 0x02.
+    ReadDiscreteInputs,
+    /// FC 0x03.
+    ReadHoldingRegisters,
+    /// FC 0x04.
+    ReadInputRegisters,
+    /// FC 0x05.
+    WriteSingleCoil,
+    /// FC 0x06.
+    WriteSingleRegister,
+    /// FC 0x0F.
+    WriteMultipleCoils,
+    /// FC 0x10.
+    WriteMultipleRegisters,
+}
+
+impl Function {
+    /// All eight function codes, in code order.
+    pub const ALL: [Function; 8] = [
+        Function::ReadCoils,
+        Function::ReadDiscreteInputs,
+        Function::ReadHoldingRegisters,
+        Function::ReadInputRegisters,
+        Function::WriteSingleCoil,
+        Function::WriteSingleRegister,
+        Function::WriteMultipleCoils,
+        Function::WriteMultipleRegisters,
+    ];
+
+    /// The wire function code.
+    pub fn code(self) -> u8 {
+        match self {
+            Function::ReadCoils => 0x01,
+            Function::ReadDiscreteInputs => 0x02,
+            Function::ReadHoldingRegisters => 0x03,
+            Function::ReadInputRegisters => 0x04,
+            Function::WriteSingleCoil => 0x05,
+            Function::WriteSingleRegister => 0x06,
+            Function::WriteMultipleCoils => 0x0F,
+            Function::WriteMultipleRegisters => 0x10,
+        }
+    }
+
+    /// The optional-body name in the specification.
+    pub fn body(self) -> &'static str {
+        match self {
+            Function::ReadCoils => "read_coils",
+            Function::ReadDiscreteInputs => "read_discrete",
+            Function::ReadHoldingRegisters => "read_holding",
+            Function::ReadInputRegisters => "read_input",
+            Function::WriteSingleCoil => "write_coil",
+            Function::WriteSingleRegister => "write_register",
+            Function::WriteMultipleCoils => "write_coils",
+            Function::WriteMultipleRegisters => "write_registers",
+        }
+    }
+
+    /// Ground-truth label for classification experiments.
+    pub fn label(self) -> String {
+        format!("req:{:02x}", self.code())
+    }
+}
+
+/// Builds a request message with random field values (the paper's core
+/// application generates "different messages with random values").
+///
+/// # Panics
+///
+/// Never for codecs built from [`request_graph`].
+pub fn build_request<'c, R: Rng + ?Sized>(
+    codec: &'c Codec,
+    function: Function,
+    rng: &mut R,
+) -> Message<'c> {
+    let mut m = codec.message_seeded(rng.gen());
+    m.set_uint("transaction_id", rng.gen_range(0..=0xFFFF)).unwrap();
+    m.set_uint("protocol_id", 0).unwrap();
+    m.set_uint("pdu.unit_id", rng.gen_range(1..=32)).unwrap();
+    m.set_uint("pdu.function", u64::from(function.code())).unwrap();
+    let body = function.body();
+    match function {
+        Function::ReadCoils
+        | Function::ReadDiscreteInputs
+        | Function::ReadHoldingRegisters
+        | Function::ReadInputRegisters => {
+            let prefix = match function {
+                Function::ReadCoils => "rc",
+                Function::ReadDiscreteInputs => "rd",
+                Function::ReadHoldingRegisters => "rh",
+                _ => "ri",
+            };
+            m.set_uint(&format!("pdu.{body}.{prefix}_start"), rng.gen_range(0..=255)).unwrap();
+            m.set_uint(&format!("pdu.{body}.{prefix}_quantity"), rng.gen_range(1..=16)).unwrap();
+        }
+        Function::WriteSingleCoil => {
+            m.set_uint("pdu.write_coil.wc_address", rng.gen_range(0..=255)).unwrap();
+            let on: bool = rng.gen();
+            m.set_uint("pdu.write_coil.wc_value", if on { 0xFF00 } else { 0x0000 }).unwrap();
+        }
+        Function::WriteSingleRegister => {
+            m.set_uint("pdu.write_register.wr_address", rng.gen_range(0..=255)).unwrap();
+            m.set_uint("pdu.write_register.wr_value", rng.gen_range(0..=0xFFFF)).unwrap();
+        }
+        Function::WriteMultipleCoils => {
+            let quantity: u64 = rng.gen_range(1..=16);
+            let nbytes = (quantity as usize).div_ceil(8);
+            m.set_uint("pdu.write_coils.wmc_start", rng.gen_range(0..=255)).unwrap();
+            m.set_uint("pdu.write_coils.wmc_quantity", quantity).unwrap();
+            let bits: Vec<u8> = (0..nbytes).map(|_| rng.gen()).collect();
+            m.set("pdu.write_coils.wmc_values", bits).unwrap();
+        }
+        Function::WriteMultipleRegisters => {
+            let quantity = rng.gen_range(1..=5usize);
+            m.set_uint("pdu.write_registers.wmr_start", rng.gen_range(0..=255)).unwrap();
+            m.set_uint("pdu.write_registers.wmr_quantity", quantity as u64).unwrap();
+            for i in 0..quantity {
+                m.set_uint(
+                    &format!("pdu.write_registers.wmr_values[{i}].wmr_value"),
+                    rng.gen_range(0..=0xFFFF),
+                )
+                .unwrap();
+            }
+        }
+    }
+    m
+}
+
+/// Builds the response to a request of the given function code, with
+/// random payload values (and a small chance of an exception response when
+/// `allow_exception` is set).
+pub fn build_response<'c, R: Rng + ?Sized>(
+    codec: &'c Codec,
+    function: Function,
+    allow_exception: bool,
+    rng: &mut R,
+) -> Message<'c> {
+    let mut m = codec.message_seeded(rng.gen());
+    m.set_uint("transaction_id", rng.gen_range(0..=0xFFFF)).unwrap();
+    m.set_uint("protocol_id", 0).unwrap();
+    m.set_uint("pdu.unit_id", rng.gen_range(1..=32)).unwrap();
+    if allow_exception && rng.gen_bool(0.1) {
+        m.set_uint("pdu.function", u64::from(function.code() | 0x80)).unwrap();
+        m.set_uint("pdu.exception.exception_code", rng.gen_range(1..=4)).unwrap();
+        return m;
+    }
+    m.set_uint("pdu.function", u64::from(function.code())).unwrap();
+    match function {
+        Function::ReadCoils | Function::ReadDiscreteInputs => {
+            let prefix = if function == Function::ReadCoils { "rc" } else { "rd" };
+            let n = rng.gen_range(1..=4usize);
+            let status: Vec<u8> = (0..n).map(|_| rng.gen()).collect();
+            m.set(&format!("pdu.{}.{prefix}_status", function.body()), status).unwrap();
+        }
+        Function::ReadHoldingRegisters | Function::ReadInputRegisters => {
+            let prefix =
+                if function == Function::ReadHoldingRegisters { "rh" } else { "ri" };
+            let n = rng.gen_range(1..=8usize);
+            let values: Vec<u8> = (0..n * 2).map(|_| rng.gen()).collect();
+            m.set(&format!("pdu.{}.{prefix}_values", function.body()), values).unwrap();
+        }
+        Function::WriteSingleCoil => {
+            m.set_uint("pdu.write_coil.wc_address", rng.gen_range(0..=255)).unwrap();
+            m.set_uint("pdu.write_coil.wc_value", 0xFF00).unwrap();
+        }
+        Function::WriteSingleRegister => {
+            m.set_uint("pdu.write_register.wr_address", rng.gen_range(0..=255)).unwrap();
+            m.set_uint("pdu.write_register.wr_value", rng.gen_range(0..=0xFFFF)).unwrap();
+        }
+        Function::WriteMultipleCoils => {
+            m.set_uint("pdu.write_coils.wmc_start", rng.gen_range(0..=255)).unwrap();
+            m.set_uint("pdu.write_coils.wmc_quantity", rng.gen_range(1..=16)).unwrap();
+        }
+        Function::WriteMultipleRegisters => {
+            m.set_uint("pdu.write_registers.wmr_start", rng.gen_range(0..=255)).unwrap();
+            m.set_uint("pdu.write_registers.wmr_quantity", rng.gen_range(1..=5)).unwrap();
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protoobf_core::Obfuscator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn specs_parse_and_validate() {
+        let req = request_graph();
+        let resp = response_graph();
+        assert_eq!(req.name(), "ModbusRequest");
+        assert_eq!(resp.name(), "ModbusResponse");
+        // The paper notes the Modbus graph is large (≈48 transformations at
+        // one per node): ours is in the same regime.
+        assert!(req.len() >= 35, "request graph has {} nodes", req.len());
+        assert!(resp.len() >= 30, "response graph has {} nodes", resp.len());
+    }
+
+    #[test]
+    fn plain_wire_format_matches_real_modbus_fc03() {
+        let g = request_graph();
+        let codec = Codec::identity(&g);
+        let mut m = codec.message_seeded(1);
+        m.set_uint("transaction_id", 0x0001).unwrap();
+        m.set_uint("protocol_id", 0).unwrap();
+        m.set_uint("pdu.unit_id", 0x11).unwrap();
+        m.set_uint("pdu.function", 0x03).unwrap();
+        m.set_uint("pdu.read_holding.rh_start", 0x006B).unwrap();
+        m.set_uint("pdu.read_holding.rh_quantity", 3).unwrap();
+        let wire = codec.serialize_seeded(&m, 1).unwrap();
+        // Classic simplymodbus example frame.
+        assert_eq!(
+            wire,
+            vec![0x00, 0x01, 0x00, 0x00, 0x00, 0x06, 0x11, 0x03, 0x00, 0x6B, 0x00, 0x03]
+        );
+    }
+
+    #[test]
+    fn plain_wire_format_matches_real_modbus_fc16() {
+        let g = request_graph();
+        let codec = Codec::identity(&g);
+        let mut m = codec.message_seeded(1);
+        m.set_uint("transaction_id", 0x0001).unwrap();
+        m.set_uint("protocol_id", 0).unwrap();
+        m.set_uint("pdu.unit_id", 0x11).unwrap();
+        m.set_uint("pdu.function", 0x10).unwrap();
+        m.set_uint("pdu.write_registers.wmr_start", 0x0001).unwrap();
+        m.set_uint("pdu.write_registers.wmr_quantity", 2).unwrap();
+        m.set_uint("pdu.write_registers.wmr_values[0].wmr_value", 0x000A).unwrap();
+        m.set_uint("pdu.write_registers.wmr_values[1].wmr_value", 0x0102).unwrap();
+        let wire = codec.serialize_seeded(&m, 1).unwrap();
+        assert_eq!(
+            wire,
+            vec![
+                0x00, 0x01, 0x00, 0x00, 0x00, 0x0B, 0x11, 0x10, 0x00, 0x01, 0x00, 0x02, 0x04,
+                0x00, 0x0A, 0x01, 0x02
+            ]
+        );
+    }
+
+    #[test]
+    fn all_request_types_roundtrip_plain() {
+        let g = request_graph();
+        let codec = Codec::identity(&g);
+        let mut rng = StdRng::seed_from_u64(3);
+        for f in Function::ALL {
+            let m = build_request(&codec, f, &mut rng);
+            let wire = codec.serialize_seeded(&m, 1).unwrap();
+            let back = codec.parse(&wire).unwrap();
+            assert_eq!(back.get_uint("pdu.function").unwrap(), u64::from(f.code()));
+            assert!(back.is_present(&format!("pdu.{}", f.body())), "{f:?}");
+        }
+    }
+
+    #[test]
+    fn all_response_types_roundtrip_plain() {
+        let g = response_graph();
+        let codec = Codec::identity(&g);
+        let mut rng = StdRng::seed_from_u64(4);
+        for f in Function::ALL {
+            let m = build_response(&codec, f, false, &mut rng);
+            let wire = codec.serialize_seeded(&m, 1).unwrap();
+            let back = codec.parse(&wire).unwrap();
+            assert_eq!(back.get_uint("pdu.function").unwrap(), u64::from(f.code()));
+        }
+    }
+
+    #[test]
+    fn exception_response_roundtrips() {
+        let g = response_graph();
+        let codec = Codec::identity(&g);
+        let mut m = codec.message_seeded(1);
+        m.set_uint("transaction_id", 5).unwrap();
+        m.set_uint("protocol_id", 0).unwrap();
+        m.set_uint("pdu.unit_id", 1).unwrap();
+        m.set_uint("pdu.function", 0x83).unwrap();
+        m.set_uint("pdu.exception.exception_code", 2).unwrap();
+        let wire = codec.serialize_seeded(&m, 1).unwrap();
+        assert_eq!(wire[7], 0x83);
+        let back = codec.parse(&wire).unwrap();
+        assert!(back.is_present("pdu.exception"));
+        assert_eq!(back.get_uint("pdu.exception.exception_code").unwrap(), 2);
+    }
+
+    #[test]
+    fn obfuscated_requests_roundtrip_all_functions() {
+        let g = request_graph();
+        for level in 1..=3u32 {
+            for seed in 0..5u64 {
+                let codec =
+                    Obfuscator::new(&g).seed(seed).max_per_node(level).obfuscate().unwrap();
+                let mut rng = StdRng::seed_from_u64(seed + 100);
+                for f in Function::ALL {
+                    let m = build_request(&codec, f, &mut rng);
+                    let wire = codec.serialize_seeded(&m, seed).unwrap_or_else(|e| {
+                        panic!("{f:?} level {level} seed {seed}: {e}")
+                    });
+                    let back = codec.parse(&wire).unwrap_or_else(|e| {
+                        panic!("{f:?} level {level} seed {seed}: {e}")
+                    });
+                    assert_eq!(
+                        back.get_uint("pdu.function").unwrap(),
+                        u64::from(f.code())
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn obfuscated_responses_roundtrip_all_functions() {
+        let g = response_graph();
+        for seed in 0..5u64 {
+            let codec = Obfuscator::new(&g).seed(seed).max_per_node(2).obfuscate().unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            for f in Function::ALL {
+                let m = build_response(&codec, f, true, &mut rng);
+                let wire = codec.serialize_seeded(&m, seed).unwrap();
+                codec.parse(&wire).unwrap_or_else(|e| panic!("{f:?} seed {seed}: {e}"));
+            }
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Syntax tree of the specification language, produced by
+//! [`crate::parser`] and consumed by [`crate::lower`].
+
+use protoobf_core::Endian;
+
+use crate::error::Pos;
+
+/// A parsed specification source: one or more message declarations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecAst {
+    /// Message declarations in source order.
+    pub messages: Vec<MessageAst>,
+}
+
+/// One `message NAME { ... }` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MessageAst {
+    /// Message (protocol) name.
+    pub name: String,
+    /// Top-level fields.
+    pub fields: Vec<FieldAst>,
+    /// Source position of the declaration.
+    pub pos: Pos,
+}
+
+/// A dotted field reference (`length`, `pdu.function`, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RefAst {
+    /// Path components.
+    pub parts: Vec<String>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+impl RefAst {
+    /// The reference as written.
+    pub fn text(&self) -> String {
+        self.parts.join(".")
+    }
+}
+
+/// Terminal type annotations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeAst {
+    /// Unsigned integer of fixed width and byte order.
+    UInt {
+        /// Width in bytes (1–8).
+        width: usize,
+        /// Byte order.
+        endian: Endian,
+    },
+    /// Raw bytes, optionally with a fixed size.
+    Bytes(Option<usize>),
+    /// Text bytes (structurally identical to `Bytes(None)`).
+    Ascii,
+}
+
+/// Terminal boundary annotations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoundaryAst {
+    /// `until "…"` — delimited.
+    Until(Vec<u8>),
+    /// `sized_by ref` — length carried by another field.
+    SizedBy(RefAst),
+    /// `rest` — extends to the end of the window.
+    Rest,
+}
+
+/// Auto-computation annotations (`= len(x)` / `= count(x)`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AutoAst {
+    /// Plain serialized length of the target.
+    Len(RefAst),
+    /// Element count of the target.
+    Count(RefAst),
+    /// A protocol constant, emitted and verified automatically.
+    Const(LitAst),
+}
+
+/// Sequence window annotations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WindowAst {
+    /// `sized_by ref`.
+    SizedBy(RefAst),
+    /// `rest`.
+    Rest,
+}
+
+/// Condition operator of an `optional … if` clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CondOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `in [a, b, …]`
+    In,
+}
+
+/// Literal in a condition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LitAst {
+    /// Integer (encoded with the subject's width/endianness).
+    Int(u64),
+    /// Byte string.
+    Str(Vec<u8>),
+}
+
+/// `optional … if subject <op> values` condition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CondAst {
+    /// The referenced subject field.
+    pub subject: RefAst,
+    /// Comparison operator.
+    pub op: CondOp,
+    /// Right-hand literals (one for `==`/`!=`, several for `in`).
+    pub values: Vec<LitAst>,
+}
+
+/// Repetition stop annotations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StopAst {
+    /// `until "…"` — terminator byte string.
+    Until(Vec<u8>),
+    /// `rest` — repeat until the window is exhausted.
+    Rest,
+}
+
+/// One field declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldAst {
+    /// A terminal field.
+    Terminal {
+        /// Field name.
+        name: String,
+        /// Declared type.
+        ty: TypeAst,
+        /// Optional boundary annotation.
+        boundary: Option<BoundaryAst>,
+        /// Optional auto-computation annotation.
+        auto: Option<AutoAst>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `seq name [window] { … }`
+    Seq {
+        /// Node name.
+        name: String,
+        /// Optional window annotation.
+        window: Option<WindowAst>,
+        /// Children.
+        fields: Vec<FieldAst>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `optional name if cond { … }`
+    Optional {
+        /// Node name.
+        name: String,
+        /// Presence condition.
+        cond: CondAst,
+        /// Children of the (implicit) body.
+        fields: Vec<FieldAst>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `repeat name (until "…" | rest) { … }`
+    Repeat {
+        /// Node name.
+        name: String,
+        /// Stop rule.
+        stop: StopAst,
+        /// Element fields.
+        fields: Vec<FieldAst>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `tabular name count_by ref { … }`
+    Tabular {
+        /// Node name.
+        name: String,
+        /// The counter field.
+        counter: RefAst,
+        /// Element fields.
+        fields: Vec<FieldAst>,
+        /// Source position.
+        pos: Pos,
+    },
+}
+
+impl FieldAst {
+    /// The declared field name.
+    pub fn name(&self) -> &str {
+        match self {
+            FieldAst::Terminal { name, .. }
+            | FieldAst::Seq { name, .. }
+            | FieldAst::Optional { name, .. }
+            | FieldAst::Repeat { name, .. }
+            | FieldAst::Tabular { name, .. } => name,
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Errors produced while lexing, parsing or lowering a specification.
+
+use std::fmt;
+
+use protoobf_core::SpecError;
+
+/// Position in the specification source, 1-based.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    /// Line number (1-based).
+    pub line: u32,
+    /// Column number (1-based, in bytes).
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Error raised while turning specification text into a
+/// [`protoobf_core::FormatGraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseSpecError {
+    /// A character that cannot start any token.
+    UnexpectedChar { pos: Pos, found: char },
+    /// A string literal without a closing quote.
+    UnterminatedString { pos: Pos },
+    /// An invalid escape sequence inside a string literal.
+    BadEscape { pos: Pos, escape: String },
+    /// A malformed number literal.
+    BadNumber { pos: Pos, text: String },
+    /// The parser expected something else here.
+    Unexpected { pos: Pos, expected: String, found: String },
+    /// A name reference did not resolve to a declared field.
+    UnknownReference { pos: Pos, name: String },
+    /// A name reference matched several declared fields.
+    AmbiguousReference { pos: Pos, name: String },
+    /// A declaration or literal is inconsistent with its context (bad
+    /// boundary combination, literal that does not fit the subject, …).
+    BadDeclaration { pos: Pos, reason: String },
+    /// The specification is structurally invalid (delegated to graph
+    /// validation).
+    Invalid(SpecError),
+    /// The source contained no `message` declaration.
+    NoMessages,
+}
+
+impl fmt::Display for ParseSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseSpecError::UnexpectedChar { pos, found } => {
+                write!(f, "{pos}: unexpected character {found:?}")
+            }
+            ParseSpecError::UnterminatedString { pos } => {
+                write!(f, "{pos}: unterminated string literal")
+            }
+            ParseSpecError::BadEscape { pos, escape } => {
+                write!(f, "{pos}: invalid escape sequence \\{escape}")
+            }
+            ParseSpecError::BadNumber { pos, text } => {
+                write!(f, "{pos}: invalid number literal {text:?}")
+            }
+            ParseSpecError::Unexpected { pos, expected, found } => {
+                write!(f, "{pos}: expected {expected}, found {found}")
+            }
+            ParseSpecError::UnknownReference { pos, name } => {
+                write!(f, "{pos}: unknown field reference {name:?}")
+            }
+            ParseSpecError::AmbiguousReference { pos, name } => {
+                write!(f, "{pos}: ambiguous field reference {name:?} (use a dotted path)")
+            }
+            ParseSpecError::BadDeclaration { pos, reason } => {
+                write!(f, "{pos}: {reason}")
+            }
+            ParseSpecError::Invalid(e) => write!(f, "invalid specification: {e}"),
+            ParseSpecError::NoMessages => write!(f, "no message declaration found"),
+        }
+    }
+}
+
+impl std::error::Error for ParseSpecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseSpecError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SpecError> for ParseSpecError {
+    fn from(e: SpecError) -> Self {
+        ParseSpecError::Invalid(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = ParseSpecError::Unexpected {
+            pos: Pos { line: 3, col: 14 },
+            expected: "';'".into(),
+            found: "'}'".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("3:14") && s.contains("';'"));
+    }
+
+    #[test]
+    fn source_chains_spec_error() {
+        use std::error::Error;
+        let e = ParseSpecError::Invalid(SpecError::EmptyGraph);
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,75 @@
+//! # protoobf-spec
+//!
+//! The specification language of the ProtoObf framework (the input the
+//! paper feeds through Lex/Yacc). A specification describes a protocol's
+//! message format; [`parse_spec`] turns it into a validated
+//! [`protoobf_core::FormatGraph`] ready for obfuscation.
+//!
+//! ```
+//! use protoobf_spec::parse_spec;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let graph = parse_spec(r#"
+//!     message Ping {
+//!         u16 id;
+//!         u16 length = len(payload);
+//!         bytes payload sized_by length;
+//!     }
+//! "#)?;
+//! assert_eq!(graph.name(), "Ping");
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Language reference
+//!
+//! * **Terminals** — `u8 … u64` (`…le` for little-endian), `bytes(n)`,
+//!   `bytes`/`ascii` with a boundary: `until "…"` (delimited),
+//!   `sized_by field` (length-prefixed), `rest` (to the end of the window).
+//! * **Auto fields** — `u16 length = len(pdu);`, `u8 n = count(items);`
+//!   are filled by the serializer and checked by the parser.
+//! * **Constants** — `u16 protocol_id = const 0;`,
+//!   `ascii version until " " = const "HTTP/1.1";` are emitted
+//!   automatically and verified on parse.
+//! * **Sequences** — `seq name { … }`, optionally `sized_by`/`rest`.
+//! * **Optionals** — `optional name if field == 0x03 { … }` (also `!=`,
+//!   `in [a, b]`; string literals for text subjects).
+//! * **Repetitions** — `repeat name until "\r\n" { … }` or
+//!   `repeat name rest { … }`.
+//! * **Tabulars** — `tabular name count_by field { … }`.
+//!
+//! References (`sized_by`, `count_by`, `if`) must point at fields declared
+//! earlier (parseability); auto targets may point forward.
+
+pub mod ast;
+pub mod error;
+pub mod lower;
+pub mod parser;
+pub mod print;
+pub mod token;
+
+pub use error::ParseSpecError;
+pub use print::to_text;
+
+use protoobf_core::FormatGraph;
+
+/// Parses specification text containing exactly one message declaration.
+///
+/// # Errors
+///
+/// Lexical, syntactic, reference-resolution or validation errors.
+pub fn parse_spec(src: &str) -> Result<FormatGraph, ParseSpecError> {
+    let graphs = parse_specs(src)?;
+    Ok(graphs.into_iter().next().expect("parse_specs yields at least one message"))
+}
+
+/// Parses specification text containing one or more message declarations
+/// (e.g. a request and a response format).
+///
+/// # Errors
+///
+/// See [`parse_spec`].
+pub fn parse_specs(src: &str) -> Result<Vec<FormatGraph>, ParseSpecError> {
+    let ast = parser::parse(src)?;
+    ast.messages.iter().map(lower::lower).collect()
+}

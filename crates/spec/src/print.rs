@@ -1,0 +1,245 @@
+//! Pretty-printer: [`FormatGraph`] → specification text.
+//!
+//! Useful for documenting generated graphs and for print→parse round-trip
+//! tests of the DSL itself.
+
+use protoobf_core::graph::{
+    AutoValue, Boundary, FormatGraph, NodeId, NodeType, Predicate, StopRule,
+};
+use protoobf_core::{Endian, TerminalKind};
+
+/// Renders a format graph back to specification text.
+pub fn to_text(g: &FormatGraph) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("message {} {{\n", g.name()));
+    for &c in g.node(g.root()).children() {
+        print_node(g, c, 1, &mut out);
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn indent(level: usize, out: &mut String) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn path_of(g: &FormatGraph, id: NodeId) -> String {
+    let mut parts = vec![g.node(id).name().to_string()];
+    let mut cur = g.node(id).parent();
+    while let Some(p) = cur {
+        if g.node(p).parent().is_none() {
+            break; // skip the root name
+        }
+        parts.push(g.node(p).name().to_string());
+        cur = g.node(p).parent();
+    }
+    parts.reverse();
+    parts.join(".")
+}
+
+fn escape(bytes: &[u8]) -> String {
+    let mut s = String::from("\"");
+    for &b in bytes {
+        match b {
+            b'\r' => s.push_str("\\r"),
+            b'\n' => s.push_str("\\n"),
+            b'\t' => s.push_str("\\t"),
+            0 => s.push_str("\\0"),
+            b'"' => s.push_str("\\\""),
+            b'\\' => s.push_str("\\\\"),
+            b if (0x20..0x7f).contains(&b) => s.push(b as char),
+            b => s.push_str(&format!("\\x{b:02x}")),
+        }
+    }
+    s.push('"');
+    s
+}
+
+fn print_node(g: &FormatGraph, id: NodeId, level: usize, out: &mut String) {
+    let node = g.node(id);
+    indent(level, out);
+    match node.node_type() {
+        NodeType::Terminal(kind) => {
+            let ty = match kind {
+                TerminalKind::UInt { width, endian } => {
+                    let suffix = if *endian == Endian::Little { "le" } else { "" };
+                    format!("u{}{}", width * 8, suffix)
+                }
+                TerminalKind::Bytes => match node.boundary() {
+                    Boundary::Fixed(n) => format!("bytes({n})"),
+                    _ => "bytes".to_string(),
+                },
+                TerminalKind::Ascii => "ascii".to_string(),
+            };
+            out.push_str(&format!("{ty} {}", node.name()));
+            match node.boundary() {
+                Boundary::Fixed(_) => {}
+                Boundary::Delimited(d) => out.push_str(&format!(" until {}", escape(d))),
+                Boundary::Length(r) => {
+                    out.push_str(&format!(" sized_by {}", path_of(g, *r)))
+                }
+                Boundary::End => out.push_str(" rest"),
+                Boundary::Counter(_) | Boundary::Delegated => {}
+            }
+            match node.auto() {
+                AutoValue::None => {}
+                AutoValue::LengthOf(t) => {
+                    out.push_str(&format!(" = len({})", path_of(g, *t)))
+                }
+                AutoValue::CounterOf(t) => {
+                    out.push_str(&format!(" = count({})", path_of(g, *t)))
+                }
+                AutoValue::Literal(v) => match kind {
+                    TerminalKind::UInt { endian, .. } => {
+                        out.push_str(&format!(
+                            " = const 0x{:02x}",
+                            v.to_uint(*endian).unwrap_or(0)
+                        ));
+                    }
+                    _ => out.push_str(&format!(" = const {}", escape(v.as_bytes()))),
+                },
+            }
+            out.push_str(";\n");
+        }
+        NodeType::Sequence => {
+            out.push_str(&format!("seq {}", node.name()));
+            match node.boundary() {
+                Boundary::Length(r) => out.push_str(&format!(" sized_by {}", path_of(g, *r))),
+                Boundary::End => out.push_str(" rest"),
+                _ => {}
+            }
+            out.push_str(" {\n");
+            for &c in node.children() {
+                print_node(g, c, level + 1, out);
+            }
+            indent(level, out);
+            out.push_str("}\n");
+        }
+        NodeType::Optional(cond) => {
+            out.push_str(&format!(
+                "optional {} if {} ",
+                node.name(),
+                path_of(g, cond.subject)
+            ));
+            match &cond.predicate {
+                Predicate::Equals(v) => out.push_str(&format!("== {}", render_value(g, cond.subject, v))),
+                Predicate::NotEquals(v) => {
+                    out.push_str(&format!("!= {}", render_value(g, cond.subject, v)))
+                }
+                Predicate::OneOf(vs) => {
+                    out.push_str("in [");
+                    for (i, v) in vs.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(", ");
+                        }
+                        out.push_str(&render_value(g, cond.subject, v));
+                    }
+                    out.push(']');
+                }
+            }
+            out.push_str(" {\n");
+            print_body(g, id, level, out);
+        }
+        NodeType::Repetition(stop) => {
+            out.push_str(&format!("repeat {}", node.name()));
+            match stop {
+                StopRule::Terminator(t) => out.push_str(&format!(" until {}", escape(t))),
+                StopRule::Exhausted => out.push_str(" rest"),
+            }
+            out.push_str(" {\n");
+            print_body(g, id, level, out);
+        }
+        NodeType::Tabular => {
+            let counter = match node.boundary() {
+                Boundary::Counter(c) => path_of(g, *c),
+                _ => String::from("?"),
+            };
+            out.push_str(&format!("tabular {} count_by {counter} {{\n", node.name()));
+            print_body(g, id, level, out);
+        }
+    }
+}
+
+/// Prints the body of a wrapper node, flattening the implicit
+/// `body`/`item` sequence the lowering inserts.
+fn print_body(g: &FormatGraph, id: NodeId, level: usize, out: &mut String) {
+    let child = g.node(id).children()[0];
+    let cnode = g.node(child);
+    let implicit = matches!(cnode.node_type(), NodeType::Sequence)
+        && matches!(cnode.boundary(), Boundary::Delegated)
+        && (cnode.name() == "item" || cnode.name() == "body");
+    if implicit {
+        for &c in cnode.children() {
+            print_node(g, c, level + 1, out);
+        }
+    } else {
+        print_node(g, child, level + 1, out);
+    }
+    indent(level, out);
+    out.push_str("}\n");
+}
+
+fn render_value(
+    g: &FormatGraph,
+    subject: NodeId,
+    v: &protoobf_core::Value,
+) -> String {
+    match g.node(subject).terminal_kind() {
+        Some(TerminalKind::UInt { endian, .. }) => {
+            format!("0x{:02x}", v.to_uint(*endian).unwrap_or(0))
+        }
+        _ => escape(v.as_bytes()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    const SRC: &str = r#"message M {
+    u16 transaction_id;
+    u16 length = len(pdu);
+    seq pdu {
+        u8 function;
+        optional read if function == 0x03 {
+            u16 start;
+            u16 quantity;
+        }
+        ascii uri until " ";
+        bytes data sized_by length;
+        u8 n = count(vals);
+        tabular vals count_by n {
+            u16 a;
+            u16 b;
+        }
+        repeat hdrs until "\r\n" {
+            ascii k until ": ";
+            ascii v until "\r\n";
+        }
+        bytes tail rest;
+    }
+}
+"#;
+
+    #[test]
+    fn print_parse_fixpoint() {
+        let ast1 = parse(SRC).unwrap();
+        let g1 = crate::lower::lower(&ast1.messages[0]).unwrap();
+        let text1 = to_text(&g1);
+        let ast2 = parse(&text1).unwrap();
+        let g2 = crate::lower::lower(&ast2.messages[0]).unwrap();
+        let text2 = to_text(&g2);
+        assert_eq!(text1, text2, "printing must be a fixpoint");
+        assert_eq!(g1.len(), g2.len());
+    }
+
+    #[test]
+    fn escape_renders_control_bytes() {
+        assert_eq!(escape(b"\r\n"), "\"\\r\\n\"");
+        assert_eq!(escape(&[0x00, 0x9c]), "\"\\0\\x9c\"");
+        assert_eq!(escape(b"a\"b"), "\"a\\\"b\"");
+    }
+}

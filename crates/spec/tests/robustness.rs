@@ -1,0 +1,78 @@
+//! Parser robustness: arbitrary input must produce errors, never panics,
+//! and valid specs must survive mutation-based fuzzing without crashes.
+
+use proptest::prelude::*;
+use protoobf_spec::parse_spec;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arbitrary_strings_never_panic(src in ".{0,200}") {
+        let _ = parse_spec(&src);
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        if let Ok(s) = std::str::from_utf8(&bytes) {
+            let _ = parse_spec(s);
+        }
+    }
+
+    #[test]
+    fn mutated_valid_specs_never_panic(pos in 0usize..400, c in any::<char>()) {
+        let base = r#"
+            message M {
+                u16 id;
+                u16 length = len(data);
+                bytes data sized_by length;
+                ascii tag until ";";
+                u8 n = count(items);
+                tabular items count_by n { u16 v; }
+                bytes tail rest;
+            }
+        "#;
+        let mut s: Vec<char> = base.chars().collect();
+        if pos < s.len() {
+            s[pos] = c;
+        }
+        let mutated: String = s.into_iter().collect();
+        let _ = parse_spec(&mutated);
+    }
+
+    #[test]
+    fn truncated_valid_specs_never_panic(cut in 0usize..300) {
+        let base = r#"message M { u16 a; seq s { u8 b; optional o if b == 1 { u8 c; } } }"#;
+        let cut = cut.min(base.len());
+        if base.is_char_boundary(cut) {
+            let _ = parse_spec(&base[..cut]);
+        }
+    }
+}
+
+#[test]
+fn deeply_nested_spec_parses() {
+    // 32 levels of nested sequences: recursion depth sanity.
+    let mut src = String::from("message Deep {\n");
+    for i in 0..32 {
+        src.push_str(&format!("seq s{i} {{\n"));
+    }
+    src.push_str("u8 x;\n");
+    for _ in 0..32 {
+        src.push('}');
+    }
+    src.push('}');
+    let g = parse_spec(&src).unwrap();
+    assert_eq!(g.len(), 34);
+}
+
+#[test]
+fn long_field_lists_parse() {
+    let mut src = String::from("message Wide {\n");
+    for i in 0..300 {
+        src.push_str(&format!("u8 f{i};\n"));
+    }
+    src.push('}');
+    let g = parse_spec(&src).unwrap();
+    assert_eq!(g.len(), 301);
+}

@@ -1,0 +1,58 @@
+//! DNS obfuscation: nested per-element length prefixes and constant header
+//! fields under transformation.
+//!
+//! DNS names are repetitions of length-prefixed labels ended by a zero
+//! byte — the shape PRE tools model well. Under obfuscation the label
+//! structure, header constants and the terminator all disappear from the
+//! wire, while the resolver-facing accessor API never changes.
+//!
+//! ```sh
+//! cargo run --example dns_obfuscation
+//! ```
+
+use protoobf::protocols::dns;
+use protoobf::{Codec, Obfuscator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn hex(bytes: &[u8]) -> String {
+    bytes
+        .iter()
+        .map(|&b| {
+            if (0x21..0x7f).contains(&b) {
+                format!(" {}", b as char)
+            } else {
+                format!("{b:02x}")
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let graph = dns::query_graph();
+    let mut rng = StdRng::seed_from_u64(4);
+
+    let plain = Codec::identity(&graph);
+    let query = dns::build_query(&plain, &mut rng);
+    let host: Vec<String> = (0..query.element_count("questions[0].qname"))
+        .map(|i| query.get_string(&format!("questions[0].qname[{i}].label")).unwrap())
+        .collect();
+    println!("query for {:?}:", host.join("."));
+    println!("plain   : {}", hex(&plain.serialize_seeded(&query, 1)?));
+
+    for level in [1u32, 2] {
+        let codec = Obfuscator::new(&graph).seed(99).max_per_node(level).obfuscate()?;
+        let msg = dns::build_query(&codec, &mut StdRng::seed_from_u64(4));
+        let wire = codec.serialize_seeded(&msg, 1)?;
+        println!("level {level} : {}", hex(&wire));
+        let back = codec.parse(&wire)?;
+        assert_eq!(back.get_string("questions[0].qname[0].label")?, host[0]);
+        if level == 2 {
+            println!("\nplan at level 2:\n{}", codec.plan_summary());
+        }
+    }
+
+    println!("label structure recovered identically at every level ✓");
+    Ok(())
+}

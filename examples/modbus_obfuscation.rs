@@ -1,0 +1,90 @@
+//! Obfuscated Modbus/TCP client and server over an in-memory network.
+//!
+//! Both peers regenerate the same obfuscated library from the shared
+//! specification and seed (the paper's deployment model: the generated
+//! code "must be integrated within all the applications that
+//! communicate"), then exchange every request type and its response.
+//!
+//! ```sh
+//! cargo run --example modbus_obfuscation
+//! ```
+
+use std::sync::mpsc;
+use std::thread;
+
+use protoobf::protocols::modbus::{self, Function};
+use protoobf::Obfuscator;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SHARED_SEED: u64 = 0xC0FFEE;
+const LEVEL: u32 = 2;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (to_server, server_rx) = mpsc::channel::<Vec<u8>>();
+    let (to_client, client_rx) = mpsc::channel::<Vec<u8>>();
+
+    // The server regenerates its own codecs from the shared spec + seed.
+    let server = thread::spawn(move || -> Result<(), String> {
+        let req_graph = modbus::request_graph();
+        let resp_graph = modbus::response_graph();
+        let req_codec = Obfuscator::new(&req_graph)
+            .seed(SHARED_SEED)
+            .max_per_node(LEVEL)
+            .obfuscate()
+            .map_err(|e| e.to_string())?;
+        let resp_codec = Obfuscator::new(&resp_graph)
+            .seed(SHARED_SEED + 1)
+            .max_per_node(LEVEL)
+            .obfuscate()
+            .map_err(|e| e.to_string())?;
+        let mut rng = StdRng::seed_from_u64(1);
+        while let Ok(wire) = server_rx.recv() {
+            let request = req_codec.parse(&wire).map_err(|e| e.to_string())?;
+            let fc = request.get_uint("pdu.function").map_err(|e| e.to_string())?;
+            let function = Function::ALL
+                .into_iter()
+                .find(|f| u64::from(f.code()) == fc)
+                .ok_or_else(|| format!("unknown function {fc}"))?;
+            println!(
+                "server: fc={fc:#04x} tid={} ({} obfuscated bytes)",
+                request.get_uint("transaction_id").map_err(|e| e.to_string())?,
+                wire.len()
+            );
+            let response = modbus::build_response(&resp_codec, function, false, &mut rng);
+            let bytes = resp_codec
+                .serialize(&response)
+                .map_err(|e| e.to_string())?;
+            to_client.send(bytes).map_err(|e| e.to_string())?;
+        }
+        Ok(())
+    });
+
+    // The client does the same, independently.
+    let req_graph = modbus::request_graph();
+    let resp_graph = modbus::response_graph();
+    let req_codec =
+        Obfuscator::new(&req_graph).seed(SHARED_SEED).max_per_node(LEVEL).obfuscate()?;
+    let resp_codec =
+        Obfuscator::new(&resp_graph).seed(SHARED_SEED + 1).max_per_node(LEVEL).obfuscate()?;
+    println!(
+        "client: regenerated library with {} request transformations\n",
+        req_codec.transform_count()
+    );
+
+    let mut rng = StdRng::seed_from_u64(2);
+    for function in Function::ALL {
+        let request = modbus::build_request(&req_codec, function, &mut rng);
+        to_server.send(req_codec.serialize(&request)?)?;
+        let wire = client_rx.recv()?;
+        let response = resp_codec.parse(&wire)?;
+        let fc = response.get_uint("pdu.function")?;
+        assert_eq!(fc, u64::from(function.code()), "response echoes the function code");
+        println!("client: {function:?} answered (fc={fc:#04x})");
+    }
+    drop(to_server);
+    server.join().expect("server thread").map_err(|e| e.to_string())?;
+
+    println!("\nall eight function codes exchanged over the obfuscated protocol ✓");
+    Ok(())
+}

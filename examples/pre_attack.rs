@@ -1,0 +1,94 @@
+//! A reverse-engineering attack against plain and obfuscated traces — the
+//! paper's §VII-D resilience assessment as a runnable demo.
+//!
+//! The "analyst" is the alignment-based toolkit of `protoobf-pre`
+//! (Netzob-family algorithms). Against the plain Modbus trace it recovers
+//! clusters and a field structure; against the obfuscated trace the
+//! recovered structure collapses.
+//!
+//! ```sh
+//! cargo run --release --example pre_attack
+//! ```
+
+use protoobf::pre::align::{similarity_matrix, ScoreParams};
+use protoobf::pre::cluster::upgma;
+use protoobf::pre::infer::{multiple_alignment, InferredField};
+use protoobf::pre::score::{adjusted_rand_index, purity};
+use protoobf::protocols::{corpus, modbus};
+use protoobf::{Codec, Obfuscator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn describe(fields: &[InferredField]) -> String {
+    fields
+        .iter()
+        .map(|f| match f {
+            InferredField::Static(bytes) => format!("const{bytes:02x?}"),
+            InferredField::Variable { min_len, max_len } if min_len == max_len => {
+                format!("var[{min_len}]")
+            }
+            InferredField::Variable { min_len, max_len } => format!("var[{min_len}..{max_len}]"),
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn attack(name: &str, req: &Codec, resp: &Codec) {
+    let functions = [
+        modbus::Function::ReadCoils,
+        modbus::Function::ReadHoldingRegisters,
+        modbus::Function::WriteSingleRegister,
+        modbus::Function::WriteMultipleRegisters,
+    ];
+    let mut rng = StdRng::seed_from_u64(42);
+    let trace = corpus::modbus_trace(req, resp, &functions, 8, &mut rng);
+    let msgs: Vec<&[u8]> = trace.iter().map(|s| s.wire.as_slice()).collect();
+    let labels: Vec<&str> = trace.iter().map(|s| s.label.as_str()).collect();
+
+    let sim = similarity_matrix(&msgs, ScoreParams::default());
+    let clusters = upgma(&sim, 0.55);
+    println!("=== {name} ===");
+    println!(
+        "classification: {} clusters for 8 true types, purity {:.2}, ARI {:.2}",
+        clusters.len(),
+        purity(&clusters, &labels),
+        adjusted_rand_index(&clusters, &labels)
+    );
+
+    // Format inference on the FC3 request group (the paper's expert
+    // recovered "the exact format" of these for the plain protocol).
+    let group: Vec<&[u8]> = trace
+        .iter()
+        .filter(|s| s.label == "req:03")
+        .map(|s| s.wire.as_slice())
+        .collect();
+    let profile = multiple_alignment(&group, ScoreParams::default());
+    println!(
+        "FC3 request inference: {:.0}% static structure",
+        profile.static_fraction() * 100.0
+    );
+    println!("inferred format: {}\n", describe(&profile.fields()));
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let req_graph = modbus::request_graph();
+    let resp_graph = modbus::response_graph();
+
+    attack(
+        "plain Modbus trace",
+        &Codec::identity(&req_graph),
+        &Codec::identity(&resp_graph),
+    );
+
+    for level in [1u32, 2] {
+        let req = Obfuscator::new(&req_graph).seed(5 + u64::from(level)).max_per_node(level).obfuscate()?;
+        let resp =
+            Obfuscator::new(&resp_graph).seed(55 + u64::from(level)).max_per_node(level).obfuscate()?;
+        attack(&format!("obfuscated Modbus trace (level {level})"), &req, &resp);
+    }
+
+    println!("reading: the plain trace exposes the MBAP header and function");
+    println!("codes as static fields; under obfuscation the inferred structure");
+    println!("collapses into wide variable runs — the paper's expert story.");
+    Ok(())
+}

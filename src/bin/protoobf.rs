@@ -1,0 +1,169 @@
+//! `protoobf` — command-line front end to the obfuscation framework.
+//!
+//! ```text
+//! protoobf check <spec>                      validate a specification
+//! protoobf print <spec>                      re-print the canonical form
+//! protoobf dot <spec> [--level N --seed N]   Graphviz (plain or obfuscated)
+//! protoobf gen <spec> [--level N --seed N] [-o lib.c]
+//!                                            generate the C library + metrics
+//! protoobf demo <spec> [--level N --seed N]  round-trip a random message
+//! ```
+
+use std::process::ExitCode;
+
+use protoobf::codegen::{generate, measure};
+use protoobf::core::sample::random_message;
+use protoobf::{Codec, Obfuscator};
+
+struct Options {
+    spec_path: String,
+    level: u32,
+    seed: u64,
+    out: Option<String>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: protoobf <check|print|dot|gen|demo> <spec-file> [--level N] [--seed N] [-o FILE]");
+    ExitCode::from(2)
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut spec_path = None;
+    let mut level = 1u32;
+    let mut seed = 0u64;
+    let mut out = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--level" => {
+                level = it
+                    .next()
+                    .ok_or("--level needs a value")?
+                    .parse()
+                    .map_err(|_| "--level must be a number")?;
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|_| "--seed must be a number")?;
+            }
+            "-o" | "--out" => {
+                out = Some(it.next().ok_or("-o needs a path")?.clone());
+            }
+            other if spec_path.is_none() && !other.starts_with('-') => {
+                spec_path = Some(other.to_string());
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(Options {
+        spec_path: spec_path.ok_or("missing specification file")?,
+        level,
+        seed,
+        out,
+    })
+}
+
+fn load(path: &str) -> Result<protoobf::FormatGraph, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    protoobf::spec::parse_spec(&text).map_err(|e| e.to_string())
+}
+
+fn codec_for(graph: &protoobf::FormatGraph, opts: &Options) -> Result<Codec, String> {
+    if opts.level == 0 {
+        Ok(Codec::identity(graph))
+    } else {
+        Obfuscator::new(graph)
+            .seed(opts.seed)
+            .max_per_node(opts.level)
+            .obfuscate()
+            .map_err(|e| e.to_string())
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (command, rest) = match args.split_first() {
+        Some((c, rest)) => (c.clone(), rest.to_vec()),
+        None => return Err("missing command".into()),
+    };
+    let opts = parse_options(&rest)?;
+    let graph = load(&opts.spec_path)?;
+
+    match command.as_str() {
+        "check" => {
+            println!(
+                "{}: ok — {} nodes, {} terminals",
+                graph.name(),
+                graph.len(),
+                graph.ids().filter(|&i| graph.node(i).is_terminal()).count()
+            );
+        }
+        "print" => {
+            print!("{}", protoobf::spec::to_text(&graph));
+        }
+        "dot" => {
+            if opts.level == 0 {
+                print!("{}", protoobf::core::dot::format_graph_to_dot(&graph));
+            } else {
+                let codec = codec_for(&graph, &opts)?;
+                print!("{}", protoobf::core::dot::obf_graph_to_dot(codec.obf_graph()));
+            }
+        }
+        "gen" => {
+            let codec = codec_for(&graph, &opts)?;
+            let lib = generate(&codec);
+            let m = measure(&lib);
+            eprintln!(
+                "{} transformations; {} lines, {} structs, call graph {}x{}",
+                codec.transform_count(),
+                m.lines,
+                m.structs,
+                m.callgraph_size,
+                m.callgraph_depth
+            );
+            match &opts.out {
+                Some(path) => {
+                    std::fs::write(path, &lib.source)
+                        .map_err(|e| format!("cannot write {path}: {e}"))?;
+                    eprintln!("wrote {path}");
+                }
+                None => print!("{}", lib.source),
+            }
+        }
+        "demo" => {
+            let codec = codec_for(&graph, &opts)?;
+            let mut rng = rand::thread_rng();
+            let msg = random_message(&codec, &mut rng);
+            let wire = codec.serialize(&msg).map_err(|e| e.to_string())?;
+            println!(
+                "plan: {} transformations; wire: {} bytes",
+                codec.transform_count(),
+                wire.len()
+            );
+            for chunk in wire.chunks(16) {
+                let hex: Vec<String> = chunk.iter().map(|b| format!("{b:02x}")).collect();
+                println!("  {}", hex.join(" "));
+            }
+            codec.parse(&wire).map_err(|e| format!("self-parse failed: {e}"))?;
+            println!("round-trip: ok");
+        }
+        other => return Err(format!("unknown command {other:?}")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            if e.contains("missing command") {
+                return usage();
+            }
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! # ProtoObf — specification-based protocol obfuscation
+//!
+//! A Rust implementation of *"Specification-Based Protocol Obfuscation"*
+//! (Duchêne, Alata, Nicomette, Kaâniche, Le Guernic — DSN 2018): protocol
+//! message formats are obfuscated **at the specification level** with
+//! invertible transformations, and a serializer/parser library is derived
+//! automatically, so applications keep a stable accessor interface while
+//! the wire format becomes hard to reverse engineer.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`core`](protoobf_core) — format graphs, transformations, codecs;
+//! * [`spec`] — the specification DSL;
+//! * [`codegen`] — C library generation + potency metrics;
+//! * [`protocols`] — Modbus/TCP and HTTP formats and core applications;
+//! * [`pre`] — the reverse-engineering toolkit used for resilience
+//!   experiments.
+//!
+//! ```
+//! use protoobf::{Obfuscator, spec::parse_spec};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let graph = parse_spec(r#"
+//!     message Ping {
+//!         u16 id;
+//!         u16 length = len(payload);
+//!         bytes payload sized_by length;
+//!     }
+//! "#)?;
+//! let codec = Obfuscator::new(&graph).seed(7).max_per_node(2).obfuscate()?;
+//!
+//! let mut msg = codec.message();
+//! msg.set_uint("id", 99)?;
+//! msg.set("payload", b"hello".as_slice())?;
+//! let wire = codec.serialize(&msg)?;
+//! let back = codec.parse(&wire)?;
+//! assert_eq!(back.get_uint("id")?, 99);
+//! assert_eq!(back.get("payload")?.as_bytes(), b"hello");
+//! # Ok(())
+//! # }
+//! ```
+
+pub use protoobf_core::{
+    Boundary, BuildError, ByteOp, Codec, Endian, FormatGraph, GraphBuilder, Message, NodeId,
+    Obfuscator, ParseError, Path, SpecError, TerminalKind, TransformError, TransformKind, Value,
+};
+
+pub use protoobf_codegen as codegen;
+pub use protoobf_core as core;
+pub use protoobf_pre as pre;
+pub use protoobf_protocols as protocols;
+pub use protoobf_spec as spec;

@@ -1,0 +1,111 @@
+//! Integration tests for the `protoobf` command-line tool.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_protoobf"))
+}
+
+fn write_spec(name: &str, body: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("protoobf-cli-test-{name}.pobf"));
+    std::fs::write(&path, body).unwrap();
+    path
+}
+
+const SPEC: &str = r#"
+message Cli {
+    u16 id;
+    u16 length = len(payload);
+    bytes payload sized_by length;
+    ascii tag until ";";
+}
+"#;
+
+#[test]
+fn check_validates_a_spec() {
+    let path = write_spec("check", SPEC);
+    let out = cli().arg("check").arg(&path).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Cli: ok"));
+    assert!(stdout.contains("nodes"));
+}
+
+#[test]
+fn check_rejects_a_bad_spec() {
+    let path = write_spec("bad", "message M { bytes x; }");
+    let out = cli().arg("check").arg(&path).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error"), "{stderr}");
+}
+
+#[test]
+fn print_is_reparseable() {
+    let path = write_spec("print", SPEC);
+    let out = cli().arg("print").arg(&path).output().unwrap();
+    assert!(out.status.success());
+    let printed = String::from_utf8(out.stdout).unwrap();
+    protoobf::spec::parse_spec(&printed).expect("printed spec parses");
+}
+
+#[test]
+fn demo_roundtrips() {
+    let path = write_spec("demo", SPEC);
+    let out = cli()
+        .args(["demo"])
+        .arg(&path)
+        .args(["--level", "2", "--seed", "9"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("round-trip: ok"), "{stdout}");
+}
+
+#[test]
+fn gen_writes_c_library() {
+    let path = write_spec("gen", SPEC);
+    let out_path = std::env::temp_dir().join("protoobf-cli-test-lib.c");
+    let out = cli()
+        .arg("gen")
+        .arg(&path)
+        .args(["--level", "1", "--seed", "3", "-o"])
+        .arg(&out_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let source = std::fs::read_to_string(&out_path).unwrap();
+    assert!(source.contains("static int parse_"));
+    assert!(source.contains("ProtoObf"));
+}
+
+#[test]
+fn dot_emits_graphviz() {
+    let path = write_spec("dot", SPEC);
+    for level in ["0", "2"] {
+        let out = cli()
+            .arg("dot")
+            .arg(&path)
+            .args(["--level", level])
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+        let dot = String::from_utf8_lossy(&out.stdout);
+        assert!(dot.starts_with("digraph"), "level {level}: {dot}");
+    }
+}
+
+#[test]
+fn unknown_command_fails_cleanly() {
+    let path = write_spec("unknown", SPEC);
+    let out = cli().arg("bogus").arg(&path).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn missing_file_reports_error() {
+    let out = cli().args(["check", "/nonexistent/spec.pobf"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}

@@ -1,0 +1,99 @@
+//! Failure injection: corrupted, truncated or cross-plan messages must
+//! produce [`protoobf::ParseError`]s — never panics, hangs or silent
+//! acceptance of structurally inconsistent data.
+
+use proptest::prelude::*;
+use protoobf::protocols::modbus;
+use protoobf::{Codec, Obfuscator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn wire_fixture(level: u32, seed: u64) -> (Codec, Vec<u8>) {
+    let graph = modbus::request_graph();
+    let codec = if level == 0 {
+        Codec::identity(&graph)
+    } else {
+        Obfuscator::new(&graph).seed(seed).max_per_node(level).obfuscate().unwrap()
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let msg = modbus::build_request(&codec, modbus::Function::WriteMultipleRegisters, &mut rng);
+    let wire = codec.serialize_seeded(&msg, seed).unwrap();
+    (codec, wire)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn truncation_never_panics(level in 0u32..=3, seed in 0u64..50, cut_ratio in 0.0f64..1.0) {
+        let (codec, wire) = wire_fixture(level, seed);
+        let cut = ((wire.len() as f64) * cut_ratio) as usize;
+        if cut < wire.len() {
+            // Must error (shorter message cannot satisfy the structure and
+            // its auto-length sanity checks) — and must not panic.
+            prop_assert!(codec.parse(&wire[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn bitflips_never_panic(level in 0u32..=3, seed in 0u64..50, pos_ratio in 0.0f64..1.0, bit in 0u8..8) {
+        let (codec, wire) = wire_fixture(level, seed);
+        let mut corrupted = wire.clone();
+        let pos = (((wire.len() - 1) as f64) * pos_ratio) as usize;
+        corrupted[pos] ^= 1 << bit;
+        // Either a clean error or a structurally coherent (possibly
+        // different) message; both are acceptable, panics are not.
+        if let Ok(m) = codec.parse(&corrupted) {
+            let _ = m.get_uint("transaction_id");
+            let _ = m.get_uint("pdu.function");
+        }
+    }
+
+    #[test]
+    fn extra_bytes_detected(level in 0u32..=3, seed in 0u64..30, extra in 1usize..8) {
+        let (codec, wire) = wire_fixture(level, seed);
+        let mut longer = wire.clone();
+        longer.extend(std::iter::repeat_n(0xEE, extra));
+        // The Modbus graph ends with optional bodies pinned by the auto
+        // length field, so appended garbage must be rejected.
+        prop_assert!(codec.parse(&longer).is_err());
+    }
+
+    #[test]
+    fn cross_plan_parse_is_safe(seed_a in 0u64..30, seed_b in 0u64..30, level in 1u32..=3) {
+        prop_assume!(seed_a != seed_b);
+        let (codec_a, wire) = wire_fixture(level, seed_a);
+        let (codec_b, _) = wire_fixture(level, seed_b);
+        drop(codec_a);
+        // Parsing with a mismatched plan may fail or mis-decode, never
+        // panic.
+        if let Ok(m) = codec_b.parse(&wire) {
+            let _ = m.get_uint("transaction_id");
+        }
+    }
+
+    #[test]
+    fn random_garbage_never_panics(level in 0u32..=3, seed in 0u64..20, garbage in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let (codec, _) = wire_fixture(level, seed);
+        if let Ok(m) = codec.parse(&garbage) {
+            let _ = m.get_uint("transaction_id");
+        }
+    }
+}
+
+#[test]
+fn empty_input_is_an_error() {
+    let (codec, _) = wire_fixture(2, 1);
+    assert!(codec.parse(&[]).is_err());
+}
+
+#[test]
+fn setting_after_parse_allows_reserialization() {
+    // A parsed message can be amended and re-sent (gateway scenario).
+    let (codec, wire) = wire_fixture(1, 9);
+    let mut msg = codec.parse(&wire).unwrap();
+    msg.set_uint("transaction_id", 0xBEEF).unwrap();
+    let wire2 = codec.serialize_seeded(&msg, 77).unwrap();
+    let back = codec.parse(&wire2).unwrap();
+    assert_eq!(back.get_uint("transaction_id").unwrap(), 0xBEEF);
+}
