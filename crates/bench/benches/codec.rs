@@ -1,14 +1,30 @@
 //! Criterion microbenchmarks of the cost metrics (paper Tables III/IV,
 //! Figures 4/5): per-message serialization and parsing time at obfuscation
-//! levels 0–4, for both evaluated protocols.
+//! levels 0–4 for the evaluated protocols, with bytes/second throughput
+//! reporting.
+//!
+//! Each protocol × level is measured on three paths:
+//!
+//! * `*-session` — reusable plan sessions
+//!   ([`Codec::serializer`]/[`Codec::parser`]): the steady-state hot path;
+//! * `*-oneshot` — the compat entry points `Codec::serialize`/`parse`
+//!   (cached plan, fresh session per call);
+//! * `*-walk` — the reference graph-walk interpreters the plan layer
+//!   replaced (`core::serialize::serialize_seeded` / `core::parse::parse`).
+//!
+//! The `large` group drives a ≥64 KiB deeply repeated message so
+//! plan-layer wins are measurable across message sizes, not just on the
+//! small protocol PDUs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use protoobf_core::{Codec, Obfuscator};
-use protoobf_protocols::{http, modbus};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use protoobf_core::graph::{AutoValue, Boundary, GraphBuilder};
+use protoobf_core::value::TerminalKind;
+use protoobf_core::{parse as parse_mod, serialize as serialize_mod};
+use protoobf_core::{Codec, FormatGraph, Message, Obfuscator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn codec_for(graph: &protoobf_core::FormatGraph, level: u32) -> Codec {
+fn codec_for(graph: &FormatGraph, level: u32) -> Codec {
     if level == 0 {
         Codec::identity(graph)
     } else {
@@ -16,41 +32,120 @@ fn codec_for(graph: &protoobf_core::FormatGraph, level: u32) -> Codec {
     }
 }
 
+/// Benchmarks all three serialize paths and all three parse paths for one
+/// prepared message.
+fn bench_paths(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    level: u32,
+    codec: &Codec,
+    msg: &Message<'_>,
+) {
+    let wire = codec.serialize_seeded(msg, 1).unwrap();
+    group.throughput(Throughput::Bytes(wire.len() as u64));
+
+    let mut session = codec.serializer();
+    let mut out = Vec::new();
+    group.bench_with_input(BenchmarkId::new("serialize-session", level), &level, |b, _| {
+        b.iter(|| session.serialize_into_seeded(msg, &mut out, 1).unwrap())
+    });
+    group.bench_with_input(BenchmarkId::new("serialize-oneshot", level), &level, |b, _| {
+        b.iter(|| codec.serialize_seeded(msg, 1).unwrap())
+    });
+    group.bench_with_input(BenchmarkId::new("serialize-walk", level), &level, |b, _| {
+        b.iter(|| serialize_mod::serialize_seeded(codec.obf_graph(), msg, 1).unwrap())
+    });
+
+    let mut parser = codec.parser();
+    group.bench_with_input(BenchmarkId::new("parse-session", level), &level, |b, _| {
+        b.iter(|| {
+            parser.parse_in_place(&wire).unwrap();
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("parse-oneshot", level), &level, |b, _| {
+        b.iter(|| codec.parse(&wire).unwrap())
+    });
+    group.bench_with_input(BenchmarkId::new("parse-walk", level), &level, |b, _| {
+        b.iter(|| parse_mod::parse(codec.obf_graph(), &wire).unwrap())
+    });
+}
+
 fn bench_modbus(c: &mut Criterion) {
+    use protoobf_protocols::modbus;
     let graph = modbus::request_graph();
     let mut group = c.benchmark_group("modbus");
     for level in [0u32, 1, 2, 4] {
         let codec = codec_for(&graph, level);
         let mut rng = StdRng::seed_from_u64(7);
         let msg = modbus::build_request(&codec, modbus::Function::WriteMultipleRegisters, &mut rng);
-        let wire = codec.serialize_seeded(&msg, 1).unwrap();
-        group.bench_with_input(BenchmarkId::new("serialize", level), &level, |b, _| {
-            b.iter(|| codec.serialize_seeded(&msg, 1).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("parse", level), &level, |b, _| {
-            b.iter(|| codec.parse(&wire).unwrap())
-        });
+        bench_paths(&mut group, level, &codec, &msg);
     }
     group.finish();
 }
 
 fn bench_http(c: &mut Criterion) {
+    use protoobf_protocols::http;
     let graph = http::request_graph();
     let mut group = c.benchmark_group("http");
     for level in [0u32, 1, 2, 4] {
         let codec = codec_for(&graph, level);
         let mut rng = StdRng::seed_from_u64(7);
         let msg = http::build_request(&codec, &mut rng);
-        let wire = codec.serialize_seeded(&msg, 1).unwrap();
-        group.bench_with_input(BenchmarkId::new("serialize", level), &level, |b, _| {
-            b.iter(|| codec.serialize_seeded(&msg, 1).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("parse", level), &level, |b, _| {
-            b.iter(|| codec.parse(&wire).unwrap())
-        });
+        bench_paths(&mut group, level, &codec, &msg);
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_modbus, bench_http);
+fn bench_dns(c: &mut Criterion) {
+    use protoobf_protocols::dns;
+    let graph = dns::response_graph();
+    let mut group = c.benchmark_group("dns");
+    for level in [0u32, 1, 2, 4] {
+        let codec = codec_for(&graph, level);
+        let mut rng = StdRng::seed_from_u64(7);
+        let msg = dns::build_response(&codec, &mut rng);
+        bench_paths(&mut group, level, &codec, &msg);
+    }
+    group.finish();
+}
+
+/// A bulk-transfer style spec: a counted table of 30-byte records nested
+/// one level deep, plus a rest-of-message payload. At 2048 records the
+/// wire is ≥64 KiB.
+fn bulk_graph() -> FormatGraph {
+    let mut b = GraphBuilder::new("bulk");
+    let root = b.root_sequence("m", Boundary::End);
+    let count = b.uint_be(root, "count", 2);
+    let tab = b.tabular(root, "records", count);
+    b.set_auto(count, AutoValue::CounterOf(tab));
+    let rec = b.sequence(tab, "record", Boundary::Delegated);
+    b.uint_be(rec, "key", 4);
+    b.uint_be(rec, "flags", 2);
+    b.terminal(rec, "payload", TerminalKind::Bytes, Boundary::Fixed(24));
+    b.terminal(root, "tail", TerminalKind::Bytes, Boundary::End);
+    b.build().unwrap()
+}
+
+fn bench_large(c: &mut Criterion) {
+    let graph = bulk_graph();
+    let mut group = c.benchmark_group("large");
+    group.sample_size(10);
+    for level in [0u32, 2] {
+        let codec = codec_for(&graph, level);
+        let mut msg = codec.message_seeded(3);
+        let mut rng = StdRng::seed_from_u64(5);
+        for i in 0..2048u64 {
+            msg.set_uint(&format!("records[{i}].key"), i).unwrap();
+            msg.set_uint(&format!("records[{i}].flags"), i & 0xFFFF).unwrap();
+            let payload: Vec<u8> = (0..24).map(|_| rand::Rng::gen::<u8>(&mut rng)).collect();
+            msg.set(&format!("records[{i}].payload"), payload).unwrap();
+        }
+        msg.set("tail", vec![0xAB; 4096]).unwrap();
+        let wire = codec.serialize_seeded(&msg, 1).unwrap();
+        assert!(wire.len() >= 64 * 1024, "large scenario must be ≥64 KiB, got {}", wire.len());
+        bench_paths(&mut group, level, &codec, &msg);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_modbus, bench_http, bench_dns, bench_large);
 criterion_main!(benches);

@@ -12,23 +12,16 @@ fn bench_generation(c: &mut Criterion) {
     group.sample_size(20);
     for (name, spec) in [("modbus", modbus::REQUEST_SPEC), ("http", http::REQUEST_SPEC)] {
         for level in [1u32, 2, 4] {
-            group.bench_with_input(
-                BenchmarkId::new(name, level),
-                &level,
-                |b, &level| {
-                    let mut seed = 0u64;
-                    b.iter(|| {
-                        seed = seed.wrapping_add(1);
-                        let graph = protoobf_spec::parse_spec(spec).unwrap();
-                        let codec = Obfuscator::new(&graph)
-                            .seed(seed)
-                            .max_per_node(level)
-                            .obfuscate()
-                            .unwrap();
-                        generate(&codec)
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, level), &level, |b, &level| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    let graph = protoobf_spec::parse_spec(spec).unwrap();
+                    let codec =
+                        Obfuscator::new(&graph).seed(seed).max_per_node(level).obfuscate().unwrap();
+                    generate(&codec)
+                })
+            });
         }
     }
     group.finish();

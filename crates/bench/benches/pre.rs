@@ -17,15 +17,11 @@ fn bench_pre(c: &mut Criterion) {
     let msgs: Vec<&[u8]> = samples.iter().map(|s| s.wire.as_slice()).collect();
     let p = ScoreParams::default();
 
-    c.bench_function("nw_align_pair", |b| {
-        b.iter(|| needleman_wunsch(msgs[0], msgs[1], p))
-    });
+    c.bench_function("nw_align_pair", |b| b.iter(|| needleman_wunsch(msgs[0], msgs[1], p)));
     c.bench_function("similarity_matrix_24", |b| b.iter(|| similarity_matrix(&msgs, p)));
     let sim = similarity_matrix(&msgs, p);
     c.bench_function("upgma_24", |b| b.iter(|| upgma(&sim, 0.55)));
-    c.bench_function("multiple_alignment_8", |b| {
-        b.iter(|| multiple_alignment(&msgs[..8], p))
-    });
+    c.bench_function("multiple_alignment_8", |b| b.iter(|| multiple_alignment(&msgs[..8], p)));
 }
 
 criterion_group!(benches, bench_pre);

@@ -5,7 +5,9 @@ use protoobf_bench::runner::env_usize;
 
 fn main() {
     let seeds = env_usize("PROTOOBF_ABLATION_SEEDS", 5) as u64;
-    println!("ABLATION — per-transformation contributions (Modbus requests, level 2, {seeds} seeds)");
+    println!(
+        "ABLATION — per-transformation contributions (Modbus requests, level 2, {seeds} seeds)"
+    );
     println!();
     print!("{}", render(&ablation(seeds)));
     println!();

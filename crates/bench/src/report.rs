@@ -37,13 +37,7 @@ pub fn comparative_table(data: &ExperimentData) -> String {
         out.push('\n');
     }
 
-    row(
-        &mut out,
-        width,
-        colw,
-        "Nb. transf. per node",
-        ls.iter().map(|l| l.to_string()).collect(),
-    );
+    row(&mut out, width, colw, "Nb. transf. per node", ls.iter().map(|l| l.to_string()).collect());
     row(
         &mut out,
         width,
@@ -90,10 +84,8 @@ pub fn comparative_table(data: &ExperimentData) -> String {
         "  Call graph depth",
         ls.iter()
             .map(|&l| {
-                column(data, l, |r| {
-                    norm(r.potency.callgraph_depth as f64, base.callgraph_depth)
-                })
-                .render(1)
+                column(data, l, |r| norm(r.potency.callgraph_depth as f64, base.callgraph_depth))
+                    .render(1)
             })
             .collect(),
     );
@@ -172,7 +164,10 @@ fn scatter(points: &[(f64, f64)], rows: usize, cols: usize) -> String {
 pub fn cost_figure(data: &ExperimentData) -> String {
     let mut out = String::new();
     for (label, pick) in [
-        ("Parsing time (ms)", Box::new(|r: &RunMetrics| r.parse_ms) as Box<dyn Fn(&RunMetrics) -> f64>),
+        (
+            "Parsing time (ms)",
+            Box::new(|r: &RunMetrics| r.parse_ms) as Box<dyn Fn(&RunMetrics) -> f64>,
+        ),
         ("Serialization time (ms)", Box::new(|r: &RunMetrics| r.serialize_ms)),
     ] {
         let points: Vec<(f64, f64)> =
@@ -215,8 +210,7 @@ pub fn potency_figure(data: &ExperimentData) -> String {
         let applied = column(data, l, |r| r.applied as f64);
         let lines = column(data, l, |r| norm(r.potency.lines as f64, base.lines));
         let structs = column(data, l, |r| norm(r.potency.structs as f64, base.structs));
-        let size =
-            column(data, l, |r| norm(r.potency.callgraph_size as f64, base.callgraph_size));
+        let size = column(data, l, |r| norm(r.potency.callgraph_size as f64, base.callgraph_size));
         let depth =
             column(data, l, |r| norm(r.potency.callgraph_depth as f64, base.callgraph_depth));
         out.push_str(&format!(

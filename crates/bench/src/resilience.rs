@@ -73,11 +73,8 @@ pub fn assess(
     types.sort_unstable();
     types.dedup();
     for t in &types {
-        let group: Vec<&[u8]> = samples
-            .iter()
-            .filter(|s| s.label == *t)
-            .map(|s| s.wire.as_slice())
-            .collect();
+        let group: Vec<&[u8]> =
+            samples.iter().filter(|s| s.label == *t).map(|s| s.wire.as_slice()).collect();
         if group.len() < 2 {
             continue;
         }
@@ -165,7 +162,14 @@ pub fn render(rows: &[ResilienceRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "{:<12} {:>6} {:>11} {:>9} {:>8} {:>8} {:>12} {:>8} {:>9}\n",
-        "scenario", "level", "true types", "clusters", "purity", "ARI", "static frac", "delims",
+        "scenario",
+        "level",
+        "true types",
+        "clusters",
+        "purity",
+        "ARI",
+        "static frac",
+        "delims",
         "entropy"
     ));
     for r in rows {

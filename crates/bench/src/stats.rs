@@ -35,13 +35,7 @@ impl Summary {
 
     /// Renders with `digits` decimal places, paper-style.
     pub fn render(&self, digits: usize) -> String {
-        format!(
-            "{:.d$}[{:.d$}; {:.d$}]",
-            self.mean,
-            self.min,
-            self.max,
-            d = digits
-        )
+        format!("{:.d$}[{:.d$}; {:.d$}]", self.mean, self.min, self.max, d = digits)
     }
 }
 

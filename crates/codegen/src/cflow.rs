@@ -75,11 +75,7 @@ impl CallGraph {
             if !on_stack.insert(f) {
                 return 0; // back edge
             }
-            let best = g.edges[f]
-                .iter()
-                .map(|&c| go(g, c, memo, on_stack))
-                .max()
-                .unwrap_or(0);
+            let best = g.edges[f].iter().map(|&c| go(g, c, memo, on_stack)).max().unwrap_or(0);
             on_stack.remove(&f);
             memo.insert(f, best + 1);
             best + 1

@@ -5,28 +5,63 @@
 //! communicating peers construct the same codec from the same specification
 //! and seed, so they agree on every transformation parameter.
 
+use std::sync::OnceLock;
+
 use crate::error::{BuildError, ParseError};
 use crate::graph::FormatGraph;
 use crate::message::Message;
 use crate::obf::ObfGraph;
+use crate::parse::ParseSession;
+use crate::plan::CodecPlan;
+use crate::serialize::SerializeSession;
 use crate::transform::TransformRecord;
-use crate::{parse, serialize};
 
 /// An obfuscating serializer/parser pair for one message format.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Codec {
     graph: ObfGraph,
     records: Vec<TransformRecord>,
+    /// Lazily compiled execution plan shared by every session.
+    plan: OnceLock<CodecPlan>,
+}
+
+impl Clone for Codec {
+    fn clone(&self) -> Self {
+        let plan = OnceLock::new();
+        if let Some(p) = self.plan.get() {
+            let _ = plan.set(p.clone());
+        }
+        Codec { graph: self.graph.clone(), records: self.records.clone(), plan }
+    }
 }
 
 impl Codec {
     pub(crate) fn from_parts(graph: ObfGraph, records: Vec<TransformRecord>) -> Self {
-        Codec { graph, records }
+        Codec { graph, records, plan: OnceLock::new() }
     }
 
     /// A codec with zero transformations: the plain (classic) protocol.
     pub fn identity(plain: &FormatGraph) -> Self {
-        Codec { graph: ObfGraph::from_plain(plain), records: Vec::new() }
+        Codec::from_parts(ObfGraph::from_plain(plain), Vec::new())
+    }
+
+    /// The compiled execution plan (built on first use, then cached). Both
+    /// the one-shot entry points and the session constructors share it.
+    pub fn plan(&self) -> &CodecPlan {
+        self.plan.get_or_init(|| CodecPlan::compile(&self.graph))
+    }
+
+    /// Starts a reusable serialization session over the compiled plan.
+    /// Keep the session (and an output buffer) across messages for
+    /// allocation-free steady-state serialization.
+    pub fn serializer(&self) -> SerializeSession<'_> {
+        SerializeSession::new(&self.graph, self.plan())
+    }
+
+    /// Starts a reusable parse session over the compiled plan. Keep the
+    /// session across messages for allocation-free steady-state parsing.
+    pub fn parser(&self) -> ParseSession<'_> {
+        ParseSession::new(&self.graph, self.plan())
     }
 
     /// The plain specification.
@@ -93,11 +128,15 @@ impl Codec {
 
     /// Serializes a message into the obfuscated wire format.
     ///
+    /// Thin wrapper over a one-shot [`Codec::serializer`] session (the
+    /// plan itself is cached). For steady-state traffic, hold a session
+    /// and use [`SerializeSession::serialize_into`] instead.
+    ///
     /// # Errors
     ///
     /// [`BuildError`] for missing fields or inconsistent structure.
     pub fn serialize(&self, msg: &Message<'_>) -> Result<Vec<u8>, BuildError> {
-        serialize::serialize(&self.graph, msg)
+        self.serialize_seeded(msg, rand::random())
     }
 
     /// Serializes with a deterministic seed for serialization-time random
@@ -107,16 +146,24 @@ impl Codec {
     ///
     /// See [`Codec::serialize`].
     pub fn serialize_seeded(&self, msg: &Message<'_>, seed: u64) -> Result<Vec<u8>, BuildError> {
-        serialize::serialize_seeded(&self.graph, msg, seed)
+        let mut out = Vec::new();
+        self.serializer().serialize_into_seeded(msg, &mut out, seed)?;
+        Ok(out)
     }
 
     /// Parses an obfuscated message back into plain field values.
+    ///
+    /// Thin wrapper over a one-shot [`Codec::parser`] session (the plan
+    /// itself is cached). For steady-state traffic, hold a session and use
+    /// [`ParseSession::parse_in_place`] instead.
     ///
     /// # Errors
     ///
     /// [`ParseError`] when the bytes are not a valid message of this codec.
     pub fn parse(&self, bytes: &[u8]) -> Result<Message<'_>, ParseError> {
-        parse::parse(&self.graph, bytes)
+        let mut session = self.parser();
+        session.parse_in_place(bytes)?;
+        Ok(session.into_message())
     }
 }
 
@@ -160,8 +207,7 @@ mod tests {
         let g = tiny();
         let identity = Codec::identity(&g);
         assert!(identity.plan_summary().starts_with("0 transformations"));
-        let codec =
-            crate::engine::Obfuscator::new(&g).seed(3).max_per_node(2).obfuscate().unwrap();
+        let codec = crate::engine::Obfuscator::new(&g).seed(3).max_per_node(2).obfuscate().unwrap();
         let s = codec.plan_summary();
         assert!(s.contains("aggregation"));
         assert!(s.contains("ordering"));

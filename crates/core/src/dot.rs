@@ -39,10 +39,8 @@ pub fn format_graph_to_dot(g: &FormatGraph) -> String {
             );
         }
         if let Some(t) = node.auto().target() {
-            let _ = writeln!(
-                out,
-                "    {id} -> {t} [style=dotted, constraint=false, label=\"auto\"];",
-            );
+            let _ =
+                writeln!(out, "    {id} -> {t} [style=dotted, constraint=false, label=\"auto\"];",);
         }
         match node.boundary() {
             Boundary::Fixed(_)
@@ -74,10 +72,9 @@ pub fn obf_graph_to_dot(g: &ObfGraph) -> String {
                 TermBoundary::PlainLen { .. } => "Te L".to_string(),
                 TermBoundary::End => "Te E".to_string(),
             },
-            ObfKind::SplitSeq { recombine, .. } => format!("split {recombine:?}")
-                .chars()
-                .take(24)
-                .collect(),
+            ObfKind::SplitSeq { recombine, .. } => {
+                format!("split {recombine:?}").chars().take(24).collect()
+            }
             ObfKind::Sequence { boundary } => match boundary {
                 SeqBoundary::Fixed(n) => format!("S F({n})"),
                 SeqBoundary::Delegated => "S Dgt".to_string(),
@@ -94,16 +91,9 @@ pub fn obf_graph_to_dot(g: &ObfGraph) -> String {
             ObfKind::Mirror => "mirror".to_string(),
             ObfKind::Prefixed { width, .. } => format!("prefix({width})"),
         };
-        let style = if node.origin().is_some() {
-            ""
-        } else {
-            ", style=filled, fillcolor=lightgrey"
-        };
-        let _ = writeln!(
-            out,
-            "    {id} [label=\"{}\\n{detail}\"{style}];",
-            node.name()
-        );
+        let style =
+            if node.origin().is_some() { "" } else { ", style=filled, fillcolor=lightgrey" };
+        let _ = writeln!(out, "    {id} [label=\"{}\\n{detail}\"{style}];", node.name());
         for &c in node.children() {
             let _ = writeln!(out, "    {id} -> {c};");
         }
@@ -122,12 +112,8 @@ mod tests {
         let mut b = GraphBuilder::new("fig3");
         let root = b.root_sequence("msg", Boundary::End);
         let len = b.uint_be(root, "len", 2);
-        let data = b.terminal(
-            root,
-            "data",
-            crate::value::TerminalKind::Bytes,
-            Boundary::Length(len),
-        );
+        let data =
+            b.terminal(root, "data", crate::value::TerminalKind::Bytes, Boundary::Length(len));
         b.set_auto(len, crate::graph::AutoValue::LengthOf(data));
         b.build().unwrap()
     }

@@ -49,12 +49,7 @@ pub struct Obfuscator<'g> {
 impl<'g> Obfuscator<'g> {
     /// Starts an obfuscator for a validated specification.
     pub fn new(graph: &'g FormatGraph) -> Self {
-        Obfuscator {
-            graph,
-            seed: 0,
-            max_per_node: 1,
-            allowed: TransformKind::ALL.to_vec(),
-        }
+        Obfuscator { graph, seed: 0, max_per_node: 1, allowed: TransformKind::ALL.to_vec() }
     }
 
     /// Sets the RNG seed. Both communicating peers must use the same seed

@@ -43,6 +43,10 @@ pub enum SpecError {
     /// An auto-computed field (length-of / counter-of) references an
     /// incompatible target.
     BadAutoTarget { node: String, detail: String },
+    /// Repetition/tabular nesting exceeds the supported depth
+    /// ([`crate::message::MAX_SCOPE`]): element scopes are stored inline,
+    /// so the engine bounds the nesting instead of spilling to the heap.
+    NestingTooDeep { node: String, depth: usize, max: usize },
 }
 
 impl fmt::Display for SpecError {
@@ -56,10 +60,9 @@ impl fmt::Display for SpecError {
             SpecError::InconsistentBoundary { node, detail } => {
                 write!(f, "inconsistent boundary on node {node:?}: {detail}")
             }
-            SpecError::ForwardReference { node, referenced } => write!(
-                f,
-                "node {node:?} references {referenced:?} which is not parsed before it"
-            ),
+            SpecError::ForwardReference { node, referenced } => {
+                write!(f, "node {node:?} references {referenced:?} which is not parsed before it")
+            }
             SpecError::NonNumericReference { node, referenced } => write!(
                 f,
                 "node {node:?} references {referenced:?} which is not an unsigned integer terminal"
@@ -71,10 +74,9 @@ impl fmt::Display for SpecError {
                 f,
                 "node {node:?} kind implies width {expected} but boundary declares {found}"
             ),
-            SpecError::ChildArity { node, expected, found } => write!(
-                f,
-                "node {node:?} must have {expected} children, found {found}"
-            ),
+            SpecError::ChildArity { node, expected, found } => {
+                write!(f, "node {node:?} must have {expected} children, found {found}")
+            }
             SpecError::TerminalWithChildren { node } => {
                 write!(f, "terminal node {node:?} cannot have children")
             }
@@ -84,6 +86,10 @@ impl fmt::Display for SpecError {
             SpecError::BadAutoTarget { node, detail } => {
                 write!(f, "auto field {node:?} has an invalid target: {detail}")
             }
+            SpecError::NestingTooDeep { node, depth, max } => write!(
+                f,
+                "node {node:?} is nested {depth} repetition/tabular levels deep (max {max})"
+            ),
         }
     }
 }
@@ -180,10 +186,9 @@ impl fmt::Display for BuildError {
                 f,
                 "field {path:?} declares {declared} but the described quantity is {actual}"
             ),
-            BuildError::DerivedOverflow { path, width, value } => write!(
-                f,
-                "derived value {value} does not fit in {width} byte(s) for {path:?}"
-            ),
+            BuildError::DerivedOverflow { path, width, value } => {
+                write!(f, "derived value {value} does not fit in {width} byte(s) for {path:?}")
+            }
             BuildError::NotNumeric(p) => {
                 write!(f, "field {p:?} is not an unsigned integer")
             }

@@ -88,16 +88,12 @@ pub fn classify(g: &ObfGraph, id: ObfId) -> ExtentClass {
             TermBoundary::PlainLen { .. } => ExtentClass::PlainDep,
             TermBoundary::End => ExtentClass::WindowNeeded,
         },
-        ObfKind::SplitSeq { .. } => {
-            combine(node.children.iter().map(|&c| classify(g, c)))
-        }
+        ObfKind::SplitSeq { .. } => combine(node.children.iter().map(|&c| classify(g, c))),
         ObfKind::Sequence { boundary } => match boundary {
             SeqBoundary::Fixed(n) => ExtentClass::Static(*n),
             SeqBoundary::PlainLen(_) => ExtentClass::PlainDep,
             SeqBoundary::End => ExtentClass::WindowNeeded,
-            SeqBoundary::Delegated => {
-                combine(node.children.iter().map(|&c| classify(g, c)))
-            }
+            SeqBoundary::Delegated => combine(node.children.iter().map(|&c| classify(g, c))),
         },
         ObfKind::Optional { .. } => {
             // Presence is runtime information: never better than PlainDep.
@@ -151,14 +147,12 @@ pub fn extent_refs(g: &ObfGraph, id: ObfId) -> Vec<NodeId> {
                     }
                 }
             }
-            ObfKind::Optional { condition }
-                if !out.contains(&condition.subject) => {
-                    out.push(condition.subject);
-                }
-            ObfKind::Tabular { counter }
-                if !out.contains(counter) => {
-                    out.push(*counter);
-                }
+            ObfKind::Optional { condition } if !out.contains(&condition.subject) => {
+                out.push(condition.subject);
+            }
+            ObfKind::Tabular { counter } if !out.contains(counter) => {
+                out.push(*counter);
+            }
             _ => {}
         }
     }
@@ -172,9 +166,7 @@ pub fn extent_refs(g: &ObfGraph, id: ObfId) -> Vec<NodeId> {
 pub fn mirror_applicable(g: &ObfGraph, id: ObfId) -> Result<(), String> {
     let class = classify(g, id);
     if !class.precomputable() {
-        return Err(format!(
-            "subtree extent is {class:?}; ReadFromEnd needs Static or PlainDep"
-        ));
+        return Err(format!("subtree extent is {class:?}; ReadFromEnd needs Static or PlainDep"));
     }
     for r in extent_refs(g, id) {
         let holder = match g.holder_of(r) {
@@ -391,10 +383,7 @@ mod tests {
             let o = b.optional(
                 root,
                 "extra",
-                Condition {
-                    subject: f,
-                    predicate: Predicate::Equals(Value::from_bytes(vec![1])),
-                },
+                Condition { subject: f, predicate: Predicate::Equals(Value::from_bytes(vec![1])) },
             );
             b.uint_be(o, "v", 4);
         });
@@ -456,10 +445,7 @@ mod tests {
             combine([ExtentClass::Static(2), ExtentClass::Static(3)]),
             ExtentClass::Static(5)
         );
-        assert_eq!(
-            combine([ExtentClass::Static(2), ExtentClass::PlainDep]),
-            ExtentClass::PlainDep
-        );
+        assert_eq!(combine([ExtentClass::Static(2), ExtentClass::PlainDep]), ExtentClass::PlainDep);
         assert_eq!(
             combine([ExtentClass::PlainDep, ExtentClass::SelfDelim]),
             ExtentClass::SelfDelim

@@ -8,16 +8,24 @@
 //!
 //! [`FrameWriter`]/[`FrameReader`] wrap any [`std::io::Write`]/[`Read`];
 //! [`FrameBuffer`] supports feed-as-you-go reassembly for event-driven
-//! code.
+//! code. Writers and readers each hold **one codec session**
+//! ([`crate::serialize::SerializeSession`] /
+//! [`crate::parse::ParseSession`]) plus reusable frame buffers, so
+//! steady-state streaming does not allocate per message. The frame-size
+//! sanity bound defaults to [`MAX_FRAME`] and is configurable per reader /
+//! buffer via `max_frame`.
 
 use std::io::{self, Read, Write};
 
 use crate::codec::Codec;
 use crate::error::{BuildError, ParseError};
 use crate::message::Message;
+use crate::parse::ParseSession;
+use crate::serialize::SerializeSession;
 
-/// Maximum frame size accepted by readers (sanity bound against corrupted
-/// or hostile length prefixes).
+/// Default maximum frame size accepted by readers (sanity bound against
+/// corrupted or hostile length prefixes). Override per reader/buffer with
+/// [`FrameReader::max_frame`] / [`FrameBuffer::max_frame`].
 pub const MAX_FRAME: usize = 16 * 1024 * 1024;
 
 /// Errors produced by the framing layer.
@@ -29,8 +37,13 @@ pub enum FrameError {
     Build(BuildError),
     /// The framed bytes did not parse under the codec.
     Parse(ParseError),
-    /// A length prefix exceeded [`MAX_FRAME`].
-    Oversized(usize),
+    /// A frame exceeded the configured size limit.
+    TooLarge {
+        /// The configured limit of the rejecting reader/writer/buffer.
+        limit: usize,
+        /// The offending frame size.
+        got: usize,
+    },
     /// The stream ended inside a frame.
     Truncated,
 }
@@ -41,7 +54,9 @@ impl std::fmt::Display for FrameError {
             FrameError::Io(e) => write!(f, "i/o error: {e}"),
             FrameError::Build(e) => write!(f, "serialization error: {e}"),
             FrameError::Parse(e) => write!(f, "parse error: {e}"),
-            FrameError::Oversized(n) => write!(f, "frame of {n} bytes exceeds the limit"),
+            FrameError::TooLarge { limit, got } => {
+                write!(f, "frame of {got} bytes exceeds the limit of {limit}")
+            }
             FrameError::Truncated => write!(f, "stream ended inside a frame"),
         }
     }
@@ -64,44 +79,51 @@ impl From<io::Error> for FrameError {
     }
 }
 
-/// Writes length-framed obfuscated messages to a byte stream.
+/// Writes length-framed obfuscated messages to a byte stream, reusing one
+/// serialization session and one body buffer across messages.
 #[derive(Debug)]
 pub struct FrameWriter<'c, W> {
-    codec: &'c Codec,
+    session: SerializeSession<'c>,
     inner: W,
+    body: Vec<u8>,
+    max_frame: usize,
 }
 
 impl<'c, W: Write> FrameWriter<'c, W> {
     /// Wraps a writer.
     pub fn new(codec: &'c Codec, inner: W) -> Self {
-        FrameWriter { codec, inner }
+        FrameWriter { session: codec.serializer(), inner, body: Vec::new(), max_frame: MAX_FRAME }
     }
 
-    /// Serializes and sends one message.
+    /// Sets the maximum frame size this writer will emit (default
+    /// [`MAX_FRAME`]).
+    pub fn max_frame(mut self, limit: usize) -> Self {
+        self.max_frame = limit;
+        self
+    }
+
+    /// Serializes and sends one message. The serialization session and the
+    /// frame buffer are reused: steady-state sends do not allocate.
     ///
     /// # Errors
     ///
     /// [`FrameError::Build`] for serialization failures, [`FrameError::Io`]
     /// for transport failures.
     pub fn send(&mut self, msg: &Message<'_>) -> Result<(), FrameError> {
-        let body = self.codec.serialize(msg).map_err(FrameError::Build)?;
-        self.send_raw(&body)
+        let mut body = std::mem::take(&mut self.body);
+        let r = self.session.serialize_into(msg, &mut body).map_err(FrameError::Build);
+        let r = r.and_then(|()| write_frame(&mut self.inner, &body, self.max_frame));
+        self.body = body;
+        r
     }
 
     /// Sends already-serialized bytes as one frame.
     ///
     /// # Errors
     ///
-    /// [`FrameError::Oversized`] / [`FrameError::Io`].
+    /// [`FrameError::TooLarge`] / [`FrameError::Io`].
     pub fn send_raw(&mut self, body: &[u8]) -> Result<(), FrameError> {
-        if body.len() > MAX_FRAME {
-            return Err(FrameError::Oversized(body.len()));
-        }
-        let len = (body.len() as u32).to_be_bytes();
-        self.inner.write_all(&len)?;
-        self.inner.write_all(body)?;
-        self.inner.flush()?;
-        Ok(())
+        write_frame(&mut self.inner, body, self.max_frame)
     }
 
     /// Consumes the writer, returning the underlying stream.
@@ -110,32 +132,73 @@ impl<'c, W: Write> FrameWriter<'c, W> {
     }
 }
 
-/// Reads length-framed obfuscated messages from a byte stream.
+fn write_frame<W: Write>(inner: &mut W, body: &[u8], max_frame: usize) -> Result<(), FrameError> {
+    // The 4-byte prefix caps frames at u32::MAX even if the configured
+    // limit is larger; a truncated prefix would desynchronize the peer.
+    let limit = max_frame.min(u32::MAX as usize);
+    if body.len() > limit {
+        return Err(FrameError::TooLarge { limit, got: body.len() });
+    }
+    let len = (body.len() as u32).to_be_bytes();
+    inner.write_all(&len)?;
+    inner.write_all(body)?;
+    inner.flush()?;
+    Ok(())
+}
+
+/// Reads length-framed obfuscated messages from a byte stream, reusing one
+/// parse session and one body buffer across messages.
 #[derive(Debug)]
 pub struct FrameReader<'c, R> {
-    codec: &'c Codec,
+    session: ParseSession<'c>,
     inner: R,
+    body: Vec<u8>,
+    max_frame: usize,
 }
 
 impl<'c, R: Read> FrameReader<'c, R> {
     /// Wraps a reader.
     pub fn new(codec: &'c Codec, inner: R) -> Self {
-        FrameReader { codec, inner }
+        FrameReader { session: codec.parser(), inner, body: Vec::new(), max_frame: MAX_FRAME }
+    }
+
+    /// Sets the maximum accepted frame size (default [`MAX_FRAME`]).
+    pub fn max_frame(mut self, limit: usize) -> Self {
+        self.max_frame = limit;
+        self
     }
 
     /// Receives and parses one message. Returns `Ok(None)` on a clean end
     /// of stream (EOF exactly at a frame boundary).
     ///
+    /// The returned message is owned; for allocation-free steady-state
+    /// reading use [`FrameReader::recv_borrowed`].
+    ///
     /// # Errors
     ///
     /// [`FrameError::Truncated`] when the stream ends inside a frame,
-    /// [`FrameError::Parse`] when the frame does not decode.
+    /// [`FrameError::Parse`] when the frame does not decode,
+    /// [`FrameError::TooLarge`] when a length prefix exceeds the limit.
     pub fn recv(&mut self) -> Result<Option<Message<'c>>, FrameError> {
-        let body = match self.recv_raw()? {
-            Some(b) => b,
-            None => return Ok(None),
-        };
-        let msg = self.codec.parse(&body).map_err(FrameError::Parse)?;
+        if !self.fill_body()? {
+            return Ok(None);
+        }
+        self.session.parse_in_place(&self.body).map_err(FrameError::Parse)?;
+        Ok(Some(self.session.take_message()))
+    }
+
+    /// Receives and parses one message, borrowing the session's internal
+    /// message (overwritten by the next call). Steady-state reads through
+    /// this entry point perform no per-message allocation.
+    ///
+    /// # Errors
+    ///
+    /// See [`FrameReader::recv`].
+    pub fn recv_borrowed(&mut self) -> Result<Option<&Message<'c>>, FrameError> {
+        if !self.fill_body()? {
+            return Ok(None);
+        }
+        let msg = self.session.parse_in_place(&self.body).map_err(FrameError::Parse)?;
         Ok(Some(msg))
     }
 
@@ -145,20 +208,30 @@ impl<'c, R: Read> FrameReader<'c, R> {
     ///
     /// See [`FrameReader::recv`].
     pub fn recv_raw(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        if !self.fill_body()? {
+            return Ok(None);
+        }
+        Ok(Some(self.body.clone()))
+    }
+
+    /// Reads the next frame into the reusable body buffer. Returns `false`
+    /// on clean EOF.
+    fn fill_body(&mut self) -> Result<bool, FrameError> {
         let mut len_buf = [0u8; 4];
         match read_exact_or_eof(&mut self.inner, &mut len_buf)? {
-            ReadOutcome::Eof => return Ok(None),
+            ReadOutcome::Eof => return Ok(false),
             ReadOutcome::Partial => return Err(FrameError::Truncated),
             ReadOutcome::Full => {}
         }
         let len = u32::from_be_bytes(len_buf) as usize;
-        if len > MAX_FRAME {
-            return Err(FrameError::Oversized(len));
+        if len > self.max_frame {
+            return Err(FrameError::TooLarge { limit: self.max_frame, got: len });
         }
-        let mut body = vec![0u8; len];
-        match read_exact_or_eof(&mut self.inner, &mut body)? {
-            ReadOutcome::Full => Ok(Some(body)),
-            _ if len == 0 => Ok(Some(body)),
+        self.body.clear();
+        self.body.resize(len, 0);
+        match read_exact_or_eof(&mut self.inner, &mut self.body)? {
+            ReadOutcome::Full => Ok(true),
+            _ if len == 0 => Ok(true),
             _ => Err(FrameError::Truncated),
         }
     }
@@ -189,15 +262,28 @@ fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<ReadOutco
 
 /// Incremental frame reassembly for event-driven code: feed arbitrary
 /// chunks, pop complete frames.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct FrameBuffer {
     buf: Vec<u8>,
+    max_frame: usize,
+}
+
+impl Default for FrameBuffer {
+    fn default() -> Self {
+        FrameBuffer { buf: Vec::new(), max_frame: MAX_FRAME }
+    }
 }
 
 impl FrameBuffer {
     /// Creates an empty buffer.
     pub fn new() -> Self {
         FrameBuffer::default()
+    }
+
+    /// Sets the maximum accepted frame size (default [`MAX_FRAME`]).
+    pub fn max_frame(mut self, limit: usize) -> Self {
+        self.max_frame = limit;
+        self
     }
 
     /// Appends received bytes.
@@ -209,16 +295,15 @@ impl FrameBuffer {
     ///
     /// # Errors
     ///
-    /// [`FrameError::Oversized`] when a buffered length prefix exceeds the
+    /// [`FrameError::TooLarge`] when a buffered length prefix exceeds the
     /// limit (the stream should be dropped).
     pub fn pop(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
         if self.buf.len() < 4 {
             return Ok(None);
         }
-        let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]])
-            as usize;
-        if len > MAX_FRAME {
-            return Err(FrameError::Oversized(len));
+        let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        if len > self.max_frame {
+            return Err(FrameError::TooLarge { limit: self.max_frame, got: len });
         }
         if self.buf.len() < 4 + len {
             return Ok(None);
@@ -271,12 +356,21 @@ mod tests {
         for expect in [1u64, 2, 3] {
             let m = r.recv().unwrap().expect("frame present");
             assert_eq!(m.get_uint("id").unwrap(), expect);
-            assert_eq!(
-                m.get_string("body").unwrap(),
-                format!("payload {expect}")
-            );
+            assert_eq!(m.get_string("body").unwrap(), format!("payload {expect}"));
         }
         assert!(r.recv().unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn recv_borrowed_reuses_the_session_message() {
+        let c = codec();
+        let stream = sample_stream(&c, &[4, 5, 6]);
+        let mut r = FrameReader::new(&c, stream.as_slice());
+        for expect in [4u64, 5, 6] {
+            let m = r.recv_borrowed().unwrap().expect("frame present");
+            assert_eq!(m.get_uint("id").unwrap(), expect);
+        }
+        assert!(r.recv_borrowed().unwrap().is_none(), "clean EOF");
     }
 
     #[test]
@@ -298,7 +392,32 @@ mod tests {
         let c = codec();
         let bogus = [(MAX_FRAME as u32 + 1).to_be_bytes().to_vec(), vec![0; 8]].concat();
         let mut r = FrameReader::new(&c, bogus.as_slice());
-        assert!(matches!(r.recv(), Err(FrameError::Oversized(_))));
+        match r.recv() {
+            Err(FrameError::TooLarge { limit, got }) => {
+                assert_eq!(limit, MAX_FRAME);
+                assert_eq!(got, MAX_FRAME + 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn custom_reader_limit_applies() {
+        let c = codec();
+        let stream = sample_stream(&c, &[1]); // frame body well over 4 bytes
+        let mut r = FrameReader::new(&c, stream.as_slice()).max_frame(4);
+        assert!(matches!(r.recv(), Err(FrameError::TooLarge { limit: 4, .. })));
+    }
+
+    #[test]
+    fn custom_writer_limit_applies() {
+        let c = codec();
+        let mut out = Vec::new();
+        let mut w = FrameWriter::new(&c, &mut out).max_frame(4);
+        match w.send_raw(&[0u8; 9]) {
+            Err(FrameError::TooLarge { limit: 4, got: 9 }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]
@@ -317,6 +436,14 @@ mod tests {
         assert_eq!(fb.pending(), 0);
         let m = c.parse(&frames[1]).unwrap();
         assert_eq!(m.get_uint("id").unwrap(), 20);
+    }
+
+    #[test]
+    fn frame_buffer_custom_limit() {
+        let mut fb = FrameBuffer::new().max_frame(2);
+        fb.feed(&3u32.to_be_bytes());
+        fb.feed(&[1, 2, 3]);
+        assert!(matches!(fb.pop(), Err(FrameError::TooLarge { limit: 2, got: 3 })));
     }
 
     #[test]

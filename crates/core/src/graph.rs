@@ -384,8 +384,7 @@ impl FormatGraph {
     /// [`preorder`]: FormatGraph::preorder
     fn preorder_spans(&self) -> HashMap<NodeId, (usize, usize)> {
         let order = self.preorder();
-        let pos: HashMap<NodeId, usize> =
-            order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let pos: HashMap<NodeId, usize> = order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
         let mut spans = HashMap::new();
         for &id in &order {
             let sub = self.subtree(id);
@@ -413,6 +412,24 @@ impl FormatGraph {
             self.check_node(id)?;
         }
         self.check_references()?;
+        self.check_nesting()?;
+        Ok(())
+    }
+
+    /// Element scopes are stored inline in the message/plan stores
+    /// ([`crate::message::MAX_SCOPE`] indices), so repetition/tabular
+    /// nesting is bounded instead of heap-spilled.
+    fn check_nesting(&self) -> Result<(), SpecError> {
+        for id in self.ids() {
+            let depth = self.container_chain(id).len();
+            if depth > crate::message::MAX_SCOPE {
+                return Err(SpecError::NestingTooDeep {
+                    node: self.node(id).name.clone(),
+                    depth,
+                    max: crate::message::MAX_SCOPE,
+                });
+            }
+        }
         Ok(())
     }
 
@@ -567,7 +584,10 @@ impl FormatGraph {
                     });
                 }
                 match &node.boundary {
-                    Boundary::Delegated | Boundary::End | Boundary::Fixed(_) | Boundary::Length(_) => {}
+                    Boundary::Delegated
+                    | Boundary::End
+                    | Boundary::Fixed(_)
+                    | Boundary::Length(_) => {}
                     other => {
                         return Err(SpecError::InconsistentBoundary {
                             node: name,
@@ -923,10 +943,7 @@ mod tests {
         let body1 = b.optional(
             pdu,
             "read_coils",
-            Condition {
-                subject: func,
-                predicate: Predicate::Equals(Value::from_bytes(vec![1])),
-            },
+            Condition { subject: func, predicate: Predicate::Equals(Value::from_bytes(vec![1])) },
         );
         let seq1 = b.sequence(body1, "read_coils_body", Boundary::Delegated);
         b.uint_be(seq1, "start", 2);
@@ -934,10 +951,7 @@ mod tests {
         let body2 = b.optional(
             pdu,
             "write_single",
-            Condition {
-                subject: func,
-                predicate: Predicate::Equals(Value::from_bytes(vec![5])),
-            },
+            Condition { subject: func, predicate: Predicate::Equals(Value::from_bytes(vec![5])) },
         );
         let seq2 = b.sequence(body2, "write_single_body", Boundary::Delegated);
         b.uint_be(seq2, "address", 2);

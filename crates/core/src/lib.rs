@@ -4,18 +4,33 @@
 //! Protocol Obfuscation"* (Duchêne, Alata, Nicomette, Kaâniche,
 //! Le Guernic — DSN 2018).
 //!
-//! The crate implements the paper's full pipeline:
+//! The crate implements the paper's full pipeline, extended with a
+//! compiled execution stage:
 //!
-//! 1. a protocol's message format is described as a [`graph::FormatGraph`]
-//!    (built programmatically with [`graph::GraphBuilder`] or from the DSL
-//!    in the `protoobf-spec` crate);
-//! 2. the [`engine::Obfuscator`] derives an obfuscation graph
-//!    ([`obf::ObfGraph`]) by randomly applying the paper's invertible
-//!    generic transformations ([`transform`]);
-//! 3. the resulting [`codec::Codec`] serializes and parses messages in the
-//!    obfuscated wire format, while applications keep using the **stable
-//!    accessor interface** ([`message::Message`]) keyed on plain-spec field
-//!    paths.
+//! 1. **Specify** — a protocol's message format is described as a
+//!    [`graph::FormatGraph`] (built programmatically with
+//!    [`graph::GraphBuilder`] or from the DSL in the `protoobf-spec`
+//!    crate);
+//! 2. **Obfuscate** — the [`engine::Obfuscator`] derives an obfuscation
+//!    graph ([`obf::ObfGraph`]) by randomly applying the paper's
+//!    invertible generic transformations ([`transform`]);
+//! 3. **Compile** — the [`codec::Codec`] lowers the final graph once into
+//!    a flat [`plan::CodecPlan`]: dense `u32` slot indices replace every
+//!    per-message map lookup, and auto-field/length/split dependencies
+//!    become pre-resolved recovery programs (the compiled analogue of the
+//!    paper's *generated* serializer/parser pair);
+//! 4. **Run** — reusable sessions ([`codec::Codec::serializer`] /
+//!    [`codec::Codec::parser`]) interpret the plan with session-owned
+//!    scratch stores: steady-state `serialize_into`/`parse_in_place`
+//!    performs no hashing and no per-message heap allocation, while
+//!    applications keep using the **stable accessor interface**
+//!    ([`message::Message`]) keyed on plain-spec field paths.
+//!
+//! The one-shot [`codec::Codec::serialize`]/[`codec::Codec::parse`] entry
+//! points remain as thin wrappers over the cached plan; the original
+//! graph-walk interpreters survive as reference implementations
+//! ([`serialize::serialize_seeded`], [`parse::parse`]) that the plan path
+//! is differentially tested against.
 //!
 //! ```
 //! use protoobf_core::graph::{Boundary, GraphBuilder};
@@ -29,12 +44,27 @@
 //! let graph = b.build()?;
 //!
 //! let codec = Obfuscator::new(&graph).seed(42).max_per_node(2).obfuscate()?;
+//!
+//! // Steady-state path: hold the sessions and buffers across messages —
+//! // after warm-up, encode/decode reuses all scratch state.
+//! let mut serializer = codec.serializer();
+//! let mut parser = codec.parser();
+//! let mut wire = Vec::new();
+//! for id in [0x1234u64, 0x5678] {
+//!     let mut msg = codec.message();
+//!     msg.set_uint("id", id)?;
+//!     msg.set_uint("code", 7)?;
+//!     serializer.serialize_into(&msg, &mut wire)?;
+//!     let back = parser.parse_in_place(&wire)?;
+//!     assert_eq!(back.get_uint("id")?, id);
+//! }
+//!
+//! // One-shot compat path (same compiled plan under the hood).
 //! let mut msg = codec.message();
-//! msg.set_uint("id", 0x1234)?;
+//! msg.set_uint("id", 1)?;
 //! msg.set_uint("code", 7)?;
 //! let wire = codec.serialize(&msg)?;
-//! let back = codec.parse(&wire)?;
-//! assert_eq!(back.get_uint("id")?, 0x1234);
+//! assert_eq!(codec.parse(&wire)?.get_uint("id")?, 1);
 //! # Ok(())
 //! # }
 //! ```
@@ -50,6 +80,7 @@ pub mod message;
 pub mod obf;
 pub mod parse;
 pub mod path;
+pub mod plan;
 pub mod runtime;
 pub mod sample;
 pub mod serialize;

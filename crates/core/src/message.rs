@@ -8,6 +8,16 @@
 //! transformations and before the application of ordering
 //! transformations"). Getters invert them on the fly. The interface —
 //! plain-spec field paths — is stable regardless of the obfuscation plan.
+//!
+//! # Storage
+//!
+//! Values live in **slot-backed dense stores** ([`WireStore`] /
+//! [`MetaStore`]), indexed by the raw node index (the plan's *slot*) with
+//! per-instance element scopes as inline [`ScopeKey`]s and value bytes in
+//! one shared arena. Lookups are an index plus a short linear scan — no
+//! hashing — and clearing a store keeps its capacity, which is what lets
+//! the codec sessions ([`crate::serialize::SerializeSession`],
+//! [`crate::parse::ParseSession`]) run without steady-state allocation.
 
 use std::collections::HashMap;
 
@@ -21,14 +31,163 @@ use crate::path::{self, Path};
 use crate::runtime::{self, Scope};
 use crate::value::{Endian, TerminalKind, Value};
 
+/// Maximum supported repetition/tabular nesting depth. Element scopes are
+/// stored inline (allocation-free) up to this depth;
+/// [`crate::graph::FormatGraph::validate`] rejects deeper specifications.
+pub const MAX_SCOPE: usize = 8;
+
+/// An element-index scope stored inline: one index per repetition/tabular
+/// crossed, outermost first. The derived ordering (depth, then
+/// lexicographic indices) matches traversal order, so store entries pushed
+/// during a message walk are naturally sorted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub(crate) struct ScopeKey {
+    len: u8,
+    idx: [u32; MAX_SCOPE],
+}
+
+impl ScopeKey {
+    pub(crate) fn from_slice(scope: &[u32]) -> ScopeKey {
+        assert!(
+            scope.len() <= MAX_SCOPE,
+            "element scope deeper than the supported nesting of {MAX_SCOPE}"
+        );
+        let mut idx = [0u32; MAX_SCOPE];
+        idx[..scope.len()].copy_from_slice(scope);
+        ScopeKey { len: scope.len() as u8, idx }
+    }
+
+    pub(crate) fn as_slice(&self) -> &[u32] {
+        &self.idx[..self.len as usize]
+    }
+}
+
+/// Dense per-slot wire-value storage: value bytes live in one arena,
+/// instances are `(scope, range)` entries per slot.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct WireStore {
+    per_slot: Vec<Vec<(ScopeKey, u32, u32)>>,
+    data: Vec<u8>,
+}
+
+impl WireStore {
+    pub(crate) fn with_slots(n: usize) -> WireStore {
+        WireStore { per_slot: vec![Vec::new(); n], data: Vec::new() }
+    }
+
+    /// Clears all entries, keeping every capacity (session reuse).
+    pub(crate) fn clear(&mut self) {
+        for v in &mut self.per_slot {
+            v.clear();
+        }
+        self.data.clear();
+    }
+
+    pub(crate) fn get(&self, slot: usize, scope: &[u32]) -> Option<&[u8]> {
+        let key = ScopeKey::from_slice(scope);
+        let entries = self.per_slot.get(slot)?;
+        let i = entries.binary_search_by(|(k, _, _)| k.cmp(&key)).ok()?;
+        let (_, start, end) = entries[i];
+        Some(&self.data[start as usize..end as usize])
+    }
+
+    pub(crate) fn contains(&self, slot: usize, scope: &[u32]) -> bool {
+        self.get(slot, scope).is_some()
+    }
+
+    /// Inserts or replaces the value at `(slot, scope)`. Bytes are appended
+    /// to the arena; a replaced value's old bytes are reclaimed on the next
+    /// [`WireStore::clear`]. Entries stay sorted by scope — message walks
+    /// insert in order, so the common case is an O(1) push.
+    pub(crate) fn set(&mut self, slot: usize, scope: &[u32], bytes: &[u8]) {
+        let start = self.data.len() as u32;
+        self.data.extend_from_slice(bytes);
+        let end = self.data.len() as u32;
+        let key = ScopeKey::from_slice(scope);
+        let entries = &mut self.per_slot[slot];
+        match entries.binary_search_by(|(k, _, _)| k.cmp(&key)) {
+            Ok(i) => {
+                entries[i].1 = start;
+                entries[i].2 = end;
+            }
+            Err(i) => entries.insert(i, (key, start, end)),
+        }
+    }
+
+    /// The scopes at which `slot` holds a value.
+    pub(crate) fn scopes_of(&self, slot: usize) -> impl Iterator<Item = &[u32]> + '_ {
+        self.per_slot[slot].iter().map(|(k, _, _)| k.as_slice())
+    }
+
+    /// All stored values, in slot order.
+    #[cfg(test)]
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (usize, &[u32], &[u8])> + '_ {
+        self.per_slot.iter().enumerate().flat_map(move |(slot, entries)| {
+            entries.iter().map(move |&(ref k, start, end)| {
+                (slot, k.as_slice(), &self.data[start as usize..end as usize])
+            })
+        })
+    }
+}
+
+/// Dense per-slot metadata storage (presence flags, element counts).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct MetaStore<T: Copy> {
+    per_slot: Vec<Vec<(ScopeKey, T)>>,
+}
+
+impl<T: Copy> MetaStore<T> {
+    pub(crate) fn with_slots(n: usize) -> MetaStore<T> {
+        MetaStore { per_slot: vec![Vec::new(); n] }
+    }
+
+    pub(crate) fn clear(&mut self) {
+        for v in &mut self.per_slot {
+            v.clear();
+        }
+    }
+
+    pub(crate) fn get(&self, slot: usize, scope: &[u32]) -> Option<T> {
+        let key = ScopeKey::from_slice(scope);
+        let entries = self.per_slot.get(slot)?;
+        let i = entries.binary_search_by(|(k, _)| k.cmp(&key)).ok()?;
+        Some(entries[i].1)
+    }
+
+    pub(crate) fn set(&mut self, slot: usize, scope: &[u32], value: T) {
+        let key = ScopeKey::from_slice(scope);
+        let entries = &mut self.per_slot[slot];
+        match entries.binary_search_by(|(k, _)| k.cmp(&key)) {
+            Ok(i) => entries[i].1 = value,
+            Err(i) => entries.insert(i, (key, value)),
+        }
+    }
+
+    /// Read-modify-write without an entry clone.
+    pub(crate) fn update(
+        &mut self,
+        slot: usize,
+        scope: &[u32],
+        default: T,
+        f: impl FnOnce(T) -> T,
+    ) {
+        let key = ScopeKey::from_slice(scope);
+        let entries = &mut self.per_slot[slot];
+        match entries.binary_search_by(|(k, _)| k.cmp(&key)) {
+            Ok(i) => entries[i].1 = f(entries[i].1),
+            Err(i) => entries.insert(i, (key, f(default))),
+        }
+    }
+}
+
 /// A message under construction (or recovered by the parser), exposing the
 /// stable setter/getter interface over plain-specification field paths.
 #[derive(Debug)]
 pub struct Message<'c> {
     graph: &'c ObfGraph,
-    wires: HashMap<(ObfId, Scope), Value>,
-    presence: HashMap<(NodeId, Scope), bool>,
-    counts: HashMap<(NodeId, Scope), usize>,
+    pub(crate) wires: WireStore,
+    pub(crate) presence: MetaStore<bool>,
+    pub(crate) counts: MetaStore<usize>,
     rng: StdRng,
 }
 
@@ -42,13 +201,22 @@ impl<'c> Message<'c> {
     /// Creates an empty message with a deterministic RNG seed (reproducible
     /// random shares and pads).
     pub fn with_seed(graph: &'c ObfGraph, seed: u64) -> Self {
+        let n_obf = graph.allocated();
+        let n_plain = graph.plain().len();
         Message {
             graph,
-            wires: HashMap::new(),
-            presence: HashMap::new(),
-            counts: HashMap::new(),
+            wires: WireStore::with_slots(n_obf),
+            presence: MetaStore::with_slots(n_plain),
+            counts: MetaStore::with_slots(n_plain),
             rng: StdRng::seed_from_u64(seed),
         }
+    }
+
+    /// Clears all stored values, keeping capacity (session reuse).
+    pub(crate) fn reset(&mut self) {
+        self.wires.clear();
+        self.presence.clear();
+        self.counts.clear();
     }
 
     pub(crate) fn from_parts(
@@ -57,7 +225,17 @@ impl<'c> Message<'c> {
         presence: HashMap<(NodeId, Scope), bool>,
         counts: HashMap<(NodeId, Scope), usize>,
     ) -> Self {
-        Message { graph, wires, presence, counts, rng: StdRng::seed_from_u64(rand::random()) }
+        let mut m = Message::with_seed(graph, rand::random());
+        for ((id, scope), v) in &wires {
+            m.wires.set(id.index(), scope, v.as_bytes());
+        }
+        for ((x, scope), p) in &presence {
+            m.presence.set(x.index(), scope, *p);
+        }
+        for ((x, scope), n) in &counts {
+            m.counts.set(x.index(), scope, *n);
+        }
+        m
     }
 
     /// The obfuscation graph this message is bound to.
@@ -66,8 +244,7 @@ impl<'c> Message<'c> {
     }
 
     fn resolve(&self, path: &str) -> Result<(NodeId, Scope), BuildError> {
-        let parsed: Path =
-            path.parse().map_err(|_| BuildError::UnknownPath(path.to_string()))?;
+        let parsed: Path = path.parse().map_err(|_| BuildError::UnknownPath(path.to_string()))?;
         let resolved = path::resolve(self.graph.plain(), &parsed)?;
         let scope: Scope = resolved.scope.iter().map(|&i| i as u32).collect();
         Ok((resolved.node, scope))
@@ -114,13 +291,11 @@ impl<'c> Message<'c> {
             }
         }
         self.mark_ancestors(x, &scope);
-        let holder = self
-            .graph
-            .holder_of(x)
-            .ok_or_else(|| BuildError::UnknownPath(path.to_string()))?;
+        let holder =
+            self.graph.holder_of(x).ok_or_else(|| BuildError::UnknownPath(path.to_string()))?;
         let wires = &mut self.wires;
         runtime::distribute(self.graph, holder, value, &scope, &mut self.rng, &mut |id, sc, v| {
-            wires.insert((id, sc), v);
+            wires.set(id.index(), sc, v.as_bytes());
         })
     }
 
@@ -155,14 +330,14 @@ impl<'c> Message<'c> {
             return Err(BuildError::UnknownPath(format!("{path} is not an optional node")));
         }
         self.mark_ancestors(x, &scope);
-        self.presence.insert((x, scope), true);
+        self.presence.set(x.index(), &scope, true);
         Ok(())
     }
 
     /// True if the optional subtree at `path` is present.
     pub fn is_present(&self, path: &str) -> bool {
         match self.resolve(path) {
-            Ok((x, scope)) => *self.presence.get(&(x, scope)).unwrap_or(&false),
+            Ok((x, scope)) => self.presence.get(x.index(), &scope).unwrap_or(false),
             Err(_) => false,
         }
     }
@@ -170,7 +345,7 @@ impl<'c> Message<'c> {
     /// Number of elements of the repetition/tabular node at `path`.
     pub fn element_count(&self, path: &str) -> usize {
         match self.resolve(path) {
-            Ok((x, scope)) => *self.counts.get(&(x, scope)).unwrap_or(&0),
+            Ok((x, scope)) => self.counts.get(x.index(), &scope).unwrap_or(0),
             Err(_) => 0,
         }
     }
@@ -187,8 +362,7 @@ impl<'c> Message<'c> {
         if !self.graph.plain().node(x).is_terminal() {
             return Err(BuildError::NotATerminal(path.to_string()));
         }
-        self.value_at(x, &scope)
-            .ok_or_else(|| BuildError::MissingField(path.to_string()))
+        self.value_at(x, &scope).ok_or_else(|| BuildError::MissingField(path.to_string()))
     }
 
     /// Recovers an unsigned-integer field.
@@ -231,12 +405,10 @@ impl<'c> Message<'c> {
                     debug_assert!(d > 0, "scope shallower than container nesting");
                     let idx = scope[d - 1] as usize;
                     d -= 1;
-                    let key = (a, scope[..d].to_vec());
-                    let entry = self.counts.entry(key).or_insert(0);
-                    *entry = (*entry).max(idx + 1);
+                    self.counts.update(a.index(), &scope[..d], 0, |n| n.max(idx + 1));
                 }
                 NodeType::Optional(_) => {
-                    self.presence.insert((a, scope[..d].to_vec()), true);
+                    self.presence.set(a.index(), &scope[..d], true);
                 }
                 _ => {}
             }
@@ -249,7 +421,7 @@ impl<'c> Message<'c> {
     pub(crate) fn value_at(&self, x: NodeId, scope: &[u32]) -> Option<Value> {
         let holder = self.graph.holder_of(x)?;
         let recovered = runtime::recover(self.graph, holder, scope, &|id, sc| {
-            self.wires.get(&(id, sc.to_vec())).cloned()
+            self.wires.get(id.index(), sc).map(|b| Value::from_bytes(b.to_vec()))
         });
         if recovered.is_some() {
             return recovered;
@@ -274,7 +446,7 @@ impl<'c> Message<'c> {
             }
             AutoValue::CounterOf(t) => {
                 let tscope = runtime::scoped(plain, *t, scope);
-                *self.counts.get(&(*t, tscope)).unwrap_or(&0)
+                self.counts.get(t.index(), &tscope).unwrap_or(0)
             }
         };
         Value::from_uint(quantity as u64, width, endian)
@@ -310,14 +482,14 @@ impl<'c> Message<'c> {
                 Some(total)
             }
             NodeType::Optional(_) => {
-                if *self.presence.get(&(p, scope.to_vec())).unwrap_or(&false) {
+                if self.presence.get(p.index(), scope).unwrap_or(false) {
                     self.plain_len(node.children()[0], scope)
                 } else {
                     Some(0)
                 }
             }
             NodeType::Repetition(stop) => {
-                let m = *self.counts.get(&(p, scope.to_vec())).unwrap_or(&0);
+                let m = self.counts.get(p.index(), scope).unwrap_or(0);
                 let mut total = 0;
                 let mut sc = scope.to_vec();
                 for i in 0..m {
@@ -331,7 +503,7 @@ impl<'c> Message<'c> {
                 Some(total)
             }
             NodeType::Tabular => {
-                let m = *self.counts.get(&(p, scope.to_vec())).unwrap_or(&0);
+                let m = self.counts.get(p.index(), scope).unwrap_or(0);
                 let mut total = 0;
                 let mut sc = scope.to_vec();
                 for i in 0..m {
@@ -344,16 +516,16 @@ impl<'c> Message<'c> {
         }
     }
 
-    pub(crate) fn wire(&self, id: ObfId, scope: &[u32]) -> Option<&Value> {
-        self.wires.get(&(id, scope.to_vec()))
+    pub(crate) fn wire(&self, id: ObfId, scope: &[u32]) -> Option<&[u8]> {
+        self.wires.get(id.index(), scope)
     }
 
     pub(crate) fn presence_of(&self, x: NodeId, scope: &[u32]) -> bool {
-        *self.presence.get(&(x, scope.to_vec())).unwrap_or(&false)
+        self.presence.get(x.index(), scope).unwrap_or(false)
     }
 
     pub(crate) fn count_of(&self, x: NodeId, scope: &[u32]) -> usize {
-        *self.counts.get(&(x, scope.to_vec())).unwrap_or(&0)
+        self.counts.get(x.index(), scope).unwrap_or(0)
     }
 }
 
@@ -408,10 +580,9 @@ mod tests {
         m.set("data", b"obfuscate me".as_slice()).unwrap();
         assert_eq!(m.get("data").unwrap().as_bytes(), b"obfuscate me");
         // The stored wires are NOT the plain value (aggregation applied).
-        let stored: Vec<&Value> =
-            m.wires.values().collect();
+        let stored: Vec<&[u8]> = m.wires.iter().map(|(_, _, b)| b).collect();
         assert_eq!(stored.len(), 2, "split produced two shares");
-        assert!(stored.iter().all(|v| v.as_bytes() != b"obfuscate me"));
+        assert!(stored.iter().all(|v| *v != b"obfuscate me"));
     }
 
     #[test]
@@ -459,10 +630,7 @@ mod tests {
             m.set("flag", b"toolong".as_slice()),
             Err(BuildError::BadValueLength { .. })
         ));
-        assert!(matches!(
-            m.set_uint("flag", 300),
-            Err(BuildError::IntegerOverflow { .. })
-        ));
+        assert!(matches!(m.set_uint("flag", 300), Err(BuildError::IntegerOverflow { .. })));
         assert!(matches!(m.set_uint("data", 1), Err(BuildError::NotNumeric(_))));
         assert!(matches!(m.get("nope"), Err(BuildError::UnknownPath(_))));
         assert!(matches!(m.get("data"), Err(BuildError::MissingField(_))));
@@ -495,5 +663,28 @@ mod tests {
             m.set_str("word", "two words"),
             Err(BuildError::ValueContainsDelimiter { .. })
         ));
+    }
+
+    #[test]
+    fn wire_store_replaces_and_reuses() {
+        let mut s = WireStore::with_slots(2);
+        s.set(0, &[], b"aa");
+        s.set(1, &[3], b"bb");
+        s.set(0, &[], b"cc");
+        assert_eq!(s.get(0, &[]), Some(b"cc".as_slice()));
+        assert_eq!(s.get(1, &[3]), Some(b"bb".as_slice()));
+        assert_eq!(s.get(1, &[4]), None);
+        assert_eq!(s.iter().count(), 2);
+        s.clear();
+        assert_eq!(s.get(0, &[]), None);
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn meta_store_update() {
+        let mut s: MetaStore<usize> = MetaStore::with_slots(1);
+        s.update(0, &[], 0, |n| n.max(3));
+        s.update(0, &[], 0, |n| n.max(2));
+        assert_eq!(s.get(0, &[]), Some(3));
     }
 }

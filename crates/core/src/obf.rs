@@ -24,9 +24,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use crate::graph::{
-    AutoValue, Boundary, Condition, FormatGraph, NodeId, NodeType, StopRule,
-};
+use crate::graph::{AutoValue, Boundary, Condition, FormatGraph, NodeId, NodeType, StopRule};
 use crate::value::{ByteOp, Endian, SplitAt, TerminalKind};
 
 /// Identifier of a node inside an [`ObfGraph`].
@@ -593,16 +591,14 @@ impl ObfGraph {
     /// back.
     pub fn check_parse_order(&self) -> Result<(), String> {
         let order = self.preorder();
-        let pos: HashMap<ObfId, usize> =
-            order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let pos: HashMap<ObfId, usize> = order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
         let span_end = |id: ObfId| -> usize {
             self.subtree(id).iter().map(|n| pos[n]).max().unwrap_or(pos[&id]) + 1
         };
 
         let check_before = |x: NodeId, user: ObfId| -> Result<(), String> {
-            let holder = self
-                .holder_of(x)
-                .ok_or_else(|| format!("no holder for plain source {x}"))?;
+            let holder =
+                self.holder_of(x).ok_or_else(|| format!("no holder for plain source {x}"))?;
             if span_end(holder) > pos[&user] {
                 return Err(format!(
                     "plain value of {} (held by {}) is not recovered before {} parses",
@@ -684,11 +680,7 @@ mod tests {
     fn auto_fields_get_auto_bases() {
         let p = plain();
         let g = ObfGraph::from_plain(&p);
-        let len_obf = g
-            .preorder()
-            .into_iter()
-            .find(|&id| g.node(id).name() == "len")
-            .unwrap();
+        let len_obf = g.preorder().into_iter().find(|&id| g.node(id).name() == "len").unwrap();
         match &g.node(len_obf).kind {
             ObfKind::Terminal { base: Base::AutoLen(t), .. } => {
                 assert_eq!(p.node(*t).name(), "data");
@@ -714,8 +706,7 @@ mod tests {
     fn length_boundary_maps_to_plainlen() {
         let p = plain();
         let g = ObfGraph::from_plain(&p);
-        let data_obf =
-            g.preorder().into_iter().find(|&id| g.node(id).name() == "data").unwrap();
+        let data_obf = g.preorder().into_iter().find(|&id| g.node(id).name() == "data").unwrap();
         match &g.node(data_obf).kind {
             ObfKind::Terminal { boundary: TermBoundary::PlainLen { source, steps }, .. } => {
                 assert_eq!(p.node(*source).name(), "data");

@@ -1,0 +1,907 @@
+//! The compiled codec plan: the obfuscation graph lowered into a flat,
+//! index-addressed execution program.
+//!
+//! The paper's framework *generates* a specialized serializer/parser pair
+//! from the specification and the obfuscation plan (§V). The seed
+//! implementation instead re-interpreted the [`ObfGraph`] per message,
+//! paying `HashMap<(ObfId, Scope), Value>` lookups, per-visit node clones
+//! and per-node output buffers. [`CodecPlan::compile`] performs that
+//! interpretation **once**:
+//!
+//! * every node becomes a [`PlanOp`] in a dense table indexed by the raw
+//!   [`ObfId`] value (the node's *slot*), with children flattened into one
+//!   contiguous array;
+//! * every plain-graph lookup the interpreters used to perform per message
+//!   (reference targets, container depths, byte orders, auto-field
+//!   encodings) is resolved to plain `u32` indices at compile time;
+//! * the inverse-aggregation walk [`crate::runtime::recover`] runs per
+//!   holder is lowered into a [`RecStep`] program: a post-order,
+//!   stack-machine byte program evaluated by [`RecEval`] against reusable
+//!   scratch buffers — no allocation, no recursion, no hashing;
+//! * auto-field sanity checks are collected into a flat
+//!   [`AutoCheck`] list walked after parsing.
+//!
+//! The plan interpreters live in [`crate::serialize`]
+//! ([`crate::serialize::SerializeSession`]) and [`crate::parse`]
+//! ([`crate::parse::ParseSession`]); [`crate::codec::Codec`] compiles the
+//! plan lazily and caches it.
+
+use crate::graph::{NodeId, Predicate};
+use crate::obf::{
+    Base, ConstOp, LenStep, ObfGraph, ObfId, ObfKind, Recombine, RepStop, SeqBoundary, TermBoundary,
+};
+use crate::runtime;
+use crate::value::{ByteOp, Endian, TerminalKind, Value};
+
+/// Sentinel for "no node" in the plan's dense `u32` index space.
+pub(crate) const NONE: u32 = u32::MAX;
+
+/// A range into one of the plan's flat pools: `(start, len)`.
+pub(crate) type PoolRange = (u32, u32);
+
+/// Compiled terminal boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum TermB {
+    /// Exactly `n` bytes.
+    Fixed(u32),
+    /// Scan for the pooled delimiter; consumed, not part of the value.
+    Delim(u32),
+    /// `steps(plain_len(reference))` bytes.
+    PlainLen {
+        /// Plain index of the numeric terminal carrying the plain length.
+        r: u32,
+        /// Container depth of the reference (scope truncation).
+        r_depth: u8,
+        /// Byte order of the reference.
+        r_endian: Endian,
+        /// Split derivation steps (pool range).
+        steps: PoolRange,
+    },
+    /// The rest of the enclosing window.
+    End,
+}
+
+/// Compiled sequence boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SeqB {
+    /// Sum of the children's extents.
+    Delegated,
+    /// The rest of the enclosing window.
+    End,
+    /// Exactly `n` bytes.
+    Fixed(u32),
+    /// Window given by the plain `Length` reference `r`.
+    PlainLen {
+        /// Plain index of the reference target.
+        r: u32,
+        /// Its container depth.
+        r_depth: u8,
+        /// Its byte order.
+        r_endian: Endian,
+    },
+}
+
+/// Compiled input-value source of a terminal / split sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum BaseOp {
+    /// Application-set plain field (plain index kept for error naming).
+    Source {
+        /// Plain node index.
+        plain: u32,
+    },
+    /// `k` random pad bytes per serialization.
+    Pad {
+        /// Pad width.
+        k: u32,
+    },
+    /// Auto-computed plain length of the target subtree.
+    AutoLen {
+        /// Plain target index.
+        target: u32,
+        /// Target container depth.
+        depth: u8,
+        /// Encoded width in bytes.
+        width: u8,
+        /// Encoded byte order.
+        endian: Endian,
+    },
+    /// Auto-computed element count of the target container.
+    AutoCount {
+        /// Plain target index.
+        target: u32,
+        /// Target container depth.
+        depth: u8,
+        /// Encoded width in bytes.
+        width: u8,
+        /// Encoded byte order.
+        endian: Endian,
+    },
+    /// Protocol constant (pool index).
+    Const {
+        /// Index into [`CodecPlan::consts`].
+        pool: u32,
+    },
+    /// Handed down by the enclosing split sequence.
+    Inherit,
+}
+
+impl BaseOp {
+    /// True for bases materialized by the serializer (never application
+    /// set).
+    pub(crate) fn is_materialized(&self) -> bool {
+        matches!(self, BaseOp::AutoLen { .. } | BaseOp::AutoCount { .. } | BaseOp::Const { .. })
+    }
+}
+
+/// Compiled repetition stop rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RepStopC {
+    /// Pooled terminator byte string.
+    Terminator(u32),
+    /// Until the window is exhausted.
+    Exhausted,
+    /// Exactly as many elements as the linked repetition slot parsed.
+    CountOf(u32),
+}
+
+/// One compiled node of the plan. The variant mirrors [`ObfKind`] with all
+/// graph lookups pre-resolved.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum PlanOp {
+    /// Allocated but detached node (replaced by a transformation).
+    Dead,
+    /// Wire-carrying leaf.
+    Term {
+        /// Input source.
+        base: BaseOp,
+        /// Extent rule.
+        boundary: TermB,
+    },
+    /// Split sequence: materializes its base, then serializes children.
+    Split {
+        /// The replaced terminal's compiled base.
+        base: BaseOp,
+        /// First terminal slot of the subtree (materialization guard).
+        first_term: u32,
+    },
+    /// Ordered children with a window rule.
+    Seq {
+        /// Window rule.
+        boundary: SeqB,
+    },
+    /// Conditional subtree.
+    Opt {
+        /// Plain index of the condition subject.
+        subject: u32,
+        /// Subject container depth.
+        subject_depth: u8,
+        /// Index into [`CodecPlan::preds`].
+        pred: u32,
+        /// Plain index of the optional node itself (presence key).
+        origin: u32,
+        /// Its container depth.
+        origin_depth: u8,
+    },
+    /// Repeated single child.
+    Rep {
+        /// Stop rule.
+        stop: RepStopC,
+        /// Plain origin (count key), [`NONE`] if the node has none.
+        origin: u32,
+        /// Origin container depth.
+        origin_depth: u8,
+    },
+    /// Counted single child.
+    Tab {
+        /// Plain index of the counter terminal.
+        counter: u32,
+        /// Counter container depth.
+        counter_depth: u8,
+        /// Counter byte order.
+        counter_endian: Endian,
+        /// Plain origin (count key), [`NONE`] if absent.
+        origin: u32,
+        /// Origin container depth.
+        origin_depth: u8,
+    },
+    /// Byte-reversed subtree.
+    Mirror,
+    /// Length-prefixed subtree.
+    Prefixed {
+        /// Prefix width in bytes.
+        width: u8,
+        /// Prefix byte order.
+        endian: Endian,
+    },
+}
+
+/// One compiled node: operation plus flattened child range.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct PlanNode {
+    /// The operation.
+    pub(crate) op: PlanOp,
+    /// Range into [`CodecPlan::children`].
+    pub(crate) children: PoolRange,
+}
+
+/// One step of a compiled recovery program (post-order stack machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RecStep {
+    /// Push the wire bytes of slot `obf`, undoing its constant-op stack.
+    Load {
+        /// Wire slot.
+        obf: u32,
+        /// Constant ops to undo (pool range).
+        ops: PoolRange,
+    },
+    /// Pop two values, concatenate, undo the split expression's ops.
+    Concat {
+        /// Split-expression ops to undo (pool range).
+        ops: PoolRange,
+    },
+    /// Pop share and combined value, invert `op`, undo the split
+    /// expression's ops.
+    Op {
+        /// The forward recombination operator (inverted during eval).
+        op: ByteOp,
+        /// Split-expression ops to undo (pool range).
+        ops: PoolRange,
+    },
+}
+
+/// A compiled auto-field sanity check (run after parsing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum AutoCheckKind {
+    /// The recovered bytes must equal the pooled constant.
+    Literal(u32),
+    /// The recovered integer must equal the plain length of `target`.
+    LengthOf {
+        /// Plain target index.
+        target: u32,
+        /// Target container depth.
+        depth: u8,
+    },
+    /// The recovered integer must equal the element count of `target`.
+    CounterOf {
+        /// Plain target index.
+        target: u32,
+        /// Target container depth.
+        depth: u8,
+    },
+}
+
+/// One auto field to verify after parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct AutoCheck {
+    /// Plain index of the auto field.
+    pub(crate) plain: u32,
+    /// First terminal slot of its holder subtree (instance discovery).
+    pub(crate) first_term: u32,
+    /// What to verify.
+    pub(crate) kind: AutoCheckKind,
+}
+
+/// A compiled recovery program: range into [`CodecPlan::rec_steps`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct RecProg(pub(crate) PoolRange);
+
+/// The compiled execution plan of one codec.
+///
+/// Immutable once built; sessions interpret it with their own scratch
+/// state. All cross-references are dense `u32` indices — the hot paths of
+/// [`crate::serialize::SerializeSession`] and
+/// [`crate::parse::ParseSession`] perform no hashing.
+#[derive(Debug, Clone)]
+pub struct CodecPlan {
+    /// Dense node table, indexed by raw [`ObfId`].
+    pub(crate) nodes: Vec<PlanNode>,
+    /// Flattened child lists.
+    pub(crate) children: Vec<u32>,
+    /// Root slot.
+    pub(crate) root: u32,
+    /// plain index → holder slot ([`NONE`] when the plain node carries no
+    /// value channel).
+    pub(crate) holder: Vec<u32>,
+    /// plain index → container depth.
+    pub(crate) plain_depth: Vec<u8>,
+    /// plain index → byte order of numeric terminals (Big otherwise).
+    pub(crate) plain_endian: Vec<Endian>,
+    /// plain index → compiled recovery program over the holder subtree.
+    pub(crate) rec: Vec<Option<RecProg>>,
+    /// Recovery step pool.
+    pub(crate) rec_steps: Vec<RecStep>,
+    /// Constant-op pool (terminal stacks and split expressions).
+    pub(crate) ops: Vec<ConstOp>,
+    /// Delimiter / terminator byte-string pool.
+    pub(crate) bytes: Vec<Vec<u8>>,
+    /// Constant-value pool.
+    pub(crate) consts: Vec<Value>,
+    /// Predicate pool.
+    pub(crate) preds: Vec<Predicate>,
+    /// Length-derivation step pool.
+    pub(crate) steps: Vec<LenStep>,
+    /// Auto-field checks, in plain-graph order.
+    pub(crate) autos: Vec<AutoCheck>,
+}
+
+impl CodecPlan {
+    /// Number of wire slots (== allocated obfuscation nodes).
+    pub fn slots(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of plain nodes.
+    pub fn plain_len(&self) -> usize {
+        self.holder.len()
+    }
+
+    /// Number of compiled recovery steps (all programs together).
+    pub fn recovery_steps(&self) -> usize {
+        self.rec_steps.len()
+    }
+
+    /// Borrow a pooled op range.
+    pub(crate) fn ops(&self, r: PoolRange) -> &[ConstOp] {
+        &self.ops[r.0 as usize..(r.0 + r.1) as usize]
+    }
+
+    /// Borrow a pooled recovery program.
+    pub(crate) fn rec_prog(&self, p: RecProg) -> &[RecStep] {
+        &self.rec_steps[p.0 .0 as usize..(p.0 .0 + p.0 .1) as usize]
+    }
+
+    /// Borrow a node's children.
+    pub(crate) fn kids(&self, n: &PlanNode) -> &[u32] {
+        &self.children[n.children.0 as usize..(n.children.0 + n.children.1) as usize]
+    }
+
+    /// Lowers the final obfuscation graph into a flat plan. One pass over
+    /// the graph; everything per-message afterwards is index arithmetic.
+    pub fn compile(g: &ObfGraph) -> CodecPlan {
+        Compiler::new(g).run()
+    }
+}
+
+struct Compiler<'g> {
+    g: &'g ObfGraph,
+    plan: CodecPlan,
+    live: Vec<bool>,
+}
+
+impl<'g> Compiler<'g> {
+    fn new(g: &'g ObfGraph) -> Self {
+        let n_obf = g.allocated();
+        let plain = g.plain();
+        let n_plain = plain.len();
+        let mut live = vec![false; n_obf];
+        for id in g.preorder() {
+            live[id.index()] = true;
+        }
+        Compiler {
+            g,
+            live,
+            plan: CodecPlan {
+                nodes: Vec::with_capacity(n_obf),
+                children: Vec::new(),
+                root: g.root().0,
+                holder: vec![NONE; n_plain],
+                plain_depth: vec![0; n_plain],
+                plain_endian: vec![Endian::Big; n_plain],
+                rec: vec![None; n_plain],
+                rec_steps: Vec::new(),
+                ops: Vec::new(),
+                bytes: Vec::new(),
+                consts: Vec::new(),
+                preds: Vec::new(),
+                steps: Vec::new(),
+                autos: Vec::new(),
+            },
+        }
+    }
+
+    fn run(mut self) -> CodecPlan {
+        let plain = self.g.plain();
+        for x in plain.ids() {
+            let i = x.index();
+            self.plan.plain_depth[i] = runtime::container_depth(plain, x) as u8;
+            if let Some(TerminalKind::UInt { endian, .. }) = plain.node(x).terminal_kind() {
+                self.plan.plain_endian[i] = *endian;
+            }
+            if let Some(h) = self.g.holder_of(x) {
+                self.plan.holder[i] = h.0;
+            }
+        }
+        for idx in 0..self.g.allocated() {
+            let node = self.compile_node(ObfId(idx as u32));
+            self.plan.nodes.push(node);
+        }
+        for x in plain.ids() {
+            if self.plan.holder[x.index()] != NONE {
+                let prog = self.compile_rec(ObfId(self.plan.holder[x.index()]));
+                self.plan.rec[x.index()] = prog;
+            }
+        }
+        self.compile_autos();
+        self.plan
+    }
+
+    fn pool_ops(&mut self, ops: &[ConstOp]) -> PoolRange {
+        let start = self.plan.ops.len() as u32;
+        self.plan.ops.extend_from_slice(ops);
+        (start, ops.len() as u32)
+    }
+
+    fn pool_bytes(&mut self, b: &[u8]) -> u32 {
+        if let Some(i) = self.plan.bytes.iter().position(|x| x == b) {
+            return i as u32;
+        }
+        self.plan.bytes.push(b.to_vec());
+        (self.plan.bytes.len() - 1) as u32
+    }
+
+    fn pool_const(&mut self, v: &Value) -> u32 {
+        self.plan.consts.push(v.clone());
+        (self.plan.consts.len() - 1) as u32
+    }
+
+    fn pool_steps(&mut self, s: &[LenStep]) -> PoolRange {
+        let start = self.plan.steps.len() as u32;
+        self.plan.steps.extend_from_slice(s);
+        (start, s.len() as u32)
+    }
+
+    fn depth_of(&self, x: NodeId) -> u8 {
+        self.plan.plain_depth[x.index()]
+    }
+
+    fn endian_of(&self, x: NodeId) -> Endian {
+        self.plan.plain_endian[x.index()]
+    }
+
+    /// Compiled width/endian an auto value is encoded with: the terminal's
+    /// own kind, or (for split sequences) the replaced terminal's plain
+    /// kind.
+    fn auto_encoding(&self, id: ObfId) -> (u8, Endian) {
+        if let ObfKind::Terminal { kind: TerminalKind::UInt { width, endian }, .. } =
+            &self.g.node(id).kind()
+        {
+            return (*width as u8, *endian);
+        }
+        if let Some(origin) = self.g.node(id).origin() {
+            if let Some(TerminalKind::UInt { width, endian }) =
+                self.g.plain().node(origin).terminal_kind()
+            {
+                return (*width as u8, *endian);
+            }
+        }
+        (8, Endian::Big)
+    }
+
+    fn compile_base(&mut self, id: ObfId, base: &Base) -> BaseOp {
+        match base {
+            Base::Source(x) => BaseOp::Source { plain: x.0 },
+            Base::Pad(k) => BaseOp::Pad { k: *k as u32 },
+            Base::AutoLen(t) => {
+                let (width, endian) = self.auto_encoding(id);
+                BaseOp::AutoLen { target: t.0, depth: self.depth_of(*t), width, endian }
+            }
+            Base::AutoCount(t) => {
+                let (width, endian) = self.auto_encoding(id);
+                BaseOp::AutoCount { target: t.0, depth: self.depth_of(*t), width, endian }
+            }
+            Base::Const(v) => BaseOp::Const { pool: self.pool_const(v) },
+            Base::Inherit => BaseOp::Inherit,
+        }
+    }
+
+    /// Plain `Length` reference of plain node `p`, resolved.
+    fn plain_ref(&self, p: NodeId) -> (u32, u8, Endian) {
+        let r = self
+            .g
+            .plain()
+            .node(p)
+            .boundary()
+            .reference()
+            .expect("validated PlainLen nodes carry Length/Counter boundaries");
+        (r.0, self.depth_of(r), self.endian_of(r))
+    }
+
+    fn first_term(&self, id: ObfId) -> u32 {
+        self.g
+            .subtree(id)
+            .into_iter()
+            .find(|&n| self.g.node(n).is_terminal())
+            .map(|t| t.0)
+            .unwrap_or(NONE)
+    }
+
+    fn compile_node(&mut self, id: ObfId) -> PlanNode {
+        if !self.live[id.index()] {
+            return PlanNode { op: PlanOp::Dead, children: (0, 0) };
+        }
+        let node = self.g.node(id);
+        let op = match node.kind() {
+            ObfKind::Terminal { base, boundary, .. } => {
+                let base = self.compile_base(id, base);
+                let boundary = match boundary {
+                    TermBoundary::Fixed(n) => TermB::Fixed(*n as u32),
+                    TermBoundary::Delimited(d) => TermB::Delim(self.pool_bytes(d)),
+                    TermBoundary::PlainLen { source, steps } => {
+                        let (r, r_depth, r_endian) = self.plain_ref(*source);
+                        TermB::PlainLen { r, r_depth, r_endian, steps: self.pool_steps(steps) }
+                    }
+                    TermBoundary::End => TermB::End,
+                };
+                PlanOp::Term { base, boundary }
+            }
+            ObfKind::SplitSeq { expr, .. } => PlanOp::Split {
+                base: self.compile_base(id, &expr.base),
+                first_term: self.first_term(id),
+            },
+            ObfKind::Sequence { boundary } => {
+                let boundary = match boundary {
+                    SeqBoundary::Delegated => SeqB::Delegated,
+                    SeqBoundary::End => SeqB::End,
+                    SeqBoundary::Fixed(n) => SeqB::Fixed(*n as u32),
+                    SeqBoundary::PlainLen(p) => {
+                        let (r, r_depth, r_endian) = self.plain_ref(*p);
+                        SeqB::PlainLen { r, r_depth, r_endian }
+                    }
+                };
+                PlanOp::Seq { boundary }
+            }
+            ObfKind::Optional { condition } => {
+                let origin = node.origin().expect("optionals always have plain origins");
+                self.plan.preds.push(condition.predicate.clone());
+                PlanOp::Opt {
+                    subject: condition.subject.0,
+                    subject_depth: self.depth_of(condition.subject),
+                    pred: (self.plan.preds.len() - 1) as u32,
+                    origin: origin.0,
+                    origin_depth: self.depth_of(origin),
+                }
+            }
+            ObfKind::Repetition { stop } => {
+                let stop = match stop {
+                    RepStop::Terminator(t) => RepStopC::Terminator(self.pool_bytes(t)),
+                    RepStop::Exhausted => RepStopC::Exhausted,
+                    RepStop::CountOf(first) => RepStopC::CountOf(first.0),
+                };
+                let (origin, origin_depth) = match node.origin() {
+                    Some(o) => (o.0, self.depth_of(o)),
+                    None => (NONE, 0),
+                };
+                PlanOp::Rep { stop, origin, origin_depth }
+            }
+            ObfKind::Tabular { counter } => {
+                let (origin, origin_depth) = match node.origin() {
+                    Some(o) => (o.0, self.depth_of(o)),
+                    None => (NONE, 0),
+                };
+                PlanOp::Tab {
+                    counter: counter.0,
+                    counter_depth: self.depth_of(*counter),
+                    counter_endian: self.endian_of(*counter),
+                    origin,
+                    origin_depth,
+                }
+            }
+            ObfKind::Mirror => PlanOp::Mirror,
+            ObfKind::Prefixed { width, endian } => {
+                PlanOp::Prefixed { width: *width as u8, endian: *endian }
+            }
+        };
+        let start = self.plan.children.len() as u32;
+        self.plan.children.extend(node.children().iter().map(|c| c.0));
+        PlanNode { op, children: (start, node.children().len() as u32) }
+    }
+
+    /// Lowers the holder subtree of one plain terminal into a post-order
+    /// recovery program (the compiled form of [`runtime::recover`]).
+    fn compile_rec(&mut self, holder: ObfId) -> Option<RecProg> {
+        let mut steps = Vec::new();
+        self.rec_of(holder, &mut steps)?;
+        let start = self.plan.rec_steps.len() as u32;
+        let len = steps.len() as u32;
+        self.plan.rec_steps.extend(steps);
+        Some(RecProg((start, len)))
+    }
+
+    fn rec_of(&mut self, id: ObfId, out: &mut Vec<RecStep>) -> Option<()> {
+        let node = self.g.node(id);
+        match node.kind() {
+            ObfKind::Terminal { ops, .. } => {
+                let ops = self.pool_ops(&ops.clone());
+                out.push(RecStep::Load { obf: id.0, ops });
+                Some(())
+            }
+            ObfKind::SplitSeq { expr, recombine } => {
+                let (c0, c1) = (node.children()[0], node.children()[1]);
+                let expr_ops = expr.ops.clone();
+                self.rec_of(c0, out)?;
+                self.rec_of(c1, out)?;
+                let ops = self.pool_ops(&expr_ops);
+                out.push(match recombine {
+                    Recombine::Concat(_) => RecStep::Concat { ops },
+                    Recombine::Op(op) => RecStep::Op { op: *op, ops },
+                });
+                Some(())
+            }
+            ObfKind::Mirror | ObfKind::Prefixed { .. } => self.rec_of(node.children()[0], out),
+            _ => None,
+        }
+    }
+
+    fn compile_autos(&mut self) {
+        let plain = self.g.plain();
+        for x in plain.ids() {
+            let node = plain.node(x);
+            let kind = match node.auto() {
+                crate::graph::AutoValue::None => continue,
+                crate::graph::AutoValue::Literal(v) => AutoCheckKind::Literal(self.pool_const(v)),
+                crate::graph::AutoValue::LengthOf(t) => {
+                    AutoCheckKind::LengthOf { target: t.0, depth: self.depth_of(*t) }
+                }
+                crate::graph::AutoValue::CounterOf(t) => {
+                    AutoCheckKind::CounterOf { target: t.0, depth: self.depth_of(*t) }
+                }
+            };
+            let holder = match self.g.holder_of(x) {
+                Some(h) => h,
+                None => continue,
+            };
+            let first_term = self.first_term(holder);
+            if first_term == NONE {
+                continue;
+            }
+            self.plan.autos.push(AutoCheck { plain: x.0, first_term, kind });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// recovery evaluation
+// ---------------------------------------------------------------------------
+
+/// Applies one byte of an invertible operation.
+#[inline]
+pub(crate) fn apply1(op: ByteOp, a: u8, k: u8) -> u8 {
+    match op {
+        ByteOp::Add => a.wrapping_add(k),
+        ByteOp::Sub => a.wrapping_sub(k),
+        ByteOp::Xor => a ^ k,
+    }
+}
+
+/// Undoes a constant-op stack in place (reverse order, inverse operators).
+pub(crate) fn undo_ops_in_place(ops: &[ConstOp], bytes: &mut [u8]) {
+    for op in ops.iter().rev() {
+        let inv = op.op.inverse();
+        let k = &op.k;
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = apply1(inv, *b, k[i % k.len()]);
+        }
+    }
+}
+
+/// Wire-loader callback of [`RecEval::eval`]: appends the wire bytes of a
+/// slot (at the given scope) to the scratch buffer and returns `true`, or
+/// returns `false` when the wire is missing.
+pub(crate) type WireLoader<'a> = dyn FnMut(u32, &[u32], &mut Vec<u8>) -> bool + 'a;
+
+/// Reusable scratch state for recovery-program evaluation. Buffers grow to
+/// a steady-state size and are then reused allocation-free.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct RecEval {
+    /// Value stack: contiguous `(start, len)` ranges into `buf`.
+    stack: Vec<(usize, usize)>,
+    /// The byte scratch all stack values live in.
+    pub(crate) buf: Vec<u8>,
+}
+
+impl RecEval {
+    /// Runs `prog` against wire values supplied by `load`.
+    ///
+    /// Returns the byte range of the recovered value inside
+    /// [`RecEval::buf`], or `None` when a required wire was missing.
+    pub(crate) fn eval(
+        &mut self,
+        plan: &CodecPlan,
+        prog: RecProg,
+        scope: &[u32],
+        load: &mut WireLoader<'_>,
+    ) -> Option<(usize, usize)> {
+        self.stack.clear();
+        self.buf.clear();
+        for step in plan.rec_prog(prog) {
+            match *step {
+                RecStep::Load { obf, ops } => {
+                    let start = self.buf.len();
+                    if !load(obf, scope, &mut self.buf) {
+                        return None;
+                    }
+                    let len = self.buf.len() - start;
+                    undo_ops_in_place(plan.ops(ops), &mut self.buf[start..]);
+                    self.stack.push((start, len));
+                }
+                RecStep::Concat { ops } => {
+                    let (_, bl) = self.stack.pop()?;
+                    let (a, al) = self.stack.pop()?;
+                    // Stack values are contiguous: concat is a range merge.
+                    let merged = (a, al + bl);
+                    undo_ops_in_place(plan.ops(ops), &mut self.buf[merged.0..merged.0 + merged.1]);
+                    self.stack.push(merged);
+                }
+                RecStep::Op { op, ops } => {
+                    let (b, bl) = self.stack.pop()?;
+                    let (a, al) = self.stack.pop()?;
+                    let inv = op.inverse();
+                    // combined ⟨inv⟩ share, share cycled (empty share ⇒
+                    // inert 1-byte operand, matching `runtime::pad_one`).
+                    let (left, right) = self.buf.split_at_mut(b);
+                    let share = &left[a..a + al];
+                    let combined = &mut right[..bl];
+                    for (i, c) in combined.iter_mut().enumerate() {
+                        let k = if al == 0 { 0 } else { share[i % al] };
+                        *c = apply1(inv, *c, k);
+                    }
+                    // Compact: move the result down over the share so the
+                    // stack stays contiguous.
+                    self.buf.copy_within(b..b + bl, a);
+                    self.buf.truncate(a + bl);
+                    undo_ops_in_place(plan.ops(ops), &mut self.buf[a..a + bl]);
+                    self.stack.push((a, bl));
+                }
+            }
+        }
+        self.stack.pop()
+    }
+}
+
+/// Decodes a recovered big/little-endian unsigned integer from raw bytes.
+/// Returns `None` for values wider than 8 bytes.
+pub(crate) fn bytes_to_uint(bytes: &[u8], endian: Endian) -> Option<u64> {
+    if bytes.len() > 8 {
+        return None;
+    }
+    let mut acc = 0u64;
+    match endian {
+        Endian::Big => {
+            for &b in bytes {
+                acc = (acc << 8) | u64::from(b);
+            }
+        }
+        Endian::Little => {
+            for &b in bytes.iter().rev() {
+                acc = (acc << 8) | u64::from(b);
+            }
+        }
+    }
+    Some(acc)
+}
+
+/// Evaluates a predicate directly over recovered bytes (no `Value`
+/// construction on the parse hot path).
+pub(crate) fn pred_eval(pred: &Predicate, bytes: &[u8]) -> bool {
+    match pred {
+        Predicate::Equals(v) => v.as_bytes() == bytes,
+        Predicate::NotEquals(v) => v.as_bytes() != bytes,
+        Predicate::OneOf(vs) => vs.iter().any(|v| v.as_bytes() == bytes),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{AutoValue, Boundary, Condition, GraphBuilder, Predicate};
+    use crate::transform::{apply, TransformKind};
+    use crate::value::TerminalKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample() -> ObfGraph {
+        let mut b = GraphBuilder::new("s");
+        let root = b.root_sequence("m", Boundary::End);
+        let len = b.uint_be(root, "len", 2);
+        let data = b.terminal(root, "data", TerminalKind::Bytes, Boundary::Length(len));
+        b.set_auto(len, AutoValue::LengthOf(data));
+        let flag = b.uint_be(root, "flag", 1);
+        let opt = b.optional(
+            root,
+            "extra",
+            Condition { subject: flag, predicate: Predicate::Equals(Value::from_bytes(vec![1])) },
+        );
+        b.uint_be(opt, "ev", 2);
+        ObfGraph::from_plain(&b.build().unwrap())
+    }
+
+    #[test]
+    fn compile_covers_every_slot() {
+        let g = sample();
+        let plan = CodecPlan::compile(&g);
+        assert_eq!(plan.slots(), g.allocated());
+        assert_eq!(plan.root as usize, g.root().index());
+        // Every live node has a non-dead op.
+        for id in g.preorder() {
+            assert!(
+                !matches!(plan.nodes[id.index()].op, PlanOp::Dead),
+                "live node {} compiled dead",
+                g.node(id).name()
+            );
+        }
+    }
+
+    #[test]
+    fn holders_and_recovery_programs_compiled() {
+        let g = sample();
+        let plan = CodecPlan::compile(&g);
+        let data = g.plain().resolve_names(&["data"]).unwrap();
+        assert_ne!(plan.holder[data.index()], NONE);
+        assert!(plan.rec[data.index()].is_some());
+        // Identity graph: one Load step per terminal program.
+        let prog = plan.rec[data.index()].unwrap();
+        assert_eq!(plan.rec_prog(prog).len(), 1);
+    }
+
+    #[test]
+    fn autos_collected() {
+        let g = sample();
+        let plan = CodecPlan::compile(&g);
+        assert_eq!(plan.autos.len(), 1);
+        assert!(matches!(plan.autos[0].kind, AutoCheckKind::LengthOf { .. }));
+    }
+
+    #[test]
+    fn rec_eval_inverts_split_stack() {
+        // Build a transformed graph and check the compiled program agrees
+        // with the reference recovery walk.
+        let mut g = sample();
+        let mut rng = StdRng::seed_from_u64(11);
+        let data_plain = g.plain().resolve_names(&["data"]).unwrap();
+        let h = g.holder_of(data_plain).unwrap();
+        apply(&mut g, h, TransformKind::ConstAdd, &mut rng).unwrap();
+        let h = g.holder_of(data_plain).unwrap();
+        apply(&mut g, h, TransformKind::SplitXor, &mut rng).unwrap();
+        let h = g.holder_of(data_plain).unwrap();
+
+        // Distribute a value, then recover it through the compiled program.
+        let mut store: std::collections::HashMap<(ObfId, Vec<u32>), Value> =
+            std::collections::HashMap::new();
+        runtime::distribute(
+            &g,
+            h,
+            Value::from_bytes(b"plan layer".to_vec()),
+            &[],
+            &mut rng,
+            &mut |id, sc, v| {
+                store.insert((id, sc.to_vec()), v);
+            },
+        )
+        .unwrap();
+
+        let plan = CodecPlan::compile(&g);
+        let prog = plan.rec[data_plain.index()].expect("data has a program");
+        let mut ev = RecEval::default();
+        let range = ev
+            .eval(&plan, prog, &[], &mut |obf, sc, buf| match store.get(&(ObfId(obf), sc.to_vec()))
+            {
+                Some(v) => {
+                    buf.extend_from_slice(v.as_bytes());
+                    true
+                }
+                None => false,
+            })
+            .expect("all wires present");
+        assert_eq!(&ev.buf[range.0..range.0 + range.1], b"plan layer");
+    }
+
+    #[test]
+    fn uint_and_pred_helpers() {
+        assert_eq!(bytes_to_uint(&[1, 2], Endian::Big), Some(0x0102));
+        assert_eq!(bytes_to_uint(&[1, 2], Endian::Little), Some(0x0201));
+        assert_eq!(bytes_to_uint(&[0; 9], Endian::Big), None);
+        let p = Predicate::OneOf(vec![Value::from_bytes(vec![3]), Value::from_bytes(vec![5])]);
+        assert!(pred_eval(&p, &[5]));
+        assert!(!pred_eval(&p, &[4]));
+    }
+}

@@ -75,7 +75,7 @@ pub fn distribute<R: Rng + ?Sized>(
     input: Value,
     scope: &[u32],
     rng: &mut R,
-    sink: &mut dyn FnMut(ObfId, Scope, Value),
+    sink: &mut dyn FnMut(ObfId, &[u32], Value),
 ) -> Result<(), BuildError> {
     let n = g.node(node);
     match &n.kind {
@@ -100,7 +100,7 @@ pub fn distribute<R: Rng + ?Sized>(
                 }
                 TermBoundary::PlainLen { .. } | TermBoundary::End => {}
             }
-            sink(node, scope.to_vec(), apply_ops(ops, input));
+            sink(node, scope, apply_ops(ops, input));
             Ok(())
         }
         ObfKind::SplitSeq { expr, recombine } => {
@@ -166,11 +166,9 @@ pub fn recover(
                     bytes.extend_from_slice(b.as_bytes());
                     Value::from_bytes(bytes)
                 }
-                Recombine::Op(op) => Value::from_bytes(apply_op(
-                    op.inverse(),
-                    b.as_bytes(),
-                    pad_one(a.as_bytes()),
-                )),
+                Recombine::Op(op) => {
+                    Value::from_bytes(apply_op(op.inverse(), b.as_bytes(), pad_one(a.as_bytes())))
+                }
             };
             Some(undo_ops(&expr.ops, v))
         }
@@ -192,10 +190,7 @@ pub fn find(haystack: &[u8], needle: &[u8], from: usize, to: usize) -> Option<us
     if needle.is_empty() || to < from + needle.len() {
         return None;
     }
-    haystack[from..to]
-        .windows(needle.len())
-        .position(|w| w == needle)
-        .map(|p| p + from)
+    haystack[from..to].windows(needle.len()).position(|w| w == needle).map(|p| p + from)
 }
 
 #[cfg(test)]
@@ -222,11 +217,16 @@ mod tests {
         let holder = g.holder_of(x).unwrap();
         let mut store: HashMap<(ObfId, Scope), Value> = HashMap::new();
         let mut rng = StdRng::seed_from_u64(3);
-        distribute(g, holder, Value::from_bytes(input.to_vec()), &[], &mut rng, &mut |id,
-            sc,
-            v| {
-            store.insert((id, sc), v);
-        })
+        distribute(
+            g,
+            holder,
+            Value::from_bytes(input.to_vec()),
+            &[],
+            &mut rng,
+            &mut |id, sc, v| {
+                store.insert((id, sc.to_vec()), v);
+            },
+        )
         .unwrap();
         recover(g, holder, &[], &|id, sc| store.get(&(id, sc.to_vec())).cloned()).unwrap()
     }
@@ -268,14 +268,8 @@ mod tests {
         let code = g.plain().resolve_names(&["code"]).unwrap();
         let holder = g.holder_of(code).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
-        let r = distribute(
-            &g,
-            holder,
-            Value::from_bytes(vec![1, 2]),
-            &[],
-            &mut rng,
-            &mut |_, _, _| {},
-        );
+        let r =
+            distribute(&g, holder, Value::from_bytes(vec![1, 2]), &[], &mut rng, &mut |_, _, _| {});
         assert!(matches!(r, Err(BuildError::BadValueLength { expected: 4, found: 2, .. })));
     }
 

@@ -85,16 +85,12 @@ fn fill<R: Rng + ?Sized>(
         }
         NodeType::Repetition(_) | NodeType::Tabular => {
             let count = rng.gen_range(0..=3usize);
-            if let (NodeType::Tabular, Boundary::Counter(c)) = (node.node_type(), node.boundary())
-            {
+            if let (NodeType::Tabular, Boundary::Counter(c)) = (node.node_type(), node.boundary()) {
                 // A user-set counter must agree with the element count; the
                 // counter's concrete instance path was recorded when it was
                 // first filled (scope-prefix of this tabular).
                 if !plain.node(*c).auto().is_auto() {
-                    let cpath = set_paths
-                        .get(c)
-                        .cloned()
-                        .unwrap_or_else(|| path_of(plain, *c));
+                    let cpath = set_paths.get(c).cloned().unwrap_or_else(|| path_of(plain, *c));
                     if let Some(TerminalKind::UInt { width, endian }) =
                         plain.node(*c).terminal_kind().cloned()
                     {
@@ -147,14 +143,21 @@ fn random_value<R: Rng + ?Sized>(
         (_, Boundary::Delimited(delim)) => {
             // Alphanumeric text that cannot contain the delimiter.
             const CHARSET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
-            let safe: Vec<u8> =
-                CHARSET.iter().copied().filter(|b| !delim.contains(b)).collect();
+            let safe: Vec<u8> = CHARSET.iter().copied().filter(|b| !delim.contains(b)).collect();
             let len = rng.gen_range(0..12usize);
             Value::from_bytes(
                 (0..len).map(|_| safe[rng.gen_range(0..safe.len())]).collect::<Vec<u8>>(),
             )
         }
-        (_, Boundary::Length(_)) | (_, Boundary::End) => {
+        (_, Boundary::Length(_)) => {
+            // Never empty: a zero-length value makes its length prefix a
+            // 0x00 leading byte, which aliases zero-byte terminators of
+            // enclosing repetitions (DNS qname labels are the canonical
+            // case — real DNS forbids empty labels for the same reason).
+            let len = rng.gen_range(1..24usize);
+            Value::from_bytes((0..len).map(|_| rng.gen()).collect::<Vec<u8>>())
+        }
+        (_, Boundary::End) => {
             let len = rng.gen_range(0..24usize);
             Value::from_bytes((0..len).map(|_| rng.gen()).collect::<Vec<u8>>())
         }
@@ -194,12 +197,8 @@ mod tests {
         // NB: count is user-set (not auto) — the sampler must keep it
         // consistent with the element count.
         let _ = count;
-        let rep = b.repetition(
-            root,
-            "words",
-            StopRule::Terminator(b"|".to_vec()),
-            Boundary::Delegated,
-        );
+        let rep =
+            b.repetition(root, "words", StopRule::Terminator(b"|".to_vec()), Boundary::Delegated);
         b.terminal(rep, "w", TerminalKind::Ascii, Boundary::Delimited(b";".to_vec()));
         b.terminal(root, "tail", TerminalKind::Bytes, Boundary::End);
         b.build().unwrap()
@@ -260,10 +259,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         for _ in 0..20 {
             let msg = random_message(&codec, &mut rng);
-            assert_eq!(
-                msg.get_uint("count").unwrap() as usize,
-                msg.element_count("items")
-            );
+            assert_eq!(msg.get_uint("count").unwrap() as usize, msg.element_count("items"));
         }
     }
 

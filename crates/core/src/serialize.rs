@@ -1,12 +1,27 @@
 //! The obfuscating serializer.
 //!
-//! Serialization walks the obfuscation graph depth-first, exactly as the
-//! paper's generated serializer does: aggregation transformations were
-//! already applied by the setters (the wire values live in the
-//! [`Message`]), and the **ordering** transformations — child permutations,
-//! split tabulars, mirrors, length prefixes, pads — are executed on the
-//! fly during the traversal. Auto-computed fields (lengths, counters) are
-//! evaluated here, because only the complete message determines them.
+//! Two implementations share the same semantics:
+//!
+//! * [`SerializeSession`] — the production path: an interpreter over the
+//!   compiled [`CodecPlan`](crate::plan::CodecPlan) that writes straight
+//!   into a caller-supplied buffer and reuses all of its scratch state, so
+//!   steady-state serialization performs no hashing and no per-message
+//!   heap allocation on the hot path (auto-field materialization draws
+//!   from reusable stores; only the aggregation-split of freshly computed
+//!   auto values allocates transient intermediates).
+//! * [`serialize`] / [`serialize_seeded`] — the **reference
+//!   interpreter**: a direct recursive walk of the obfuscation graph,
+//!   kept as the executable specification the plan path is
+//!   differentially tested against (`tests/property.rs`,
+//!   `tests/random_specs.rs`).
+//!
+//! Serialization walks the wire tree depth-first, exactly as the paper's
+//! generated serializer does: aggregation transformations were already
+//! applied by the setters (the wire values live in the [`Message`]), and
+//! the **ordering** transformations — child permutations, split tabulars,
+//! mirrors, length prefixes, pads — are executed on the fly. Auto-computed
+//! fields (lengths, counters) are evaluated here, because only the
+//! complete message determines them.
 
 use std::collections::HashMap;
 
@@ -14,15 +29,437 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::error::BuildError;
-use crate::message::Message;
+use crate::graph::NodeId;
+use crate::message::{Message, WireStore};
 use crate::obf::{Base, ObfGraph, ObfId, ObfKind, RepStop, SeqBoundary, TermBoundary};
+use crate::plan::{
+    bytes_to_uint, pred_eval, BaseOp, CodecPlan, PlanOp, RecEval, RepStopC, SeqB, TermB, NONE,
+};
 use crate::runtime::{self, Scope};
 use crate::value::{TerminalKind, Value};
 
-/// Serializes `msg` into the obfuscated wire format.
+// ---------------------------------------------------------------------------
+// plan interpreter
+// ---------------------------------------------------------------------------
+
+/// A reusable serialization session over a compiled codec plan.
 ///
-/// Random material (pads, shares of auto-field splits) is drawn from an
-/// OS-seeded RNG; use [`serialize_seeded`] for reproducible output.
+/// Obtain one from [`crate::codec::Codec::serializer`] and keep it for the
+/// connection's lifetime: every scratch structure (auto-field overlay,
+/// scope stack, recovery buffers) reaches a steady-state capacity after the
+/// first few messages and is then reused allocation-free.
+///
+/// ```
+/// use protoobf_core::graph::{Boundary, GraphBuilder};
+/// use protoobf_core::Codec;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = GraphBuilder::new("demo");
+/// let root = b.root_sequence("msg", Boundary::End);
+/// b.uint_be(root, "id", 2);
+/// let codec = Codec::identity(&b.build()?);
+///
+/// let mut msg = codec.message();
+/// msg.set_uint("id", 7)?;
+/// let mut session = codec.serializer();
+/// let mut wire = Vec::new();
+/// session.serialize_into(&msg, &mut wire)?; // reuse `session` and `wire`
+/// assert_eq!(wire, [0, 7]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SerializeSession<'c> {
+    g: &'c ObfGraph,
+    plan: &'c CodecPlan,
+    /// Wire values computed at serialization time (auto-field subtrees,
+    /// split pads) — never stored back into the message.
+    overlay: WireStore,
+    scope: Vec<u32>,
+    ev: RecEval,
+    rng: StdRng,
+}
+
+impl<'c> SerializeSession<'c> {
+    pub(crate) fn new(g: &'c ObfGraph, plan: &'c CodecPlan) -> Self {
+        SerializeSession {
+            g,
+            plan,
+            overlay: WireStore::with_slots(plan.slots()),
+            scope: Vec::new(),
+            ev: RecEval::default(),
+            rng: StdRng::seed_from_u64(rand::random()),
+        }
+    }
+
+    /// Serializes `msg` into `out` (cleared first, capacity kept). Random
+    /// material is drawn from an OS-seeded RNG; see
+    /// [`SerializeSession::serialize_into_seeded`] for reproducible output.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError`] when required fields are missing, lengths/counters
+    /// are inconsistent, or derived values overflow their width.
+    pub fn serialize_into(
+        &mut self,
+        msg: &Message<'_>,
+        out: &mut Vec<u8>,
+    ) -> Result<(), BuildError> {
+        self.serialize_into_seeded(msg, out, rand::random())
+    }
+
+    /// Serializes with a deterministic RNG seed for the serialization-time
+    /// random material (pads, shares of auto-field splits).
+    ///
+    /// # Errors
+    ///
+    /// See [`SerializeSession::serialize_into`].
+    pub fn serialize_into_seeded(
+        &mut self,
+        msg: &Message<'_>,
+        out: &mut Vec<u8>,
+        seed: u64,
+    ) -> Result<(), BuildError> {
+        self.rng = StdRng::seed_from_u64(seed);
+        self.overlay.clear();
+        self.scope.clear();
+        out.clear();
+        self.emit(self.plan.root, msg, out)
+    }
+
+    fn obf_name(&self, idx: u32) -> String {
+        self.g.node(ObfId(idx)).name().to_string()
+    }
+
+    fn plain_name(&self, idx: u32) -> String {
+        self.g.plain().node(NodeId(idx)).name().to_string()
+    }
+
+    fn emit(&mut self, idx: u32, msg: &Message<'_>, out: &mut Vec<u8>) -> Result<(), BuildError> {
+        let plan = self.plan;
+        let node = &plan.nodes[idx as usize];
+        match &node.op {
+            PlanOp::Dead => Ok(()),
+            PlanOp::Term { base, boundary } => {
+                self.terminal_bytes(idx, base, msg, out)?;
+                if let TermB::Delim(d) = boundary {
+                    out.extend_from_slice(&plan.bytes[*d as usize]);
+                }
+                Ok(())
+            }
+            PlanOp::Split { base, first_term } => {
+                self.materialize_if_needed(idx, base, *first_term, msg)?;
+                for &c in plan.kids(node) {
+                    self.emit(c, msg, out)?;
+                }
+                Ok(())
+            }
+            PlanOp::Seq { boundary } => {
+                let start = out.len();
+                for &c in plan.kids(node) {
+                    self.emit(c, msg, out)?;
+                }
+                let emitted = (out.len() - start) as u64;
+                match *boundary {
+                    SeqB::Fixed(k) => {
+                        if emitted != u64::from(k) {
+                            return Err(BuildError::LengthInconsistent {
+                                path: self.obf_name(idx),
+                                declared: u64::from(k),
+                                actual: emitted,
+                            });
+                        }
+                    }
+                    SeqB::PlainLen { r, r_depth, r_endian } => {
+                        let declared = self.msg_uint(r, r_depth, r_endian, msg)?;
+                        if declared != emitted {
+                            return Err(BuildError::LengthInconsistent {
+                                path: self.obf_name(idx),
+                                declared,
+                                actual: emitted,
+                            });
+                        }
+                    }
+                    SeqB::Delegated | SeqB::End => {}
+                }
+                Ok(())
+            }
+            PlanOp::Opt { subject, subject_depth, pred, origin, origin_depth } => {
+                let od = (*origin_depth as usize).min(self.scope.len());
+                let present = msg.presence_of(NodeId(*origin), &self.scope[..od]);
+                let implied = self.subject_holds(*subject, *subject_depth, *pred, msg)?;
+                if implied != present {
+                    return Err(BuildError::OptionalMismatch {
+                        path: self.obf_name(idx),
+                        detail: format!(
+                            "condition on {:?} implies present={implied} but message says {present}",
+                            self.plain_name(*subject)
+                        ),
+                    });
+                }
+                if present {
+                    self.emit(plan.kids(node)[0], msg, out)
+                } else {
+                    Ok(())
+                }
+            }
+            PlanOp::Rep { stop, origin, origin_depth } => {
+                assert_ne!(*origin, NONE, "repetitions always have plain origins");
+                let od = (*origin_depth as usize).min(self.scope.len());
+                let m = msg.count_of(NodeId(*origin), &self.scope[..od]);
+                let child = plan.kids(node)[0];
+                for i in 0..m {
+                    self.scope.push(i as u32);
+                    let piece = self.emit(child, msg, out);
+                    self.scope.pop();
+                    piece?;
+                }
+                if let RepStopC::Terminator(t) = stop {
+                    out.extend_from_slice(&plan.bytes[*t as usize]);
+                }
+                Ok(())
+            }
+            PlanOp::Tab { counter, counter_depth, counter_endian, origin, origin_depth } => {
+                assert_ne!(*origin, NONE, "tabulars always have plain origins");
+                let od = (*origin_depth as usize).min(self.scope.len());
+                let m = msg.count_of(NodeId(*origin), &self.scope[..od]);
+                let declared = self.msg_uint(*counter, *counter_depth, *counter_endian, msg)?;
+                if declared != m as u64 {
+                    return Err(BuildError::LengthInconsistent {
+                        path: self.obf_name(idx),
+                        declared,
+                        actual: m as u64,
+                    });
+                }
+                let child = plan.kids(node)[0];
+                for i in 0..m {
+                    self.scope.push(i as u32);
+                    let piece = self.emit(child, msg, out);
+                    self.scope.pop();
+                    piece?;
+                }
+                Ok(())
+            }
+            PlanOp::Mirror => {
+                let start = out.len();
+                self.emit(plan.kids(node)[0], msg, out)?;
+                out[start..].reverse();
+                Ok(())
+            }
+            PlanOp::Prefixed { width, endian } => {
+                let w = *width as usize;
+                let pstart = out.len();
+                out.resize(pstart + w, 0);
+                self.emit(plan.kids(node)[0], msg, out)?;
+                let blen = out.len() - pstart - w;
+                let prefix = Value::from_uint(blen as u64, w, *endian).ok_or(
+                    BuildError::DerivedOverflow {
+                        path: self.obf_name(idx),
+                        width: w,
+                        value: blen as u64,
+                    },
+                )?;
+                out[pstart..pstart + w].copy_from_slice(prefix.as_bytes());
+                Ok(())
+            }
+        }
+    }
+
+    /// Appends the wire bytes of a terminal: serialization overlay first
+    /// (auto subtrees, split pads), then the message store, then generated
+    /// pads. Auto-computed bases are **always** rematerialized: a parsed
+    /// message may have been mutated through the accessors, so stored
+    /// length/count wires can be stale.
+    fn terminal_bytes(
+        &mut self,
+        idx: u32,
+        base: &BaseOp,
+        msg: &Message<'_>,
+        out: &mut Vec<u8>,
+    ) -> Result<(), BuildError> {
+        if let Some(b) = self.overlay.get(idx as usize, &self.scope) {
+            out.extend_from_slice(b);
+            return Ok(());
+        }
+        if base.is_materialized() {
+            self.materialize(idx, base, msg)?;
+            let b = self
+                .overlay
+                .get(idx as usize, &self.scope)
+                .ok_or_else(|| BuildError::MissingField(self.obf_name(idx)))?;
+            out.extend_from_slice(b);
+            return Ok(());
+        }
+        if let Some(b) = msg.wire(ObfId(idx), &self.scope) {
+            out.extend_from_slice(b);
+            return Ok(());
+        }
+        match base {
+            BaseOp::Pad { k } => {
+                out.extend((0..*k).map(|_| rand::Rng::gen::<u8>(&mut self.rng)));
+                Ok(())
+            }
+            BaseOp::Source { plain } => Err(BuildError::MissingField(self.plain_name(*plain))),
+            _ => Err(BuildError::MissingField(self.obf_name(idx))),
+        }
+    }
+
+    /// When a split sequence's base is auto-computed (or a pad), its
+    /// children's wires are not in the message: distribute them into the
+    /// overlay now. Auto bases always rematerialize (stored wires may be
+    /// stale after mutation); split pads reuse stored wires when present.
+    fn materialize_if_needed(
+        &mut self,
+        idx: u32,
+        base: &BaseOp,
+        first_term: u32,
+        msg: &Message<'_>,
+    ) -> Result<(), BuildError> {
+        match base {
+            _ if base.is_materialized() => {
+                if first_term != NONE && self.overlay.contains(first_term as usize, &self.scope) {
+                    return Ok(());
+                }
+                self.materialize(idx, base, msg)
+            }
+            BaseOp::Pad { .. } => {
+                let stored =
+                    first_term != NONE && msg.wire(ObfId(first_term), &self.scope).is_some();
+                if stored {
+                    Ok(())
+                } else {
+                    self.materialize(idx, base, msg)
+                }
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Computes an auto/pad/const base value and distributes it through the
+    /// subtree rooted at `idx` into the overlay.
+    fn materialize(
+        &mut self,
+        idx: u32,
+        base: &BaseOp,
+        msg: &Message<'_>,
+    ) -> Result<(), BuildError> {
+        let raw = match base {
+            BaseOp::AutoLen { target, depth, width, endian } => {
+                let td = (*depth as usize).min(self.scope.len());
+                let len = msg
+                    .plain_len(NodeId(*target), &self.scope[..td])
+                    .ok_or_else(|| BuildError::MissingField(self.plain_name(*target)))?;
+                Value::from_uint(len as u64, *width as usize, *endian).ok_or(
+                    BuildError::DerivedOverflow {
+                        path: self.obf_name(idx),
+                        width: *width as usize,
+                        value: len as u64,
+                    },
+                )?
+            }
+            BaseOp::AutoCount { target, depth, width, endian } => {
+                let td = (*depth as usize).min(self.scope.len());
+                let count = msg.count_of(NodeId(*target), &self.scope[..td]);
+                Value::from_uint(count as u64, *width as usize, *endian).ok_or(
+                    BuildError::DerivedOverflow {
+                        path: self.obf_name(idx),
+                        width: *width as usize,
+                        value: count as u64,
+                    },
+                )?
+            }
+            BaseOp::Const { pool } => self.plan.consts[*pool as usize].clone(),
+            BaseOp::Pad { k } => Value::from_bytes(
+                (0..*k).map(|_| rand::Rng::gen::<u8>(&mut self.rng)).collect::<Vec<u8>>(),
+            ),
+            _ => unreachable!("materialize only handles auto/pad/const bases"),
+        };
+        let Self { g, overlay, scope, rng, .. } = self;
+        runtime::distribute(g, ObfId(idx), raw, scope, rng, &mut |id, sc, v| {
+            overlay.set(id.index(), sc, v.as_bytes());
+        })
+    }
+
+    /// Holds the subject predicate of an optional against the message.
+    fn subject_holds(
+        &mut self,
+        subject: u32,
+        depth: u8,
+        pred: u32,
+        msg: &Message<'_>,
+    ) -> Result<bool, BuildError> {
+        let plan = self.plan;
+        let d = (depth as usize).min(self.scope.len());
+        if let Some(prog) = plan.rec[subject as usize] {
+            let Self { ev, overlay, scope, .. } = self;
+            let xscope = &scope[..d];
+            if let Some((s, l)) = ev.eval(plan, prog, xscope, &mut |obf, sc, buf| {
+                if let Some(b) = overlay.get(obf as usize, sc) {
+                    buf.extend_from_slice(b);
+                    true
+                } else if let Some(b) = msg.wire(ObfId(obf), sc) {
+                    buf.extend_from_slice(b);
+                    true
+                } else {
+                    false
+                }
+            }) {
+                return Ok(pred_eval(&plan.preds[pred as usize], &ev.buf[s..s + l]));
+            }
+        }
+        // Slow path: auto subjects (or unrecoverable wires) go through the
+        // accessor recovery with its auto-value fallback.
+        let v = msg
+            .value_at(NodeId(subject), &self.scope[..d])
+            .ok_or_else(|| BuildError::MissingField(self.plain_name(subject)))?;
+        Ok(pred_eval(&plan.preds[pred as usize], v.as_bytes()))
+    }
+
+    /// Plain value of a referenced numeric field, as an unsigned integer
+    /// (overlay first, then message wires, then the accessor fallback for
+    /// never-materialized auto fields).
+    fn msg_uint(
+        &mut self,
+        r: u32,
+        depth: u8,
+        endian: crate::value::Endian,
+        msg: &Message<'_>,
+    ) -> Result<u64, BuildError> {
+        let plan = self.plan;
+        let d = (depth as usize).min(self.scope.len());
+        if let Some(prog) = plan.rec[r as usize] {
+            let Self { ev, overlay, scope, .. } = self;
+            let xscope = &scope[..d];
+            if let Some((s, l)) = ev.eval(plan, prog, xscope, &mut |obf, sc, buf| {
+                if let Some(b) = overlay.get(obf as usize, sc) {
+                    buf.extend_from_slice(b);
+                    true
+                } else if let Some(b) = msg.wire(ObfId(obf), sc) {
+                    buf.extend_from_slice(b);
+                    true
+                } else {
+                    false
+                }
+            }) {
+                return bytes_to_uint(&ev.buf[s..s + l], endian)
+                    .ok_or_else(|| BuildError::NotNumeric(self.plain_name(r)));
+            }
+        }
+        let v = msg
+            .value_at(NodeId(r), &self.scope[..d])
+            .ok_or_else(|| BuildError::MissingField(self.plain_name(r)))?;
+        v.to_uint(endian).ok_or_else(|| BuildError::NotNumeric(self.plain_name(r)))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// reference graph-walk interpreter
+// ---------------------------------------------------------------------------
+
+/// Serializes `msg` by directly interpreting the obfuscation graph — the
+/// **reference implementation** the compiled-plan path is differentially
+/// tested against. Production code should use
+/// [`crate::codec::Codec::serialize`] (plan-based, cached).
 ///
 /// # Errors
 ///
@@ -32,8 +469,8 @@ pub fn serialize(g: &ObfGraph, msg: &Message<'_>) -> Result<Vec<u8>, BuildError>
     serialize_seeded(g, msg, rand::random())
 }
 
-/// Serializes with a deterministic RNG seed for the serialization-time
-/// random material.
+/// Reference graph-walk serializer with a deterministic RNG seed for the
+/// serialization-time random material.
 ///
 /// # Errors
 ///
@@ -106,14 +543,13 @@ impl<'a, 'c> Ctx<'a, 'c> {
                 let origin = node.origin().expect("optionals always have plain origins");
                 let oscope = runtime::scoped(self.g.plain(), origin, scope);
                 let present = self.msg.presence_of(origin, &oscope);
-                let subject_scope =
-                    runtime::scoped(self.g.plain(), condition.subject, scope);
-                let subject = self
-                    .msg
-                    .value_at(condition.subject, &subject_scope)
-                    .ok_or_else(|| BuildError::MissingField(
-                        self.g.plain().node(condition.subject).name().to_string(),
-                    ))?;
+                let subject_scope = runtime::scoped(self.g.plain(), condition.subject, scope);
+                let subject =
+                    self.msg.value_at(condition.subject, &subject_scope).ok_or_else(|| {
+                        BuildError::MissingField(
+                            self.g.plain().node(condition.subject).name().to_string(),
+                        )
+                    })?;
                 let implied = condition.predicate.eval(&subject);
                 if implied != present {
                     return Err(BuildError::OptionalMismatch {
@@ -212,16 +648,16 @@ impl<'a, 'c> Ctx<'a, 'c> {
             Base::Pad(_) | Base::Source(_) | Base::Inherit => {}
         }
         if let Some(v) = self.msg.wire(id, scope) {
-            return Ok(v.clone());
+            return Ok(Value::from_bytes(v.to_vec()));
         }
         match base {
             Base::Pad(k) => {
                 let bytes: Vec<u8> = (0..*k).map(|_| rand::Rng::gen(&mut self.rng)).collect();
                 Ok(Value::from_bytes(bytes))
             }
-            Base::Source(x) => Err(BuildError::MissingField(
-                self.g.plain().node(*x).name().to_string(),
-            )),
+            Base::Source(x) => {
+                Err(BuildError::MissingField(self.g.plain().node(*x).name().to_string()))
+            }
             Base::Inherit | Base::AutoLen(_) | Base::AutoCount(_) | Base::Const(_) => {
                 Err(BuildError::MissingField(self.g.node(id).name().to_string()))
             }
@@ -290,15 +726,15 @@ impl<'a, 'c> Ctx<'a, 'c> {
                 let count = self.msg.count_of(*t, &tscope);
                 self.encode_auto(id, count as u64)?
             }
-            Base::Pad(k) => {
-                Value::from_bytes((0..*k).map(|_| rand::Rng::gen(&mut self.rng)).collect::<Vec<u8>>())
-            }
+            Base::Pad(k) => Value::from_bytes(
+                (0..*k).map(|_| rand::Rng::gen(&mut self.rng)).collect::<Vec<u8>>(),
+            ),
             Base::Const(v) => v.clone(),
             _ => unreachable!("materialize_auto only handles auto/pad/const bases"),
         };
         let overlay = &mut self.overlay;
         runtime::distribute(self.g, id, raw, scope, &mut self.rng, &mut |nid, sc, v| {
-            overlay.insert((nid, sc), v);
+            overlay.insert((nid, sc.to_vec()), v);
         })
     }
 
@@ -354,11 +790,7 @@ impl<'a, 'c> Ctx<'a, 'c> {
         self.decode_plain_uint(counter, scope)
     }
 
-    fn decode_plain_uint(
-        &self,
-        x: crate::graph::NodeId,
-        scope: &[u32],
-    ) -> Result<u64, BuildError> {
+    fn decode_plain_uint(&self, x: crate::graph::NodeId, scope: &[u32]) -> Result<u64, BuildError> {
         let xscope = runtime::scoped(self.g.plain(), x, scope);
         let v = self
             .msg
@@ -377,6 +809,7 @@ impl<'a, 'c> Ctx<'a, 'c> {
 mod tests {
     use super::*;
     use crate::graph::{AutoValue, Boundary, Condition, GraphBuilder, Predicate, StopRule};
+    use crate::plan::CodecPlan;
     use crate::value::TerminalKind;
 
     fn modbus_mini() -> ObfGraph {
@@ -398,6 +831,14 @@ mod tests {
         ObfGraph::from_plain(&b.build().unwrap())
     }
 
+    fn session_wire(g: &ObfGraph, m: &Message<'_>, seed: u64) -> Result<Vec<u8>, BuildError> {
+        let plan = CodecPlan::compile(g);
+        let mut s = SerializeSession::new(g, &plan);
+        let mut out = Vec::new();
+        s.serialize_into_seeded(m, &mut out, seed)?;
+        Ok(out)
+    }
+
     #[test]
     fn plain_serialization_matches_classic_wire_format() {
         let g = modbus_mini();
@@ -412,6 +853,8 @@ mod tests {
             vec![0x01, 0x02, 0x00, 0x05, 0x06, 0x00, 0x10, 0xBE, 0xEF],
             "tid, auto len=5, func, addr, value"
         );
+        // The plan interpreter must agree byte-for-byte.
+        assert_eq!(session_wire(&g, &m, 9).unwrap(), wire);
     }
 
     #[test]
@@ -422,6 +865,7 @@ mod tests {
         m.set_uint("pdu.func", 3).unwrap(); // not 6: optional absent
         let wire = serialize_seeded(&g, &m, 9).unwrap();
         assert_eq!(wire, vec![0x00, 0x01, 0x00, 0x01, 0x03]);
+        assert_eq!(session_wire(&g, &m, 9).unwrap(), wire);
     }
 
     #[test]
@@ -433,10 +877,8 @@ mod tests {
         // Force presence although func != 6.
         m.set_uint("pdu.write.addr", 1).unwrap();
         m.set_uint("pdu.write.value", 1).unwrap();
-        assert!(matches!(
-            serialize_seeded(&g, &m, 9),
-            Err(BuildError::OptionalMismatch { .. })
-        ));
+        assert!(matches!(serialize_seeded(&g, &m, 9), Err(BuildError::OptionalMismatch { .. })));
+        assert!(matches!(session_wire(&g, &m, 9), Err(BuildError::OptionalMismatch { .. })));
     }
 
     #[test]
@@ -445,6 +887,10 @@ mod tests {
         let mut m = Message::with_seed(&g, 1);
         m.set_uint("pdu.func", 3).unwrap();
         match serialize_seeded(&g, &m, 9) {
+            Err(BuildError::MissingField(f)) => assert_eq!(f, "tid"),
+            other => panic!("expected MissingField, got {other:?}"),
+        }
+        match session_wire(&g, &m, 9) {
             Err(BuildError::MissingField(f)) => assert_eq!(f, "tid"),
             other => panic!("expected MissingField, got {other:?}"),
         }
@@ -472,6 +918,7 @@ mod tests {
         m.set_str("headers[1].value", "*/*").unwrap();
         let wire = serialize_seeded(&g, &m, 1).unwrap();
         assert_eq!(wire, b"Host: example.org\r\nAccept: */*\r\n\r\n");
+        assert_eq!(session_wire(&g, &m, 1).unwrap(), wire);
     }
 
     #[test]
@@ -490,5 +937,23 @@ mod tests {
         m.set_uint("vals[1].v", 0x0c0d).unwrap();
         let wire = serialize_seeded(&g, &m, 1).unwrap();
         assert_eq!(wire, vec![2, 0x0a, 0x0b, 0x0c, 0x0d]);
+        assert_eq!(session_wire(&g, &m, 1).unwrap(), wire);
+    }
+
+    #[test]
+    fn session_reuse_is_stable() {
+        let g = modbus_mini();
+        let plan = CodecPlan::compile(&g);
+        let mut s = SerializeSession::new(&g, &plan);
+        let mut m = Message::with_seed(&g, 1);
+        m.set_uint("tid", 5).unwrap();
+        m.set_uint("pdu.func", 1).unwrap();
+        let mut out = Vec::new();
+        s.serialize_into_seeded(&m, &mut out, 3).unwrap();
+        let first = out.clone();
+        for _ in 0..10 {
+            s.serialize_into_seeded(&m, &mut out, 3).unwrap();
+            assert_eq!(out, first, "session reuse must be deterministic");
+        }
     }
 }

@@ -232,7 +232,9 @@ pub fn applicable(g: &ObfGraph, id: ObfId, kind: TransformKind) -> Result<(), St
                 TermBoundary::Delimited(_) => {
                     Err("cutting a delimited value breaks delimiter scanning".into())
                 }
-                TermBoundary::End => Err("the first piece of an End-bounded field cannot be delimited".into()),
+                TermBoundary::End => {
+                    Err("the first piece of an End-bounded field cannot be delimited".into())
+                }
             }
         }
         TransformKind::ConstAdd | TransformKind::ConstSub | TransformKind::ConstXor => {
@@ -249,7 +251,11 @@ pub fn applicable(g: &ObfGraph, id: ObfId, kind: TransformKind) -> Result<(), St
                     _ => return Err("boundary is already length-determined".into()),
                 },
                 ObfKind::Repetition { stop: RepStop::Terminator(_) } => {}
-                _ => return Err("target must be a delimited/end terminal or a terminated repetition".into()),
+                _ => {
+                    return Err(
+                        "target must be a delimited/end terminal or a terminated repetition".into(),
+                    )
+                }
             }
             no_element_leading(g, id)
         }
@@ -293,8 +299,7 @@ pub fn applicable(g: &ObfGraph, id: ObfId, kind: TransformKind) -> Result<(), St
             }
             // A pinned leading child (terminator-repetition element head)
             // cannot move, so one more child is needed in that case.
-            let movable = node.children().len()
-                - usize::from(rewrites::leading_sensitive(g, id));
+            let movable = node.children().len() - usize::from(rewrites::leading_sensitive(g, id));
             if movable < 2 {
                 return Err("need at least two movable children to permute".into());
             }

@@ -44,10 +44,7 @@ pub(super) fn split_op(
 
     let split = g.push(ObfNode {
         name: format!("{}_s{}", t.name, tag),
-        kind: ObfKind::SplitSeq {
-            expr: SplitExpr { base, ops },
-            recombine: Recombine::Op(op),
-        },
+        kind: ObfKind::SplitSeq { expr: SplitExpr { base, ops }, recombine: Recombine::Op(op) },
         children: Vec::new(),
         parent: None,
         origin: t.origin,
@@ -68,12 +65,7 @@ pub(super) fn split_op(
     });
     let combined = g.push(ObfNode {
         name: format!("{}_v{}", t.name, tag),
-        kind: ObfKind::Terminal {
-            kind: t_kind,
-            base: Base::Inherit,
-            ops: Vec::new(),
-            boundary,
-        },
+        kind: ObfKind::Terminal { kind: t_kind, base: Base::Inherit, ops: Vec::new(), boundary },
         children: Vec::new(),
         parent: None,
         origin: None,
@@ -88,14 +80,7 @@ pub(super) fn split_op(
             g.move_holder(x, split);
         }
     }
-    record(
-        kind,
-        g,
-        id,
-        t.name,
-        vec![split, share, combined],
-        format!("op={}", op.name()),
-    )
+    record(kind, g, id, t.name, vec![split, share, combined], format!("op={}", op.name()))
 }
 
 /// Cuts a terminal into two concatenated pieces (`SplitCat`).
@@ -139,10 +124,7 @@ pub(super) fn split_cat<R: Rng + ?Sized>(
 
     let split = g.push(ObfNode {
         name: format!("{}_c{}", t.name, tag),
-        kind: ObfKind::SplitSeq {
-            expr: SplitExpr { base, ops },
-            recombine: Recombine::Concat(at),
-        },
+        kind: ObfKind::SplitSeq { expr: SplitExpr { base, ops }, recombine: Recombine::Concat(at) },
         children: Vec::new(),
         parent: None,
         origin: t.origin,
@@ -484,14 +466,7 @@ pub(super) fn child_move<R: Rng + ?Sized>(
     let name = g.node(id).name().to_string();
     g.node_mut(id).children.swap(i, j);
     g.node_mut(id).obf_count += 1;
-    record(
-        TransformKind::ChildMove,
-        g,
-        id,
-        name,
-        vec![],
-        format!("swapped children {i} and {j}"),
-    )
+    record(TransformKind::ChildMove, g, id, name, vec![], format!("swapped children {i} and {j}"))
 }
 
 /// True when the first wire byte of `id`'s subtree is also the first byte a
@@ -506,9 +481,7 @@ pub(super) fn leading_sensitive(g: &ObfGraph, id: ObfId) -> bool {
     for a in g.ancestors(id) {
         if let ObfKind::Repetition { stop: RepStop::Terminator(_) } = g.node(a).kind() {
             let elem = g.node(a).children()[0];
-            if let Some(first) =
-                g.subtree(elem).into_iter().find(|&n| g.node(n).is_terminal())
-            {
+            if let Some(first) = g.subtree(elem).into_iter().find(|&n| g.node(n).is_terminal()) {
                 if first == my_first {
                     return true;
                 }
@@ -657,10 +630,7 @@ mod tests {
         let mut g = sample();
         let headers = find(&g, "headers");
         apply(&mut g, headers, TransformKind::BoundaryChange, &mut rng()).unwrap();
-        assert!(matches!(
-            g.node(headers).kind(),
-            ObfKind::Repetition { stop: RepStop::Exhausted }
-        ));
+        assert!(matches!(g.node(headers).kind(), ObfKind::Repetition { stop: RepStop::Exhausted }));
         assert!(post_check(&g).is_ok());
     }
 

@@ -37,12 +37,8 @@ fn kitchen_sink() -> FormatGraph {
     let item = b.sequence(tab, "item", Boundary::Delegated);
     b.uint_be(item, "addr", 2);
     b.uint_be(item, "val", 2);
-    let rep = b.repetition(
-        root,
-        "headers",
-        StopRule::Terminator(b"\r\n".to_vec()),
-        Boundary::Delegated,
-    );
+    let rep =
+        b.repetition(root, "headers", StopRule::Terminator(b"\r\n".to_vec()), Boundary::Delegated);
     let h = b.sequence(rep, "header", Boundary::Delegated);
     b.terminal(h, "name", TerminalKind::Ascii, Boundary::Delimited(b": ".to_vec()));
     b.terminal(h, "value", TerminalKind::Ascii, Boundary::Delimited(b"\r\n".to_vec()));
@@ -68,10 +64,7 @@ fn fixtures() -> Vec<Fixture> {
             flag: 1,
             ev: Some((0xDEADBEEF, *b"tag")),
             items: vec![(1, 100), (2, 200), (3, 300)],
-            headers: vec![
-                ("Host".into(), "example.org".into()),
-                ("Accept".into(), "*/*".into()),
-            ],
+            headers: vec![("Host".into(), "example.org".into()), ("Accept".into(), "*/*".into())],
             body: b"the quick brown fox".to_vec(),
         },
         Fixture {
@@ -185,12 +178,8 @@ fn roundtrip_each_transform_kind_in_isolation() {
     let g = kitchen_sink();
     for kind in TransformKind::ALL {
         for seed in 0..10u64 {
-            let codec = Obfuscator::new(&g)
-                .seed(seed)
-                .max_per_node(2)
-                .allowed([kind])
-                .obfuscate()
-                .unwrap();
+            let codec =
+                Obfuscator::new(&g).seed(seed).max_per_node(2).allowed([kind]).obfuscate().unwrap();
             for (i, f) in fixtures().iter().enumerate() {
                 let m = build_message(&codec, f, i as u64);
                 let wire = codec.serialize_seeded(&m, seed).unwrap_or_else(|e| {

@@ -32,12 +32,8 @@ fn graph() -> FormatGraph {
     let item = b.sequence(tab, "item", Boundary::Delegated);
     b.uint_be(item, "a", 2);
     b.uint_be(item, "v", 2);
-    let rep = b.repetition(
-        root,
-        "hdrs",
-        StopRule::Terminator(b"\r\n".to_vec()),
-        Boundary::Delegated,
-    );
+    let rep =
+        b.repetition(root, "hdrs", StopRule::Terminator(b"\r\n".to_vec()), Boundary::Delegated);
     let h = b.sequence(rep, "hdr", Boundary::Delegated);
     b.terminal(h, "k", TerminalKind::Ascii, Boundary::Delimited(b":".to_vec()));
     b.terminal(h, "w", TerminalKind::Ascii, Boundary::Delimited(b"\r\n".to_vec()));

@@ -71,10 +71,7 @@ fn corrupted_window_length_is_rejected() {
         }
         corrupted[0] = ((len >> 8) & 0xFF) as u8;
         corrupted[1] = (len & 0xFF) as u8;
-        assert!(
-            codec.parse(&corrupted).is_err(),
-            "length {delta:+} must break the window"
-        );
+        assert!(codec.parse(&corrupted).is_err(), "length {delta:+} must break the window");
     }
 }
 
@@ -84,11 +81,7 @@ fn size_changing_transforms_rejected_inside_pinned_windows() {
     let g = windowed();
     let codec = Codec::identity(&g);
     let og = codec.obf_graph();
-    let kind = og
-        .preorder()
-        .into_iter()
-        .find(|&id| og.node(id).name() == "kind")
-        .unwrap();
+    let kind = og.preorder().into_iter().find(|&id| og.node(id).name() == "kind").unwrap();
     // `kind` sits inside the Length-bounded pdu: size-changing transforms
     // are barred (the paper's "parents must be Delegated or End" rule)...
     assert!(applicable(og, kind, TransformKind::SplitAdd).is_err());
@@ -110,9 +103,9 @@ fn obfuscation_still_works_around_pinned_windows() {
         m.set("pdu.body", b"payload".as_slice()).unwrap();
         m.set_uint("crc", 0x0102).unwrap();
         let wire = codec.serialize_seeded(&m, seed).unwrap();
-        let back = codec.parse(&wire).unwrap_or_else(|e| {
-            panic!("seed {seed}: {e}\nplan: {:#?}", codec.records())
-        });
+        let back = codec
+            .parse(&wire)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}\nplan: {:#?}", codec.records()));
         assert_eq!(back.get("pdu.body").unwrap().as_bytes(), b"payload");
         assert_eq!(back.get_uint("crc").unwrap(), 0x0102);
     }

@@ -48,11 +48,7 @@ impl Alignment {
 
     /// Number of columns where both rows hold the same byte.
     pub fn matches(&self) -> usize {
-        self.a
-            .iter()
-            .zip(&self.b)
-            .filter(|(x, y)| x.is_some() && x == y)
-            .count()
+        self.a.iter().zip(&self.b).filter(|(x, y)| x.is_some() && x == y).count()
     }
 }
 

@@ -50,8 +50,7 @@ pub fn mean_entropy(profile: &Profile) -> f64 {
     if profile.columns.is_empty() {
         return 0.0;
     }
-    let total: f64 =
-        (0..profile.columns.len()).map(|c| column_entropy(profile, c)).sum();
+    let total: f64 = (0..profile.columns.len()).map(|c| column_entropy(profile, c)).sum();
     total / profile.columns.len() as f64
 }
 

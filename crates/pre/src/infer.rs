@@ -98,12 +98,7 @@ fn majority(col: &Column) -> u8 {
     for b in col.iter().flatten() {
         counts[*b as usize] += 1;
     }
-    counts
-        .iter()
-        .enumerate()
-        .max_by_key(|(_, &c)| c)
-        .map(|(b, _)| b as u8)
-        .unwrap_or(0)
+    counts.iter().enumerate().max_by_key(|(_, &c)| c).map(|(b, _)| b as u8).unwrap_or(0)
 }
 
 impl Profile {
@@ -150,9 +145,7 @@ impl Profile {
                 // Per-message extent of this run, gaps excluded.
                 let (mut min_len, mut max_len) = (usize::MAX, 0usize);
                 for m in 0..self.message_count {
-                    let len = (start..c)
-                        .filter(|&cc| self.columns[cc][m].is_some())
-                        .count();
+                    let len = (start..c).filter(|&cc| self.columns[cc][m].is_some()).count();
                     min_len = min_len.min(len);
                     max_len = max_len.max(len);
                 }

@@ -46,9 +46,7 @@ pub fn adjusted_rand_index(clusters: &[Vec<usize>], labels: &[&str]) -> f64 {
     let choose2 = |x: usize| (x * x.saturating_sub(1)) / 2;
     let sum_ij: usize = table.iter().flatten().map(|&x| choose2(x)).sum();
     let sum_i: usize = table.iter().map(|row| choose2(row.iter().sum())).sum();
-    let sum_j: usize = (0..k)
-        .map(|j| choose2(table.iter().map(|row| row[j]).sum()))
-        .sum();
+    let sum_j: usize = (0..k).map(|j| choose2(table.iter().map(|row| row[j]).sum())).sum();
     let total = choose2(n) as f64;
     let expected = (sum_i as f64 * sum_j as f64) / total;
     let max_index = (sum_i as f64 + sum_j as f64) / 2.0;

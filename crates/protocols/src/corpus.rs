@@ -52,12 +52,10 @@ pub fn modbus_trace<R: Rng + ?Sized>(
     for &f in functions {
         for _ in 0..per_type {
             let req = modbus::build_request(req_codec, f, rng);
-            let wire =
-                req_codec.serialize_seeded(&req, rng.gen()).expect("request serializes");
+            let wire = req_codec.serialize_seeded(&req, rng.gen()).expect("request serializes");
             out.push(Sample { label: f.label(), wire });
             let resp = modbus::build_response(resp_codec, f, false, rng);
-            let wire =
-                resp_codec.serialize_seeded(&resp, rng.gen()).expect("response serializes");
+            let wire = resp_codec.serialize_seeded(&resp, rng.gen()).expect("response serializes");
             out.push(Sample { label: format!("resp:{:02x}", f.code()), wire });
         }
     }

@@ -79,17 +79,11 @@ const WORDS: &[&str] =
 /// Record types the generator draws from (A, NS, CNAME, MX, TXT, AAAA).
 const QTYPES: &[u64] = &[1, 2, 5, 15, 16, 28];
 
-fn set_name<R: Rng + ?Sized>(
-    m: &mut Message<'_>,
-    prefix: &str,
-    label_field: &str,
-    rng: &mut R,
-) {
+fn set_name<R: Rng + ?Sized>(m: &mut Message<'_>, prefix: &str, label_field: &str, rng: &mut R) {
     let labels = rng.gen_range(2..=4usize);
     for i in 0..labels {
         let word = WORDS.choose(rng).expect("non-empty");
-        m.set(&format!("{prefix}[{i}].{label_field}"), word.as_bytes())
-            .expect("label fits");
+        m.set(&format!("{prefix}[{i}].{label_field}"), word.as_bytes()).expect("label fits");
     }
 }
 
@@ -105,11 +99,8 @@ pub fn build_query<'c, R: Rng + ?Sized>(codec: &'c Codec, rng: &mut R) -> Messag
     let qd = rng.gen_range(1..=2usize);
     for q in 0..qd {
         set_name(&mut m, &format!("questions[{q}].qname"), "label", rng);
-        m.set_uint(
-            &format!("questions[{q}].qtype"),
-            *QTYPES.choose(rng).expect("non-empty"),
-        )
-        .unwrap();
+        m.set_uint(&format!("questions[{q}].qtype"), *QTYPES.choose(rng).expect("non-empty"))
+            .unwrap();
         m.set_uint(&format!("questions[{q}].qclass"), 1).unwrap(); // IN
     }
     m
@@ -166,8 +157,8 @@ mod tests {
             0x01, 0x00, // flags
             0x00, 0x01, // qdcount
             0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // an/ns/ar counts (const 0)
-            3, b'w', b'w', b'w', 7, b'e', b'x', b'a', b'm', b'p', b'l', b'e', 3, b'o', b'r',
-            b'g', 0, // qname with the root terminator
+            3, b'w', b'w', b'w', 7, b'e', b'x', b'a', b'm', b'p', b'l', b'e', 3, b'o', b'r', b'g',
+            0, // qname with the root terminator
             0x00, 0x01, // qtype A
             0x00, 0x01, // qclass IN
         ]
@@ -203,18 +194,15 @@ mod tests {
             for _ in 0..10 {
                 let m = build_query(&codec, &mut rng);
                 let wire = codec.serialize_seeded(&m, 2).unwrap();
-                let back = codec.parse(&wire).unwrap_or_else(|e| {
-                    panic!("level {level}: {e}\nplan: {:#?}", codec.records())
-                });
+                let back = codec
+                    .parse(&wire)
+                    .unwrap_or_else(|e| panic!("level {level}: {e}\nplan: {:#?}", codec.records()));
                 assert_eq!(back.get_uint("id").unwrap(), m.get_uint("id").unwrap());
                 let qd = m.element_count("questions");
                 assert_eq!(back.element_count("questions"), qd);
                 for q in 0..qd {
                     let labels = m.element_count(&format!("questions[{q}].qname"));
-                    assert_eq!(
-                        back.element_count(&format!("questions[{q}].qname")),
-                        labels
-                    );
+                    assert_eq!(back.element_count(&format!("questions[{q}].qname")), labels);
                     for l in 0..labels {
                         let path = format!("questions[{q}].qname[{l}].label");
                         assert_eq!(back.get(&path).unwrap(), m.get(&path).unwrap());
@@ -233,9 +221,9 @@ mod tests {
             for _ in 0..5 {
                 let m = build_response(&codec, &mut rng);
                 let wire = codec.serialize_seeded(&m, seed).unwrap();
-                let back = codec.parse(&wire).unwrap_or_else(|e| {
-                    panic!("seed {seed}: {e}\nplan: {:#?}", codec.records())
-                });
+                let back = codec
+                    .parse(&wire)
+                    .unwrap_or_else(|e| panic!("seed {seed}: {e}\nplan: {:#?}", codec.records()));
                 let an = m.element_count("answers");
                 assert_eq!(back.element_count("answers"), an);
                 for a in 0..an {

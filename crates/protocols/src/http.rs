@@ -205,8 +205,7 @@ mod tests {
         let g = request_graph();
         for level in 1..=3u32 {
             for seed in 0..5u64 {
-                let codec =
-                    Obfuscator::new(&g).seed(seed).max_per_node(level).obfuscate().unwrap();
+                let codec = Obfuscator::new(&g).seed(seed).max_per_node(level).obfuscate().unwrap();
                 let mut rng = StdRng::seed_from_u64(seed + 50);
                 for _ in 0..10 {
                     let m = build_request(&codec, &mut rng);
@@ -216,10 +215,7 @@ mod tests {
                     let back = codec.parse(&wire).unwrap_or_else(|e| {
                         panic!("level {level} seed {seed}: {e}\n{:#?}", codec.records())
                     });
-                    assert_eq!(
-                        back.get_string("uri").unwrap(),
-                        m.get_string("uri").unwrap()
-                    );
+                    assert_eq!(back.get_string("uri").unwrap(), m.get_string("uri").unwrap());
                 }
             }
         }

@@ -281,8 +281,7 @@ pub fn build_response<'c, R: Rng + ?Sized>(
             m.set(&format!("pdu.{}.{prefix}_status", function.body()), status).unwrap();
         }
         Function::ReadHoldingRegisters | Function::ReadInputRegisters => {
-            let prefix =
-                if function == Function::ReadHoldingRegisters { "rh" } else { "ri" };
+            let prefix = if function == Function::ReadHoldingRegisters { "rh" } else { "ri" };
             let n = rng.gen_range(1..=8usize);
             let values: Vec<u8> = (0..n * 2).map(|_| rng.gen()).collect();
             m.set(&format!("pdu.{}.{prefix}_values", function.body()), values).unwrap();
@@ -362,8 +361,8 @@ mod tests {
         assert_eq!(
             wire,
             vec![
-                0x00, 0x01, 0x00, 0x00, 0x00, 0x0B, 0x11, 0x10, 0x00, 0x01, 0x00, 0x02, 0x04,
-                0x00, 0x0A, 0x01, 0x02
+                0x00, 0x01, 0x00, 0x00, 0x00, 0x0B, 0x11, 0x10, 0x00, 0x01, 0x00, 0x02, 0x04, 0x00,
+                0x0A, 0x01, 0x02
             ]
         );
     }
@@ -417,21 +416,17 @@ mod tests {
         let g = request_graph();
         for level in 1..=3u32 {
             for seed in 0..5u64 {
-                let codec =
-                    Obfuscator::new(&g).seed(seed).max_per_node(level).obfuscate().unwrap();
+                let codec = Obfuscator::new(&g).seed(seed).max_per_node(level).obfuscate().unwrap();
                 let mut rng = StdRng::seed_from_u64(seed + 100);
                 for f in Function::ALL {
                     let m = build_request(&codec, f, &mut rng);
-                    let wire = codec.serialize_seeded(&m, seed).unwrap_or_else(|e| {
-                        panic!("{f:?} level {level} seed {seed}: {e}")
-                    });
-                    let back = codec.parse(&wire).unwrap_or_else(|e| {
-                        panic!("{f:?} level {level} seed {seed}: {e}")
-                    });
-                    assert_eq!(
-                        back.get_uint("pdu.function").unwrap(),
-                        u64::from(f.code())
-                    );
+                    let wire = codec
+                        .serialize_seeded(&m, seed)
+                        .unwrap_or_else(|e| panic!("{f:?} level {level} seed {seed}: {e}"));
+                    let back = codec
+                        .parse(&wire)
+                        .unwrap_or_else(|e| panic!("{f:?} level {level} seed {seed}: {e}"));
+                    assert_eq!(back.get_uint("pdu.function").unwrap(), u64::from(f.code()));
                 }
             }
         }

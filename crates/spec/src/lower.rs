@@ -36,9 +36,7 @@ pub fn lower(message: &MessageAst) -> Result<FormatGraph, ParseSpecError> {
         let av = match &auto {
             AutoAst::Len(r) => AutoValue::LengthOf(lw.resolve(r)?),
             AutoAst::Count(r) => AutoValue::CounterOf(lw.resolve(r)?),
-            AutoAst::Const(lit) => {
-                AutoValue::Literal(lw.encode_literal(field, lit, pos)?)
-            }
+            AutoAst::Const(lit) => AutoValue::Literal(lw.encode_literal(field, lit, pos)?),
         };
         lw.builder.set_auto(field, av);
     }
@@ -73,9 +71,7 @@ impl Lowerer {
         }
         match self.by_name.get(&r.parts[0]).map(Vec::as_slice) {
             Some([one]) => Ok(*one),
-            Some([]) | None => {
-                Err(ParseSpecError::UnknownReference { pos: r.pos, name: r.text() })
-            }
+            Some([]) | None => Err(ParseSpecError::UnknownReference { pos: r.pos, name: r.text() }),
             Some(_) => Err(ParseSpecError::AmbiguousReference { pos: r.pos, name: r.text() }),
         }
     }
@@ -194,10 +190,7 @@ impl Lowerer {
                         reason: "sized integers cannot carry boundary annotations".into(),
                     });
                 }
-                Ok((
-                    TerminalKind::UInt { width: *width, endian: *endian },
-                    Boundary::Fixed(*width),
-                ))
+                Ok((TerminalKind::UInt { width: *width, endian: *endian }, Boundary::Fixed(*width)))
             }
             TypeAst::Bytes(Some(n)) => {
                 if boundary.is_some() {
@@ -221,9 +214,8 @@ impl Lowerer {
                     None => {
                         return Err(ParseSpecError::BadDeclaration {
                             pos,
-                            reason:
-                                "variable-size fields need 'until', 'sized_by' or 'rest'"
-                                    .into(),
+                            reason: "variable-size fields need 'until', 'sized_by' or 'rest'"
+                                .into(),
                         })
                     }
                 };
@@ -259,12 +251,10 @@ impl Lowerer {
     ) -> Result<Value, ParseSpecError> {
         // Look up the subject's declared terminal kind in the builder's
         // current state: re-derive from what we inserted.
-        let kind = self
-            .subject_kind(subject)
-            .ok_or_else(|| ParseSpecError::BadDeclaration {
-                pos,
-                reason: "condition subject must be a terminal field".into(),
-            })?;
+        let kind = self.subject_kind(subject).ok_or_else(|| ParseSpecError::BadDeclaration {
+            pos,
+            reason: "condition subject must be a terminal field".into(),
+        })?;
         match (lit, &kind) {
             (LitAst::Int(v), TerminalKind::UInt { width, endian }) => {
                 Value::from_uint(*v, *width, *endian).ok_or_else(|| {
@@ -381,10 +371,7 @@ mod tests {
 
     #[test]
     fn string_condition_on_numeric_rejected() {
-        let err = lower_src(
-            r#"message M { u8 f; optional b if f == "x" { u8 y; } }"#,
-        )
-        .unwrap_err();
+        let err = lower_src(r#"message M { u8 f; optional b if f == "x" { u8 y; } }"#).unwrap_err();
         assert!(matches!(err, ParseSpecError::BadDeclaration { .. }));
     }
 
@@ -480,10 +467,8 @@ mod const_tests {
 
     #[test]
     fn const_str_on_ascii_field() {
-        let g = lower_src(
-            r#"message M { ascii version until " " = const "HTTP/1.1"; u8 x; }"#,
-        )
-        .unwrap();
+        let g = lower_src(r#"message M { ascii version until " " = const "HTTP/1.1"; u8 x; }"#)
+            .unwrap();
         let v = g.resolve_names(&["version"]).unwrap();
         match g.node(v).auto() {
             AutoValue::Literal(val) => assert_eq!(val.as_bytes(), b"HTTP/1.1"),
@@ -505,8 +490,7 @@ mod const_tests {
 
     #[test]
     fn const_wrong_width_rejected_by_validation() {
-        let err =
-            lower_src(r#"message M { bytes(4) magic = const "ab"; u8 x; }"#).unwrap_err();
+        let err = lower_src(r#"message M { bytes(4) magic = const "ab"; u8 x; }"#).unwrap_err();
         assert!(matches!(err, ParseSpecError::Invalid(_)), "{err:?}");
     }
 

@@ -77,20 +77,14 @@ fn print_node(g: &FormatGraph, id: NodeId, level: usize, out: &mut String) {
             match node.boundary() {
                 Boundary::Fixed(_) => {}
                 Boundary::Delimited(d) => out.push_str(&format!(" until {}", escape(d))),
-                Boundary::Length(r) => {
-                    out.push_str(&format!(" sized_by {}", path_of(g, *r)))
-                }
+                Boundary::Length(r) => out.push_str(&format!(" sized_by {}", path_of(g, *r))),
                 Boundary::End => out.push_str(" rest"),
                 Boundary::Counter(_) | Boundary::Delegated => {}
             }
             match node.auto() {
                 AutoValue::None => {}
-                AutoValue::LengthOf(t) => {
-                    out.push_str(&format!(" = len({})", path_of(g, *t)))
-                }
-                AutoValue::CounterOf(t) => {
-                    out.push_str(&format!(" = count({})", path_of(g, *t)))
-                }
+                AutoValue::LengthOf(t) => out.push_str(&format!(" = len({})", path_of(g, *t))),
+                AutoValue::CounterOf(t) => out.push_str(&format!(" = count({})", path_of(g, *t))),
                 AutoValue::Literal(v) => match kind {
                     TerminalKind::UInt { endian, .. } => {
                         out.push_str(&format!(
@@ -118,13 +112,11 @@ fn print_node(g: &FormatGraph, id: NodeId, level: usize, out: &mut String) {
             out.push_str("}\n");
         }
         NodeType::Optional(cond) => {
-            out.push_str(&format!(
-                "optional {} if {} ",
-                node.name(),
-                path_of(g, cond.subject)
-            ));
+            out.push_str(&format!("optional {} if {} ", node.name(), path_of(g, cond.subject)));
             match &cond.predicate {
-                Predicate::Equals(v) => out.push_str(&format!("== {}", render_value(g, cond.subject, v))),
+                Predicate::Equals(v) => {
+                    out.push_str(&format!("== {}", render_value(g, cond.subject, v)))
+                }
                 Predicate::NotEquals(v) => {
                     out.push_str(&format!("!= {}", render_value(g, cond.subject, v)))
                 }
@@ -181,11 +173,7 @@ fn print_body(g: &FormatGraph, id: NodeId, level: usize, out: &mut String) {
     out.push_str("}\n");
 }
 
-fn render_value(
-    g: &FormatGraph,
-    subject: NodeId,
-    v: &protoobf_core::Value,
-) -> String {
+fn render_value(g: &FormatGraph, subject: NodeId, v: &protoobf_core::Value) -> String {
     match g.node(subject).terminal_kind() {
         Some(TerminalKind::UInt { endian, .. }) => {
             format!("0x{:02x}", v.to_uint(*endian).unwrap_or(0))

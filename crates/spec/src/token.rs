@@ -250,10 +250,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, ParseSpecError> {
                 {
                     advance!(1);
                 }
-                tokens.push(Token {
-                    kind: TokenKind::Ident(src[start..i].to_string()),
-                    pos: p,
-                });
+                tokens.push(Token { kind: TokenKind::Ident(src[start..i].to_string()), pos: p });
             }
             other => return Err(ParseSpecError::UnexpectedChar { pos: pos!(), found: other }),
         }
@@ -295,12 +292,10 @@ mod tests {
 
     #[test]
     fn lex_numbers() {
-        assert_eq!(kinds("10 0x1F 0"), vec![
-            TokenKind::Int(10),
-            TokenKind::Int(0x1F),
-            TokenKind::Int(0),
-            TokenKind::Eof
-        ]);
+        assert_eq!(
+            kinds("10 0x1F 0"),
+            vec![TokenKind::Int(10), TokenKind::Int(0x1F), TokenKind::Int(0), TokenKind::Eof]
+        );
     }
 
     #[test]
@@ -319,12 +314,10 @@ mod tests {
 
     #[test]
     fn lex_operators() {
-        assert_eq!(kinds("== = !="), vec![
-            TokenKind::EqEq,
-            TokenKind::Eq,
-            TokenKind::NotEq,
-            TokenKind::Eof
-        ]);
+        assert_eq!(
+            kinds("== = !="),
+            vec![TokenKind::EqEq, TokenKind::Eq, TokenKind::NotEq, TokenKind::Eof]
+        );
     }
 
     #[test]

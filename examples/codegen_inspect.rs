@@ -15,8 +15,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let plain_lib = generate(&Codec::identity(&graph));
     let base = measure(&plain_lib);
-    println!("plain library:      {:>6} lines, {:>3} structs, call graph {}x{}",
-        base.lines, base.structs, base.callgraph_size, base.callgraph_depth);
+    println!(
+        "plain library:      {:>6} lines, {:>3} structs, call graph {}x{}",
+        base.lines, base.structs, base.callgraph_size, base.callgraph_depth
+    );
 
     for level in 1..=4u32 {
         let codec = Obfuscator::new(&graph).seed(9).max_per_node(level).obfuscate()?;

@@ -18,13 +18,15 @@ use rand::SeedableRng;
 fn hex(bytes: &[u8]) -> String {
     bytes
         .iter()
-        .map(|&b| {
-            if (0x21..0x7f).contains(&b) {
-                format!(" {}", b as char)
-            } else {
-                format!("{b:02x}")
-            }
-        })
+        .map(
+            |&b| {
+                if (0x21..0x7f).contains(&b) {
+                    format!(" {}", b as char)
+                } else {
+                    format!("{b:02x}")
+                }
+            },
+        )
         .collect::<Vec<_>>()
         .join(" ")
 }

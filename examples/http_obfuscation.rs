@@ -52,11 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (label, seed) in [("version A", 11u64), ("version B", 77u64)] {
         let codec = Obfuscator::new(&graph).seed(seed).max_per_node(2).obfuscate()?;
         let wire = core_application(&codec)?;
-        println!(
-            "— obfuscated {} ({} transformations) —",
-            label,
-            codec.transform_count()
-        );
+        println!("— obfuscated {} ({} transformations) —", label, codec.transform_count());
         println!("{}\n", printable(&wire));
 
         let back = codec.parse(&wire)?;

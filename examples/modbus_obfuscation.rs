@@ -52,9 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 wire.len()
             );
             let response = modbus::build_response(&resp_codec, function, false, &mut rng);
-            let bytes = resp_codec
-                .serialize(&response)
-                .map_err(|e| e.to_string())?;
+            let bytes = resp_codec.serialize(&response).map_err(|e| e.to_string())?;
             to_client.send(bytes).map_err(|e| e.to_string())?;
         }
         Ok(())

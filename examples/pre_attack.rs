@@ -57,16 +57,10 @@ fn attack(name: &str, req: &Codec, resp: &Codec) {
 
     // Format inference on the FC3 request group (the paper's expert
     // recovered "the exact format" of these for the plain protocol).
-    let group: Vec<&[u8]> = trace
-        .iter()
-        .filter(|s| s.label == "req:03")
-        .map(|s| s.wire.as_slice())
-        .collect();
+    let group: Vec<&[u8]> =
+        trace.iter().filter(|s| s.label == "req:03").map(|s| s.wire.as_slice()).collect();
     let profile = multiple_alignment(&group, ScoreParams::default());
-    println!(
-        "FC3 request inference: {:.0}% static structure",
-        profile.static_fraction() * 100.0
-    );
+    println!("FC3 request inference: {:.0}% static structure", profile.static_fraction() * 100.0);
     println!("inferred format: {}\n", describe(&profile.fields()));
 }
 
@@ -74,16 +68,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let req_graph = modbus::request_graph();
     let resp_graph = modbus::response_graph();
 
-    attack(
-        "plain Modbus trace",
-        &Codec::identity(&req_graph),
-        &Codec::identity(&resp_graph),
-    );
+    attack("plain Modbus trace", &Codec::identity(&req_graph), &Codec::identity(&resp_graph));
 
     for level in [1u32, 2] {
-        let req = Obfuscator::new(&req_graph).seed(5 + u64::from(level)).max_per_node(level).obfuscate()?;
-        let resp =
-            Obfuscator::new(&resp_graph).seed(55 + u64::from(level)).max_per_node(level).obfuscate()?;
+        let req = Obfuscator::new(&req_graph)
+            .seed(5 + u64::from(level))
+            .max_per_node(level)
+            .obfuscate()?;
+        let resp = Obfuscator::new(&resp_graph)
+            .seed(55 + u64::from(level))
+            .max_per_node(level)
+            .obfuscate()?;
         attack(&format!("obfuscated Modbus trace (level {level})"), &req, &resp);
     }
 

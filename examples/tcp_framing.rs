@@ -74,10 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let request = modbus::build_request(&req_codec, function, &mut rng);
         writer.send(&request)?;
         let response = reader.recv()?.expect("server answers");
-        assert_eq!(
-            response.get_uint("pdu.function")?,
-            u64::from(function.code())
-        );
+        assert_eq!(response.get_uint("pdu.function")?, u64::from(function.code()));
         println!("client: {function:?} ok");
     }
     drop(writer);

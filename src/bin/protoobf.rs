@@ -23,7 +23,9 @@ struct Options {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: protoobf <check|print|dot|gen|demo> <spec-file> [--level N] [--seed N] [-o FILE]");
+    eprintln!(
+        "usage: protoobf <check|print|dot|gen|demo> <spec-file> [--level N] [--seed N] [-o FILE]"
+    );
     ExitCode::from(2)
 }
 
@@ -58,12 +60,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
-    Ok(Options {
-        spec_path: spec_path.ok_or("missing specification file")?,
-        level,
-        seed,
-        out,
-    })
+    Ok(Options { spec_path: spec_path.ok_or("missing specification file")?, level, seed, out })
 }
 
 fn load(path: &str) -> Result<protoobf::FormatGraph, String> {
@@ -137,17 +134,24 @@ fn run() -> Result<(), String> {
             let codec = codec_for(&graph, &opts)?;
             let mut rng = rand::thread_rng();
             let msg = random_message(&codec, &mut rng);
-            let wire = codec.serialize(&msg).map_err(|e| e.to_string())?;
+            // Reusable sessions over the compiled plan: the steady-state
+            // encode/decode path a deployment would hold per connection.
+            let mut serializer = codec.serializer();
+            let mut parser = codec.parser();
+            let mut wire = Vec::new();
+            serializer.serialize_into(&msg, &mut wire).map_err(|e| e.to_string())?;
             println!(
-                "plan: {} transformations; wire: {} bytes",
+                "plan: {} transformations, {} slots, {} recovery steps; wire: {} bytes",
                 codec.transform_count(),
+                codec.plan().slots(),
+                codec.plan().recovery_steps(),
                 wire.len()
             );
             for chunk in wire.chunks(16) {
                 let hex: Vec<String> = chunk.iter().map(|b| format!("{b:02x}")).collect();
                 println!("  {}", hex.join(" "));
             }
-            codec.parse(&wire).map_err(|e| format!("self-parse failed: {e}"))?;
+            parser.parse_in_place(&wire).map_err(|e| format!("self-parse failed: {e}"))?;
             println!("round-trip: ok");
         }
         other => return Err(format!("unknown command {other:?}")),

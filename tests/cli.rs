@@ -52,12 +52,8 @@ fn print_is_reparseable() {
 #[test]
 fn demo_roundtrips() {
     let path = write_spec("demo", SPEC);
-    let out = cli()
-        .args(["demo"])
-        .arg(&path)
-        .args(["--level", "2", "--seed", "9"])
-        .output()
-        .unwrap();
+    let out =
+        cli().args(["demo"]).arg(&path).args(["--level", "2", "--seed", "9"]).output().unwrap();
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("round-trip: ok"), "{stdout}");
@@ -84,12 +80,7 @@ fn gen_writes_c_library() {
 fn dot_emits_graphviz() {
     let path = write_spec("dot", SPEC);
     for level in ["0", "2"] {
-        let out = cli()
-            .arg("dot")
-            .arg(&path)
-            .args(["--level", level])
-            .output()
-            .unwrap();
+        let out = cli().arg("dot").arg(&path).args(["--level", level]).output().unwrap();
         assert!(out.status.success());
         let dot = String::from_utf8_lossy(&out.stdout);
         assert!(dot.starts_with("digraph"), "level {level}: {dot}");

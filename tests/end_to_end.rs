@@ -13,7 +13,11 @@ fn spec_to_wire_to_values_modbus() {
         let codec = if level == 0 {
             Codec::identity(&graph)
         } else {
-            Obfuscator::new(&graph).seed(31 + u64::from(level)).max_per_node(level).obfuscate().unwrap()
+            Obfuscator::new(&graph)
+                .seed(31 + u64::from(level))
+                .max_per_node(level)
+                .obfuscate()
+                .unwrap()
         };
         let mut rng = StdRng::seed_from_u64(u64::from(level));
         for f in modbus::Function::ALL {
@@ -35,7 +39,11 @@ fn spec_to_wire_to_values_http() {
         let codec = if level == 0 {
             Codec::identity(&graph)
         } else {
-            Obfuscator::new(&graph).seed(77 + u64::from(level)).max_per_node(level).obfuscate().unwrap()
+            Obfuscator::new(&graph)
+                .seed(77 + u64::from(level))
+                .max_per_node(level)
+                .obfuscate()
+                .unwrap()
         };
         let mut rng = StdRng::seed_from_u64(u64::from(level) + 10);
         for _ in 0..8 {
@@ -113,10 +121,7 @@ fn codegen_follows_the_runtime_codec() {
     let graph = protoobf::spec::parse_spec(http::REQUEST_SPEC).unwrap();
     let codec = Obfuscator::new(&graph).seed(3).max_per_node(2).obfuscate().unwrap();
     let lib = protoobf::codegen::generate(&codec);
-    assert_eq!(
-        lib.source.matches("static int parse_").count(),
-        codec.obf_graph().len()
-    );
+    assert_eq!(lib.source.matches("static int parse_").count(), codec.obf_graph().len());
     let metrics = protoobf::codegen::measure(&lib);
     assert!(metrics.callgraph_size > 10);
 }

@@ -10,10 +10,10 @@
 //!    same wire shares, so serializing it again reproduces the original
 //!    bytes exactly (plain values, shares, pads and all).
 
+use protoobf::core::graph::{AutoValue, Boundary, Condition, GraphBuilder, Predicate, StopRule};
 use protoobf::core::sample::random_message;
 use protoobf::protocols;
 use protoobf::{Codec, FormatGraph, Obfuscator};
-use protoobf::core::graph::{AutoValue, Boundary, Condition, GraphBuilder, Predicate, StopRule};
 use protoobf::{TerminalKind, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -47,7 +47,7 @@ impl Gen {
             let first = slot == 0;
             match self.pick(depth, in_element, first) {
                 0 => {
-                    let w = *[1usize, 2, 4].get(self.rng.gen_range(0..3)).expect("in range");
+                    let w = *[1usize, 2, 4].get(self.rng.gen_range(0..3usize)).expect("in range");
                     let name = self.fresh("u");
                     let id = self.builder.uint_be(parent, name, w);
                     if w == 1 {
@@ -151,7 +151,7 @@ impl Gen {
     fn pick(&mut self, depth: usize, in_element: bool, first: bool) -> usize {
         loop {
             let c = self.rng.gen_range(0..7usize);
-            let nested = matches!(c, 4 | 5 | 6);
+            let nested = matches!(c, 4..=6);
             if nested && (depth >= 2 || self.nodes > 24) {
                 continue;
             }
@@ -195,11 +195,7 @@ fn random_specs_roundtrip_and_reserialize_identically() {
             let codec = if level == 0 {
                 Codec::identity(&graph)
             } else {
-                Obfuscator::new(&graph)
-                    .seed(seed ^ 0xABCD)
-                    .max_per_node(level)
-                    .obfuscate()
-                    .unwrap()
+                Obfuscator::new(&graph).seed(seed ^ 0xABCD).max_per_node(level).obfuscate().unwrap()
             };
             let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(31) + u64::from(level));
             for round in 0..2 {
@@ -214,9 +210,8 @@ fn random_specs_roundtrip_and_reserialize_identically() {
                 let back = match codec.parse(&wire) {
                     Ok(b) => b,
                     Err(e) => {
-                        failures.push(format!(
-                            "seed {seed} level {level} round {round} parse: {e}"
-                        ));
+                        failures
+                            .push(format!("seed {seed} level {level} round {round} parse: {e}"));
                         continue;
                     }
                 };
@@ -246,9 +241,7 @@ fn random_specs_roundtrip_and_reserialize_identically() {
                             ));
                         }
                     }
-                    Err(e) => {
-                        failures.push(format!("seed {seed} level {level} reser2: {e}"))
-                    }
+                    Err(e) => failures.push(format!("seed {seed} level {level} reser2: {e}")),
                 }
             }
         }
@@ -272,18 +265,14 @@ fn shipped_specs_also_reserialize_identically() {
             let codec = if level == 0 {
                 Codec::identity(graph)
             } else {
-                Obfuscator::new(graph)
-                    .seed(i as u64)
-                    .max_per_node(level)
-                    .obfuscate()
-                    .unwrap()
+                Obfuscator::new(graph).seed(i as u64).max_per_node(level).obfuscate().unwrap()
             };
             let mut rng = StdRng::seed_from_u64(i as u64 + 100);
             let msg = random_message(&codec, &mut rng);
             if let Ok(wire) = codec.serialize_seeded(&msg, 5) {
-                let back = codec.parse(&wire).unwrap_or_else(|e| {
-                    panic!("{} level {level}: {e}", graph.name())
-                });
+                let back = codec
+                    .parse(&wire)
+                    .unwrap_or_else(|e| panic!("{} level {level}: {e}", graph.name()));
                 let wire2 = codec.serialize_seeded(&back, 0).unwrap();
                 let back2 = codec.parse(&wire2).unwrap();
                 let wire3 = codec.serialize_seeded(&back2, 0).unwrap();

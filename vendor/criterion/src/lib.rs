@@ -1,0 +1,211 @@
+//! Vendored, dependency-free stand-in for the parts of `criterion` this
+//! workspace uses. The build environment has no network access, so the
+//! real crate cannot be fetched.
+//!
+//! The harness is deliberately simple: per benchmark it warms up, picks an
+//! iteration count targeting a fixed measurement window, runs a few
+//! samples, and reports the median time per iteration (plus bytes/second
+//! throughput when [`Throughput::Bytes`] is set on the group). Numbers are
+//! comparable within one machine and one run, which is all the workspace's
+//! plan-vs-interpreter and level-vs-level comparisons need.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier: prevents the optimizer from deleting benchmarked
+/// work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declared measurement throughput of a benchmark.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+    /// The benchmark processes this many elements per iteration.
+    Elements(u64),
+}
+
+/// Benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter display value.
+    pub fn new(function_id: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_id.into(), parameter) }
+    }
+
+    /// An id that is only a parameter display value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Per-iteration timing callback holder.
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled by `iter`.
+    ns_per_iter: f64,
+}
+
+const TARGET_SAMPLE: Duration = Duration::from_millis(60);
+const SAMPLES: usize = 7;
+
+impl Bencher {
+    /// Measures `f`, recording the median time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up & calibration: how many calls fit the target window?
+        let start = Instant::now();
+        let mut calls = 0u64;
+        while start.elapsed() < Duration::from_millis(15) {
+            black_box(f());
+            calls += 1;
+            if calls >= 1_000_000 {
+                break;
+            }
+        }
+        let per_call = start.elapsed().as_nanos() as f64 / calls.max(1) as f64;
+        let iters =
+            ((TARGET_SAMPLE.as_nanos() as f64 / per_call.max(1.0)) as u64).clamp(1, 10_000_000);
+
+        let mut samples = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    }
+}
+
+fn report(name: &str, ns: f64, throughput: Option<Throughput>) {
+    let mut line = format!("{name:<48} time: [{:>10}]", format_time(ns));
+    match throughput {
+        Some(Throughput::Bytes(b)) => {
+            let bytes_per_sec = b as f64 / (ns / 1e9);
+            line.push_str(&format!("   thrpt: [{:.2} MiB/s]", bytes_per_sec / (1024.0 * 1024.0)));
+        }
+        Some(Throughput::Elements(e)) => {
+            let elems_per_sec = e as f64 / (ns / 1e9);
+            line.push_str(&format!("   thrpt: [{elems_per_sec:.0} elem/s]"));
+        }
+        None => {}
+    }
+    println!("{line}");
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'c mut Criterion,
+}
+
+impl<'c> BenchmarkGroup<'c> {
+    /// Sets the declared throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for compatibility; the vendored harness has a fixed sample
+    /// count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; the vendored harness auto-sizes its
+    /// measurement window.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), b.ns_per_iter, self.throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), b.ns_per_iter, self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, _criterion: self }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        report(name, b.ns_per_iter, None);
+        self
+    }
+}
+
+/// Groups benchmark functions under one runner (vendored form).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` for one or more [`criterion_group!`]s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
