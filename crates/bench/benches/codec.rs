@@ -20,7 +20,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use protoobf_core::graph::{AutoValue, Boundary, GraphBuilder};
 use protoobf_core::value::TerminalKind;
 use protoobf_core::{parse as parse_mod, serialize as serialize_mod};
-use protoobf_core::{Codec, FormatGraph, Message, Obfuscator};
+use protoobf_core::{Codec, CodecService, FormatGraph, Message, Obfuscator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -125,21 +125,27 @@ fn bulk_graph() -> FormatGraph {
     b.build().unwrap()
 }
 
+/// The ≥64 KiB bulk message used by the `large` and `service` groups.
+fn bulk_message(codec: &Codec) -> Message<'_> {
+    let mut msg = codec.message_seeded(3);
+    let mut rng = StdRng::seed_from_u64(5);
+    for i in 0..2048u64 {
+        msg.set_uint(&format!("records[{i}].key"), i).unwrap();
+        msg.set_uint(&format!("records[{i}].flags"), i & 0xFFFF).unwrap();
+        let payload: Vec<u8> = (0..24).map(|_| rand::Rng::gen::<u8>(&mut rng)).collect();
+        msg.set(&format!("records[{i}].payload"), payload).unwrap();
+    }
+    msg.set("tail", vec![0xAB; 4096]).unwrap();
+    msg
+}
+
 fn bench_large(c: &mut Criterion) {
     let graph = bulk_graph();
     let mut group = c.benchmark_group("large");
     group.sample_size(10);
     for level in [0u32, 2] {
         let codec = codec_for(&graph, level);
-        let mut msg = codec.message_seeded(3);
-        let mut rng = StdRng::seed_from_u64(5);
-        for i in 0..2048u64 {
-            msg.set_uint(&format!("records[{i}].key"), i).unwrap();
-            msg.set_uint(&format!("records[{i}].flags"), i & 0xFFFF).unwrap();
-            let payload: Vec<u8> = (0..24).map(|_| rand::Rng::gen::<u8>(&mut rng)).collect();
-            msg.set(&format!("records[{i}].payload"), payload).unwrap();
-        }
-        msg.set("tail", vec![0xAB; 4096]).unwrap();
+        let msg = bulk_message(&codec);
         let wire = codec.serialize_seeded(&msg, 1).unwrap();
         assert!(wire.len() >= 64 * 1024, "large scenario must be ≥64 KiB, got {}", wire.len());
         bench_paths(&mut group, level, &codec, &msg);
@@ -147,5 +153,42 @@ fn bench_large(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_modbus, bench_http, bench_dns, bench_large);
+/// Multi-threaded service scenario: W workers share one [`CodecService`]
+/// (one compiled plan, pooled sessions) and round-trip the 64 KiB bulk
+/// message. The reported bytes/sec is the **aggregate** round-trip
+/// throughput (each message is serialized and parsed once); near-linear
+/// growth from 1 → 4 workers on a multi-core host demonstrates that the
+/// shared plan and sharded pools do not serialize the hot path.
+fn bench_service(c: &mut Criterion) {
+    const PER_WORKER: u64 = 4;
+    let graph = bulk_graph();
+    let mut group = c.benchmark_group("service");
+    group.sample_size(10);
+    let service = CodecService::new(codec_for(&graph, 2));
+    let msg = bulk_message(service.codec());
+    let wire = service.codec().serialize_seeded(&msg, 1).unwrap();
+    for workers in [1usize, 2, 4, 8] {
+        group.throughput(Throughput::Bytes(wire.len() as u64 * workers as u64 * PER_WORKER));
+        group.bench_with_input(BenchmarkId::new("roundtrip-64KiB", workers), &workers, |b, &w| {
+            b.iter(|| {
+                std::thread::scope(|scope| {
+                    for _ in 0..w {
+                        scope.spawn(|| {
+                            let mut serializer = service.serializer();
+                            let mut parser = service.parser();
+                            let mut out = Vec::new();
+                            for _ in 0..PER_WORKER {
+                                serializer.serialize_into_seeded(&msg, &mut out, 1).unwrap();
+                                parser.parse_in_place(&out).unwrap();
+                            }
+                        });
+                    }
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_modbus, bench_http, bench_dns, bench_large, bench_service);
 criterion_main!(benches);

@@ -64,6 +64,12 @@ impl Codec {
         ParseSession::new(&self.graph, self.plan())
     }
 
+    /// Wraps this codec in a concurrent [`crate::service::CodecService`]:
+    /// one shared plan behind sharded pools of worker sessions.
+    pub fn into_service(self) -> crate::service::CodecService {
+        crate::service::CodecService::new(self)
+    }
+
     /// The plain specification.
     pub fn plain(&self) -> &FormatGraph {
         self.graph.plain()

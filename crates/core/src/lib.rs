@@ -22,9 +22,19 @@
 //! 4. **Run** — reusable sessions ([`codec::Codec::serializer`] /
 //!    [`codec::Codec::parser`]) interpret the plan with session-owned
 //!    scratch stores: steady-state `serialize_into`/`parse_in_place`
-//!    performs no hashing and no per-message heap allocation, while
-//!    applications keep using the **stable accessor interface**
-//!    ([`message::Message`]) keyed on plain-spec field paths.
+//!    performs no hashing and no per-message heap allocation (auto-field
+//!    materialization runs compiled distribution programs, the forward
+//!    mirror of the recovery programs), while applications keep using the
+//!    **stable accessor interface** ([`message::Message`]) keyed on
+//!    plain-spec field paths;
+//! 5. **Serve** — a [`service::CodecService`] shares one codec (and its
+//!    compiled plan) across any number of threads behind sharded pools of
+//!    checked-out worker sessions, with batch
+//!    ([`service::CodecService::serialize_batch`] /
+//!    [`service::CodecService::parse_batch`]) and length-framed
+//!    ([`service::CodecService::serialize_framed`] /
+//!    [`service::CodecService::parse_framed`]) entry points for
+//!    multi-threaded proxies.
 //!
 //! The one-shot [`codec::Codec::serialize`]/[`codec::Codec::parse`] entry
 //! points remain as thin wrappers over the cached plan; the original
@@ -84,6 +94,7 @@ pub mod plan;
 pub mod runtime;
 pub mod sample;
 pub mod serialize;
+pub mod service;
 pub mod transform;
 pub mod value;
 
@@ -93,5 +104,6 @@ pub use error::{BuildError, ParseError, SpecError, TransformError};
 pub use graph::{Boundary, FormatGraph, GraphBuilder, NodeId};
 pub use message::Message;
 pub use path::Path;
+pub use service::CodecService;
 pub use transform::TransformKind;
 pub use value::{ByteOp, Endian, TerminalKind, Value};

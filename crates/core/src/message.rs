@@ -119,6 +119,11 @@ impl WireStore {
         self.per_slot[slot].iter().map(|(k, _, _)| k.as_slice())
     }
 
+    /// Number of slots this store was sized for.
+    pub(crate) fn slots(&self) -> usize {
+        self.per_slot.len()
+    }
+
     /// All stored values, in slot order.
     #[cfg(test)]
     pub(crate) fn iter(&self) -> impl Iterator<Item = (usize, &[u32], &[u8])> + '_ {
@@ -191,6 +196,17 @@ pub struct Message<'c> {
     rng: StdRng,
 }
 
+/// The lifetime-free owned state of a [`Message`]: its stores and RNG
+/// without the graph borrow. Lets session scratch (and through it the
+/// [`crate::service::CodecService`] pools) carry warmed-up message
+/// capacity across checkouts.
+#[derive(Debug)]
+pub(crate) struct MessageState {
+    wires: WireStore,
+    presence: MetaStore<bool>,
+    counts: MetaStore<usize>,
+}
+
 impl<'c> Message<'c> {
     /// Creates an empty message for the given obfuscation graph, seeding
     /// the share-generation RNG from the OS.
@@ -217,6 +233,29 @@ impl<'c> Message<'c> {
         self.wires.clear();
         self.presence.clear();
         self.counts.clear();
+    }
+
+    /// Rebinds pooled message state to the graph it was created for,
+    /// cleared but with all capacities intact. The setter RNG is reseeded
+    /// from ambient entropy so a pooled message never continues the
+    /// (possibly caller-seeded, predictable) stream of its previous owner.
+    pub(crate) fn from_state(graph: &'c ObfGraph, state: MessageState) -> Self {
+        debug_assert_eq!(state.wires.slots(), graph.allocated(), "state from a different graph");
+        let mut m = Message {
+            graph,
+            wires: state.wires,
+            presence: state.presence,
+            counts: state.counts,
+            rng: StdRng::seed_from_u64(rand::random()),
+        };
+        m.reset();
+        m
+    }
+
+    /// Takes the owned state back out for pooling (the RNG is dropped —
+    /// see [`Message::from_state`]).
+    pub(crate) fn into_state(self) -> MessageState {
+        MessageState { wires: self.wires, presence: self.presence, counts: self.counts }
     }
 
     pub(crate) fn from_parts(
@@ -465,7 +504,7 @@ impl<'c> Message<'c> {
                     Boundary::Fixed(k) => *k,
                     _ => match kind.implied_width() {
                         Some(w) => w,
-                        None => self.value_at(p, scope)?.len(),
+                        None => self.value_len_at(p, scope)?,
                     },
                 };
                 let delim = match node.boundary() {
@@ -489,31 +528,70 @@ impl<'c> Message<'c> {
                 }
             }
             NodeType::Repetition(stop) => {
-                let m = self.counts.get(p.index(), scope).unwrap_or(0);
-                let mut total = 0;
-                let mut sc = scope.to_vec();
-                for i in 0..m {
-                    sc.push(i as u32);
-                    total += self.plain_len(node.children()[0], &sc)?;
-                    sc.pop();
-                }
+                let mut total = self.elements_len(p, scope)?;
                 if let StopRule::Terminator(t) = stop {
                     total += t.len();
                 }
                 Some(total)
             }
-            NodeType::Tabular => {
-                let m = self.counts.get(p.index(), scope).unwrap_or(0);
-                let mut total = 0;
-                let mut sc = scope.to_vec();
-                for i in 0..m {
-                    sc.push(i as u32);
-                    total += self.plain_len(node.children()[0], &sc)?;
-                    sc.pop();
-                }
-                Some(total)
+            NodeType::Tabular => self.elements_len(p, scope),
+        }
+    }
+
+    /// Byte length of terminal `x`'s plain value, computed structurally
+    /// from stored wire lengths without materializing the value: the
+    /// aggregation transformations are length-transparent (constant ops
+    /// byte-wise, concat splits additive, op splits length-preserving), so
+    /// the recovered length follows from the holder subtree's shape. Falls
+    /// back to full recovery for values only an auto rule can supply.
+    pub(crate) fn value_len_at(&self, x: NodeId, scope: &[u32]) -> Option<usize> {
+        if let Some(holder) = self.graph.holder_of(x) {
+            if let Some(len) = self.holder_len(holder, scope) {
+                return Some(len);
             }
         }
+        self.value_at(x, scope).map(|v| v.len())
+    }
+
+    fn holder_len(&self, id: ObfId, scope: &[u32]) -> Option<usize> {
+        use crate::obf::{ObfKind, Recombine};
+        let node = self.graph.node(id);
+        match node.kind() {
+            ObfKind::Terminal { .. } => self.wires.get(id.index(), scope).map(<[u8]>::len),
+            ObfKind::SplitSeq { recombine, .. } => {
+                let (c0, c1) = (node.children()[0], node.children()[1]);
+                match recombine {
+                    Recombine::Concat(_) => {
+                        Some(self.holder_len(c0, scope)? + self.holder_len(c1, scope)?)
+                    }
+                    // The combined half has the original value's length.
+                    Recombine::Op(_) => self.holder_len(c1, scope),
+                }
+            }
+            ObfKind::Mirror | ObfKind::Prefixed { .. } => {
+                self.holder_len(node.children()[0], scope)
+            }
+            _ => None,
+        }
+    }
+
+    /// Summed plain length of a container's elements, with the element
+    /// index appended to an inline scope buffer (no per-call allocation —
+    /// [`Message::plain_len`] runs on the serializer's steady-state path).
+    fn elements_len(&self, p: NodeId, scope: &[u32]) -> Option<usize> {
+        if scope.len() >= MAX_SCOPE {
+            return None; // deeper nesting is rejected at validation
+        }
+        let child = self.graph.plain().node(p).children()[0];
+        let m = self.counts.get(p.index(), scope).unwrap_or(0);
+        let mut sc = [0u32; MAX_SCOPE];
+        sc[..scope.len()].copy_from_slice(scope);
+        let mut total = 0;
+        for i in 0..m {
+            sc[scope.len()] = i as u32;
+            total += self.plain_len(child, &sc[..scope.len() + 1])?;
+        }
+        Some(total)
     }
 
     pub(crate) fn wire(&self, id: ObfId, scope: &[u32]) -> Option<&[u8]> {

@@ -24,7 +24,7 @@ use std::collections::HashMap;
 
 use crate::error::ParseError;
 use crate::graph::NodeId;
-use crate::message::{Message, MetaStore, ScopeKey, WireStore};
+use crate::message::{Message, MessageState, MetaStore, ScopeKey, WireStore};
 use crate::obf::{LenStep, ObfGraph, ObfId, ObfKind, RepStop, SeqBoundary, TermBoundary};
 use crate::plan::{
     bytes_to_uint, pred_eval, AutoCheckKind, CodecPlan, PlanOp, RecEval, RepStopC, SeqB, TermB,
@@ -85,6 +85,21 @@ pub struct ParseSession<'c> {
     keys: Vec<ScopeKey>,
 }
 
+/// The lifetime-free scratch state of a [`ParseSession`]: everything the
+/// session owns besides its borrows of the graph and plan. Pooled by
+/// [`crate::service::CodecService`] so worker sessions can be checked out
+/// and in without losing their warmed-up capacities.
+#[derive(Debug)]
+pub(crate) struct ParseScratch {
+    msg: MessageState,
+    rep_counts: MetaStore<usize>,
+    recovered: WireStore,
+    ev: RecEval,
+    scope: Vec<u32>,
+    mirror_pool: Vec<Vec<u8>>,
+    keys: Vec<ScopeKey>,
+}
+
 impl<'c> ParseSession<'c> {
     pub(crate) fn new(g: &'c ObfGraph, plan: &'c CodecPlan) -> Self {
         ParseSession {
@@ -98,6 +113,40 @@ impl<'c> ParseSession<'c> {
             mirror_pool: Vec::new(),
             mirror_depth: 0,
             keys: Vec::new(),
+        }
+    }
+
+    /// Rebinds pooled scratch state to the graph/plan it was created for.
+    pub(crate) fn from_scratch(
+        g: &'c ObfGraph,
+        plan: &'c CodecPlan,
+        scratch: ParseScratch,
+    ) -> Self {
+        debug_assert_eq!(scratch.recovered.slots(), plan.plain_len(), "scratch plan mismatch");
+        ParseSession {
+            g,
+            plan,
+            msg: Message::from_state(g, scratch.msg),
+            rep_counts: scratch.rep_counts,
+            recovered: scratch.recovered,
+            ev: scratch.ev,
+            scope: scratch.scope,
+            mirror_pool: scratch.mirror_pool,
+            mirror_depth: 0,
+            keys: scratch.keys,
+        }
+    }
+
+    /// Takes the scratch state back out for pooling.
+    pub(crate) fn into_scratch(self) -> ParseScratch {
+        ParseScratch {
+            msg: self.msg.into_state(),
+            rep_counts: self.rep_counts,
+            recovered: self.recovered,
+            ev: self.ev,
+            scope: self.scope,
+            mirror_pool: self.mirror_pool,
+            keys: self.keys,
         }
     }
 

@@ -26,12 +26,14 @@
 //! ([`crate::parse::ParseSession`]); [`crate::codec::Codec`] compiles the
 //! plan lazily and caches it.
 
+use rand::Rng;
+
 use crate::graph::{NodeId, Predicate};
 use crate::obf::{
     Base, ConstOp, LenStep, ObfGraph, ObfId, ObfKind, Recombine, RepStop, SeqBoundary, TermBoundary,
 };
 use crate::runtime;
-use crate::value::{ByteOp, Endian, TerminalKind, Value};
+use crate::value::{ByteOp, Endian, SplitAt, TerminalKind, Value};
 
 /// Sentinel for "no node" in the plan's dense `u32` index space.
 pub(crate) const NONE: u32 = u32::MAX;
@@ -249,6 +251,81 @@ pub(crate) enum RecStep {
     },
 }
 
+/// One step of a compiled distribution program: the **forward** mirror of
+/// [`RecStep`], lowered from [`runtime::distribute`]. Steps run in
+/// pre-order against a stack of byte ranges; each split pops its input
+/// range and pushes the two child ranges (left on top), each store pops
+/// one range and emits it as a terminal's wire value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DistStep {
+    /// Pop a value, validate it against the terminal's boundary, apply the
+    /// constant-op stack forward, and emit it as slot `obf`'s wire.
+    Store {
+        /// Wire slot.
+        obf: u32,
+        /// Constant ops to apply (pool range).
+        ops: PoolRange,
+        /// Boundary validation.
+        check: DistCheck,
+    },
+    /// Pop a value, apply the split expression's ops forward, split it by
+    /// `rule`, and push the two halves (left half on top).
+    Split {
+        /// Split-expression ops to apply (pool range).
+        ops: PoolRange,
+        /// How the value is cut / shared.
+        rule: SplitRuleC,
+    },
+}
+
+/// Boundary validation of a distribution store (mirrors the checks of
+/// [`runtime::distribute`], performed on the **input** value before the
+/// constant-op stack is applied).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DistCheck {
+    /// No constraint.
+    None,
+    /// The value must be exactly `n` bytes.
+    Fixed(u32),
+    /// The value must not contain the pooled delimiter.
+    Delim(u32),
+}
+
+/// Compiled split rule of a distribution step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SplitRuleC {
+    /// Cut at byte `n` (clamped to the value length).
+    At(u32),
+    /// Cut at `len / 2`.
+    Half,
+    /// Left half is a fresh random share, right half is `value ⟨op⟩ share`.
+    Op(ByteOp),
+}
+
+/// A compiled distribution program: range into [`CodecPlan::dist_steps`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct DistProg(pub(crate) PoolRange);
+
+/// Distribution failure, mapped to a named [`crate::error::BuildError`] by
+/// the session (the plan layer has no node names).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DistErr {
+    /// A fixed-width terminal received a value of the wrong length.
+    BadLen {
+        /// Offending wire slot.
+        obf: u32,
+        /// Expected byte length.
+        expected: u32,
+        /// Actual byte length.
+        found: u32,
+    },
+    /// A delimited terminal's value contains its own delimiter.
+    Delim {
+        /// Offending wire slot.
+        obf: u32,
+    },
+}
+
 /// A compiled auto-field sanity check (run after parsing).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) enum AutoCheckKind {
@@ -310,6 +387,11 @@ pub struct CodecPlan {
     pub(crate) rec: Vec<Option<RecProg>>,
     /// Recovery step pool.
     pub(crate) rec_steps: Vec<RecStep>,
+    /// slot → compiled distribution program (materializable subtree roots
+    /// only: terminals / split sequences with auto, const or pad bases).
+    pub(crate) dist: Vec<Option<DistProg>>,
+    /// Distribution step pool.
+    pub(crate) dist_steps: Vec<DistStep>,
     /// Constant-op pool (terminal stacks and split expressions).
     pub(crate) ops: Vec<ConstOp>,
     /// Delimiter / terminator byte-string pool.
@@ -348,6 +430,16 @@ impl CodecPlan {
     /// Borrow a pooled recovery program.
     pub(crate) fn rec_prog(&self, p: RecProg) -> &[RecStep] {
         &self.rec_steps[p.0 .0 as usize..(p.0 .0 + p.0 .1) as usize]
+    }
+
+    /// Borrow a pooled distribution program.
+    pub(crate) fn dist_prog(&self, p: DistProg) -> &[DistStep] {
+        &self.dist_steps[p.0 .0 as usize..(p.0 .0 + p.0 .1) as usize]
+    }
+
+    /// Number of compiled distribution steps (all programs together).
+    pub fn distribution_steps(&self) -> usize {
+        self.dist_steps.len()
     }
 
     /// Borrow a node's children.
@@ -389,6 +481,8 @@ impl<'g> Compiler<'g> {
                 plain_endian: vec![Endian::Big; n_plain],
                 rec: vec![None; n_plain],
                 rec_steps: Vec::new(),
+                dist: vec![None; n_obf],
+                dist_steps: Vec::new(),
                 ops: Vec::new(),
                 bytes: Vec::new(),
                 consts: Vec::new(),
@@ -421,8 +515,25 @@ impl<'g> Compiler<'g> {
                 self.plan.rec[x.index()] = prog;
             }
         }
+        for idx in 0..self.g.allocated() {
+            let id = ObfId(idx as u32);
+            if self.live[idx] && self.materializable(id) {
+                self.plan.dist[idx] = self.compile_dist(id);
+            }
+        }
         self.compile_autos();
         self.plan
+    }
+
+    /// True when the serializer may have to materialize the subtree rooted
+    /// at `id` itself (auto-computed, constant or pad base).
+    fn materializable(&self, id: ObfId) -> bool {
+        let base = match self.g.node(id).kind() {
+            ObfKind::Terminal { base, .. } => base,
+            ObfKind::SplitSeq { expr, .. } => &expr.base,
+            _ => return false,
+        };
+        matches!(base, Base::AutoLen(_) | Base::AutoCount(_) | Base::Const(_) | Base::Pad(_))
     }
 
     fn pool_ops(&mut self, ops: &[ConstOp]) -> PoolRange {
@@ -632,6 +743,48 @@ impl<'g> Compiler<'g> {
         }
     }
 
+    /// Lowers the holder subtree of one materializable node into a
+    /// pre-order distribution program (the compiled, forward mirror of
+    /// [`runtime::distribute`]).
+    fn compile_dist(&mut self, root: ObfId) -> Option<DistProg> {
+        let mut steps = Vec::new();
+        self.dist_of(root, &mut steps)?;
+        let start = self.plan.dist_steps.len() as u32;
+        let len = steps.len() as u32;
+        self.plan.dist_steps.extend(steps);
+        Some(DistProg((start, len)))
+    }
+
+    fn dist_of(&mut self, id: ObfId, out: &mut Vec<DistStep>) -> Option<()> {
+        let node = self.g.node(id);
+        match node.kind() {
+            ObfKind::Terminal { ops, boundary, .. } => {
+                let check = match boundary {
+                    TermBoundary::Fixed(k) => DistCheck::Fixed(*k as u32),
+                    TermBoundary::Delimited(d) => DistCheck::Delim(self.pool_bytes(&d.clone())),
+                    TermBoundary::PlainLen { .. } | TermBoundary::End => DistCheck::None,
+                };
+                let ops = self.pool_ops(&ops.clone());
+                out.push(DistStep::Store { obf: id.0, ops, check });
+                Some(())
+            }
+            ObfKind::SplitSeq { expr, recombine } => {
+                let (c0, c1) = (node.children()[0], node.children()[1]);
+                let rule = match recombine {
+                    Recombine::Concat(SplitAt::Byte(n)) => SplitRuleC::At(*n as u32),
+                    Recombine::Concat(SplitAt::Half) => SplitRuleC::Half,
+                    Recombine::Op(op) => SplitRuleC::Op(*op),
+                };
+                let ops = self.pool_ops(&expr.ops.clone());
+                out.push(DistStep::Split { ops, rule });
+                self.dist_of(c0, out)?;
+                self.dist_of(c1, out)
+            }
+            ObfKind::Mirror | ObfKind::Prefixed { .. } => self.dist_of(node.children()[0], out),
+            _ => None,
+        }
+    }
+
     fn compile_autos(&mut self) {
         let plain = self.g.plain();
         for x in plain.ids() {
@@ -755,6 +908,114 @@ impl RecEval {
             }
         }
         self.stack.pop()
+    }
+}
+
+/// Applies a constant-op stack in place (forward direction, constants
+/// cycled — the compiled form of the `apply_ops` closure inside
+/// [`runtime::distribute`]).
+pub(crate) fn apply_ops_in_place(ops: &[ConstOp], bytes: &mut [u8]) {
+    for op in ops {
+        let k = &op.k;
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = apply1(op.op, *b, k[i % k.len()]);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// distribution evaluation
+// ---------------------------------------------------------------------------
+
+/// Reusable scratch state for distribution-program evaluation: the forward
+/// counterpart of [`RecEval`]. Buffers grow to a steady-state size and are
+/// then reused allocation-free, which is what lets
+/// [`crate::serialize::SerializeSession::materialize`] run without routing
+/// through the allocating [`runtime::distribute`].
+#[derive(Debug, Default, Clone)]
+pub(crate) struct DistEval {
+    /// Work stack: contiguous `(start, len)` ranges into `buf`.
+    stack: Vec<(usize, usize)>,
+    /// The byte scratch all ranges live in.
+    buf: Vec<u8>,
+}
+
+impl DistEval {
+    /// Clears the scratch and returns the input buffer; the caller writes
+    /// the raw base value into it before calling [`DistEval::eval`].
+    pub(crate) fn input(&mut self) -> &mut Vec<u8> {
+        self.buf.clear();
+        self.stack.clear();
+        &mut self.buf
+    }
+
+    /// Runs `prog` over the previously written input, emitting each
+    /// terminal's wire bytes through `emit`. Random shares are drawn from
+    /// `rng` byte-by-byte, in exactly the order of the reference
+    /// [`runtime::distribute`] walk, so both paths produce identical wires
+    /// for identical seeds.
+    pub(crate) fn eval<R: Rng + ?Sized>(
+        &mut self,
+        plan: &CodecPlan,
+        prog: DistProg,
+        rng: &mut R,
+        emit: &mut dyn FnMut(u32, &[u8]),
+    ) -> Result<(), DistErr> {
+        self.stack.clear();
+        self.stack.push((0, self.buf.len()));
+        for step in plan.dist_prog(prog) {
+            match *step {
+                DistStep::Store { obf, ops, check } => {
+                    let (s, l) = self.stack.pop().expect("distribution programs are balanced");
+                    match check {
+                        DistCheck::Fixed(k) if l != k as usize => {
+                            return Err(DistErr::BadLen { obf, expected: k, found: l as u32 });
+                        }
+                        DistCheck::Delim(d)
+                            if runtime::contains(&self.buf[s..s + l], &plan.bytes[d as usize]) =>
+                        {
+                            return Err(DistErr::Delim { obf });
+                        }
+                        _ => {}
+                    }
+                    apply_ops_in_place(plan.ops(ops), &mut self.buf[s..s + l]);
+                    emit(obf, &self.buf[s..s + l]);
+                }
+                DistStep::Split { ops, rule } => {
+                    let (s, l) = self.stack.pop().expect("distribution programs are balanced");
+                    apply_ops_in_place(plan.ops(ops), &mut self.buf[s..s + l]);
+                    match rule {
+                        SplitRuleC::At(n) => {
+                            let p = (n as usize).min(l);
+                            self.stack.push((s + p, l - p));
+                            self.stack.push((s, p));
+                        }
+                        SplitRuleC::Half => {
+                            let p = l / 2;
+                            self.stack.push((s + p, l - p));
+                            self.stack.push((s, p));
+                        }
+                        SplitRuleC::Op(op) => {
+                            // Left half: fresh random share appended to the
+                            // scratch; right half: `value ⟨op⟩ share`
+                            // computed in place.
+                            let e = self.buf.len();
+                            for _ in 0..l {
+                                self.buf.push(rng.gen::<u8>());
+                            }
+                            let (head, share) = self.buf.split_at_mut(e);
+                            for i in 0..l {
+                                head[s + i] = apply1(op, head[s + i], share[i]);
+                            }
+                            self.stack.push((s, l));
+                            self.stack.push((e, l));
+                        }
+                    }
+                }
+            }
+        }
+        debug_assert!(self.stack.is_empty(), "distribution program left values unconsumed");
+        Ok(())
     }
 }
 
@@ -893,6 +1154,85 @@ mod tests {
             })
             .expect("all wires present");
         assert_eq!(&ev.buf[range.0..range.0 + range.1], b"plan layer");
+    }
+
+    #[test]
+    fn dist_eval_matches_runtime_distribute() {
+        // A transformed holder subtree must distribute identically through
+        // the compiled program and the reference walk, including the random
+        // share stream (same seed ⇒ same wires).
+        let mut g = sample();
+        let mut rng = StdRng::seed_from_u64(11);
+        let data_plain = g.plain().resolve_names(&["data"]).unwrap();
+        let h = g.holder_of(data_plain).unwrap();
+        apply(&mut g, h, TransformKind::ConstAdd, &mut rng).unwrap();
+        let h = g.holder_of(data_plain).unwrap();
+        let rec = apply(&mut g, h, TransformKind::SplitXor, &mut rng).unwrap();
+        apply(&mut g, rec.created[1], TransformKind::ConstSub, &mut rng).unwrap();
+        apply(&mut g, rec.created[2], TransformKind::SplitCat, &mut rng).unwrap();
+        let h = g.holder_of(data_plain).unwrap();
+
+        let mut reference: Vec<(u32, Vec<u8>)> = Vec::new();
+        let mut walk_rng = StdRng::seed_from_u64(77);
+        runtime::distribute(
+            &g,
+            h,
+            Value::from_bytes(b"dist layer".to_vec()),
+            &[],
+            &mut walk_rng,
+            &mut |id, _, v| reference.push((id.0, v.into_bytes())),
+        )
+        .unwrap();
+
+        // The holder root is not auto/pad-based in this fixture; lower its
+        // program directly through the same compiler (the partially built
+        // plan carries the pools the program indexes into).
+        let mut c = Compiler::new(&g);
+        let prog = c.compile_dist(h).expect("subtree lowers");
+        let plan = c.plan;
+
+        let mut ev = DistEval::default();
+        ev.input().extend_from_slice(b"dist layer");
+        let mut compiled: Vec<(u32, Vec<u8>)> = Vec::new();
+        let mut plan_rng = StdRng::seed_from_u64(77);
+        ev.eval(&plan, prog, &mut plan_rng, &mut |obf, bytes| {
+            compiled.push((obf, bytes.to_vec()));
+        })
+        .unwrap();
+        assert_eq!(compiled, reference, "compiled distribution diverged from the walk");
+    }
+
+    #[test]
+    fn dist_programs_compiled_for_materializable_slots() {
+        let g = sample();
+        let plan = CodecPlan::compile(&g);
+        let len = g.plain().resolve_names(&["len"]).unwrap();
+        let holder = g.holder_of(len).unwrap();
+        assert!(plan.dist[holder.index()].is_some(), "auto len holder needs a program");
+        let data = g.plain().resolve_names(&["data"]).unwrap();
+        let dh = g.holder_of(data).unwrap();
+        assert!(plan.dist[dh.index()].is_none(), "source fields are never materialized");
+    }
+
+    #[test]
+    fn dist_eval_validates_boundaries() {
+        let mut b = GraphBuilder::new("v");
+        let root = b.root_sequence("m", Boundary::End);
+        let k = b.uint_be(root, "k", 2);
+        b.set_auto(k, AutoValue::Literal(Value::from_bytes(vec![1, 2])));
+        let g = ObfGraph::from_plain(&b.build().unwrap());
+        let plan = CodecPlan::compile(&g);
+        let holder = g.holder_of(b_resolve(&g, "k")).unwrap();
+        let prog = plan.dist[holder.index()].expect("literal const is materializable");
+        let mut ev = DistEval::default();
+        ev.input().extend_from_slice(&[1, 2, 3]); // wrong width
+        let mut rng = StdRng::seed_from_u64(0);
+        let r = ev.eval(&plan, prog, &mut rng, &mut |_, _| {});
+        assert!(matches!(r, Err(DistErr::BadLen { expected: 2, found: 3, .. })));
+    }
+
+    fn b_resolve(g: &ObfGraph, name: &str) -> NodeId {
+        g.plain().resolve_names(&[name]).unwrap()
     }
 
     #[test]

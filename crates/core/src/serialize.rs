@@ -33,7 +33,8 @@ use crate::graph::NodeId;
 use crate::message::{Message, WireStore};
 use crate::obf::{Base, ObfGraph, ObfId, ObfKind, RepStop, SeqBoundary, TermBoundary};
 use crate::plan::{
-    bytes_to_uint, pred_eval, BaseOp, CodecPlan, PlanOp, RecEval, RepStopC, SeqB, TermB, NONE,
+    bytes_to_uint, pred_eval, BaseOp, CodecPlan, DistErr, DistEval, PlanOp, RecEval, RepStopC,
+    SeqB, TermB, NONE,
 };
 use crate::runtime::{self, Scope};
 use crate::value::{TerminalKind, Value};
@@ -72,28 +73,72 @@ use crate::value::{TerminalKind, Value};
 pub struct SerializeSession<'c> {
     g: &'c ObfGraph,
     plan: &'c CodecPlan,
+    scratch: SerializeScratch,
+}
+
+/// The lifetime-free scratch state of a [`SerializeSession`]: everything
+/// the session owns besides its borrows of the graph and plan. Pooled by
+/// [`crate::service::CodecService`] so worker sessions can be checked out
+/// and in without losing their warmed-up capacities.
+#[derive(Debug)]
+pub(crate) struct SerializeScratch {
     /// Wire values computed at serialization time (auto-field subtrees,
     /// split pads) — never stored back into the message.
     overlay: WireStore,
     scope: Vec<u32>,
     ev: RecEval,
+    dist: DistEval,
     rng: StdRng,
+}
+
+impl SerializeScratch {
+    pub(crate) fn for_plan(plan: &CodecPlan) -> Self {
+        SerializeScratch {
+            overlay: WireStore::with_slots(plan.slots()),
+            scope: Vec::new(),
+            ev: RecEval::default(),
+            dist: DistEval::default(),
+            rng: StdRng::seed_from_u64(rand::random()),
+        }
+    }
 }
 
 impl<'c> SerializeSession<'c> {
     pub(crate) fn new(g: &'c ObfGraph, plan: &'c CodecPlan) -> Self {
-        SerializeSession {
-            g,
-            plan,
-            overlay: WireStore::with_slots(plan.slots()),
-            scope: Vec::new(),
-            ev: RecEval::default(),
-            rng: StdRng::seed_from_u64(rand::random()),
-        }
+        SerializeSession::from_scratch(g, plan, SerializeScratch::for_plan(plan))
+    }
+
+    /// Rebinds pooled scratch state to the graph/plan it was created for.
+    /// The RNG is reseeded from ambient entropy: a pooled session must not
+    /// continue the (possibly caller-seeded, predictable) stream of its
+    /// previous owner.
+    pub(crate) fn from_scratch(
+        g: &'c ObfGraph,
+        plan: &'c CodecPlan,
+        mut scratch: SerializeScratch,
+    ) -> Self {
+        debug_assert_eq!(scratch.overlay.slots(), plan.slots(), "scratch from a different plan");
+        scratch.rng = StdRng::seed_from_u64(rand::random());
+        SerializeSession { g, plan, scratch }
+    }
+
+    /// Takes the scratch state back out for pooling.
+    pub(crate) fn into_scratch(self) -> SerializeScratch {
+        self.scratch
+    }
+
+    /// Reseeds the session RNG that feeds pads and random split shares.
+    /// Sessions seed themselves from ambient entropy at construction; use
+    /// this (or [`SerializeSession::serialize_into_seeded`]) for
+    /// reproducible output.
+    pub fn reseed(&mut self, seed: u64) {
+        self.scratch.rng = StdRng::seed_from_u64(seed);
     }
 
     /// Serializes `msg` into `out` (cleared first, capacity kept). Random
-    /// material is drawn from an OS-seeded RNG; see
+    /// material is drawn from the session's own RNG stream (seeded from
+    /// ambient entropy at construction, or via
+    /// [`SerializeSession::reseed`]); see
     /// [`SerializeSession::serialize_into_seeded`] for reproducible output.
     ///
     /// # Errors
@@ -105,7 +150,30 @@ impl<'c> SerializeSession<'c> {
         msg: &Message<'_>,
         out: &mut Vec<u8>,
     ) -> Result<(), BuildError> {
-        self.serialize_into_seeded(msg, out, rand::random())
+        out.clear();
+        self.serialize_append(msg, out)
+    }
+
+    /// Serializes `msg` **appended** to `out` (existing content kept — for
+    /// writing a message after a frame header without an intermediate
+    /// copy). On error, `out` is truncated back to its original length.
+    ///
+    /// # Errors
+    ///
+    /// See [`SerializeSession::serialize_into`].
+    pub fn serialize_append(
+        &mut self,
+        msg: &Message<'_>,
+        out: &mut Vec<u8>,
+    ) -> Result<(), BuildError> {
+        self.scratch.overlay.clear();
+        self.scratch.scope.clear();
+        let start = out.len();
+        let r = self.emit(self.plan.root, msg, out);
+        if r.is_err() {
+            out.truncate(start);
+        }
+        r
     }
 
     /// Serializes with a deterministic RNG seed for the serialization-time
@@ -120,11 +188,8 @@ impl<'c> SerializeSession<'c> {
         out: &mut Vec<u8>,
         seed: u64,
     ) -> Result<(), BuildError> {
-        self.rng = StdRng::seed_from_u64(seed);
-        self.overlay.clear();
-        self.scope.clear();
-        out.clear();
-        self.emit(self.plan.root, msg, out)
+        self.reseed(seed);
+        self.serialize_into(msg, out)
     }
 
     fn obf_name(&self, idx: u32) -> String {
@@ -185,8 +250,8 @@ impl<'c> SerializeSession<'c> {
                 Ok(())
             }
             PlanOp::Opt { subject, subject_depth, pred, origin, origin_depth } => {
-                let od = (*origin_depth as usize).min(self.scope.len());
-                let present = msg.presence_of(NodeId(*origin), &self.scope[..od]);
+                let od = (*origin_depth as usize).min(self.scratch.scope.len());
+                let present = msg.presence_of(NodeId(*origin), &self.scratch.scope[..od]);
                 let implied = self.subject_holds(*subject, *subject_depth, *pred, msg)?;
                 if implied != present {
                     return Err(BuildError::OptionalMismatch {
@@ -205,13 +270,13 @@ impl<'c> SerializeSession<'c> {
             }
             PlanOp::Rep { stop, origin, origin_depth } => {
                 assert_ne!(*origin, NONE, "repetitions always have plain origins");
-                let od = (*origin_depth as usize).min(self.scope.len());
-                let m = msg.count_of(NodeId(*origin), &self.scope[..od]);
+                let od = (*origin_depth as usize).min(self.scratch.scope.len());
+                let m = msg.count_of(NodeId(*origin), &self.scratch.scope[..od]);
                 let child = plan.kids(node)[0];
                 for i in 0..m {
-                    self.scope.push(i as u32);
+                    self.scratch.scope.push(i as u32);
                     let piece = self.emit(child, msg, out);
-                    self.scope.pop();
+                    self.scratch.scope.pop();
                     piece?;
                 }
                 if let RepStopC::Terminator(t) = stop {
@@ -221,8 +286,8 @@ impl<'c> SerializeSession<'c> {
             }
             PlanOp::Tab { counter, counter_depth, counter_endian, origin, origin_depth } => {
                 assert_ne!(*origin, NONE, "tabulars always have plain origins");
-                let od = (*origin_depth as usize).min(self.scope.len());
-                let m = msg.count_of(NodeId(*origin), &self.scope[..od]);
+                let od = (*origin_depth as usize).min(self.scratch.scope.len());
+                let m = msg.count_of(NodeId(*origin), &self.scratch.scope[..od]);
                 let declared = self.msg_uint(*counter, *counter_depth, *counter_endian, msg)?;
                 if declared != m as u64 {
                     return Err(BuildError::LengthInconsistent {
@@ -233,9 +298,9 @@ impl<'c> SerializeSession<'c> {
                 }
                 let child = plan.kids(node)[0];
                 for i in 0..m {
-                    self.scope.push(i as u32);
+                    self.scratch.scope.push(i as u32);
                     let piece = self.emit(child, msg, out);
-                    self.scope.pop();
+                    self.scratch.scope.pop();
                     piece?;
                 }
                 Ok(())
@@ -252,14 +317,13 @@ impl<'c> SerializeSession<'c> {
                 out.resize(pstart + w, 0);
                 self.emit(plan.kids(node)[0], msg, out)?;
                 let blen = out.len() - pstart - w;
-                let prefix = Value::from_uint(blen as u64, w, *endian).ok_or(
-                    BuildError::DerivedOverflow {
+                if !fill_uint(&mut out[pstart..pstart + w], blen as u64, *endian) {
+                    return Err(BuildError::DerivedOverflow {
                         path: self.obf_name(idx),
                         width: w,
                         value: blen as u64,
-                    },
-                )?;
-                out[pstart..pstart + w].copy_from_slice(prefix.as_bytes());
+                    });
+                }
                 Ok(())
             }
         }
@@ -277,26 +341,27 @@ impl<'c> SerializeSession<'c> {
         msg: &Message<'_>,
         out: &mut Vec<u8>,
     ) -> Result<(), BuildError> {
-        if let Some(b) = self.overlay.get(idx as usize, &self.scope) {
+        if let Some(b) = self.scratch.overlay.get(idx as usize, &self.scratch.scope) {
             out.extend_from_slice(b);
             return Ok(());
         }
         if base.is_materialized() {
             self.materialize(idx, base, msg)?;
             let b = self
+                .scratch
                 .overlay
-                .get(idx as usize, &self.scope)
+                .get(idx as usize, &self.scratch.scope)
                 .ok_or_else(|| BuildError::MissingField(self.obf_name(idx)))?;
             out.extend_from_slice(b);
             return Ok(());
         }
-        if let Some(b) = msg.wire(ObfId(idx), &self.scope) {
+        if let Some(b) = msg.wire(ObfId(idx), &self.scratch.scope) {
             out.extend_from_slice(b);
             return Ok(());
         }
         match base {
             BaseOp::Pad { k } => {
-                out.extend((0..*k).map(|_| rand::Rng::gen::<u8>(&mut self.rng)));
+                out.extend((0..*k).map(|_| rand::Rng::gen::<u8>(&mut self.scratch.rng)));
                 Ok(())
             }
             BaseOp::Source { plain } => Err(BuildError::MissingField(self.plain_name(*plain))),
@@ -317,14 +382,16 @@ impl<'c> SerializeSession<'c> {
     ) -> Result<(), BuildError> {
         match base {
             _ if base.is_materialized() => {
-                if first_term != NONE && self.overlay.contains(first_term as usize, &self.scope) {
+                if first_term != NONE
+                    && self.scratch.overlay.contains(first_term as usize, &self.scratch.scope)
+                {
                     return Ok(());
                 }
                 self.materialize(idx, base, msg)
             }
             BaseOp::Pad { .. } => {
-                let stored =
-                    first_term != NONE && msg.wire(ObfId(first_term), &self.scope).is_some();
+                let stored = first_term != NONE
+                    && msg.wire(ObfId(first_term), &self.scratch.scope).is_some();
                 if stored {
                     Ok(())
                 } else {
@@ -336,47 +403,69 @@ impl<'c> SerializeSession<'c> {
     }
 
     /// Computes an auto/pad/const base value and distributes it through the
-    /// subtree rooted at `idx` into the overlay.
+    /// subtree rooted at `idx` into the overlay, running the plan's
+    /// compiled distribution program — no graph walk, no per-value heap
+    /// allocation in steady state.
     fn materialize(
         &mut self,
         idx: u32,
         base: &BaseOp,
         msg: &Message<'_>,
     ) -> Result<(), BuildError> {
-        let raw = match base {
+        let g = self.g;
+        let plan = self.plan;
+        let SerializeScratch { overlay, scope, dist, rng, .. } = &mut self.scratch;
+        let plain_name = |p: u32| g.plain().node(NodeId(p)).name().to_string();
+        let obf_name = |o: u32| g.node(ObfId(o)).name().to_string();
+        let buf = dist.input();
+        match base {
             BaseOp::AutoLen { target, depth, width, endian } => {
-                let td = (*depth as usize).min(self.scope.len());
+                let td = (*depth as usize).min(scope.len());
                 let len = msg
-                    .plain_len(NodeId(*target), &self.scope[..td])
-                    .ok_or_else(|| BuildError::MissingField(self.plain_name(*target)))?;
-                Value::from_uint(len as u64, *width as usize, *endian).ok_or(
-                    BuildError::DerivedOverflow {
-                        path: self.obf_name(idx),
+                    .plain_len(NodeId(*target), &scope[..td])
+                    .ok_or_else(|| BuildError::MissingField(plain_name(*target)))?;
+                if !push_uint(buf, len as u64, *width as usize, *endian) {
+                    return Err(BuildError::DerivedOverflow {
+                        path: obf_name(idx),
                         width: *width as usize,
                         value: len as u64,
-                    },
-                )?
+                    });
+                }
             }
             BaseOp::AutoCount { target, depth, width, endian } => {
-                let td = (*depth as usize).min(self.scope.len());
-                let count = msg.count_of(NodeId(*target), &self.scope[..td]);
-                Value::from_uint(count as u64, *width as usize, *endian).ok_or(
-                    BuildError::DerivedOverflow {
-                        path: self.obf_name(idx),
+                let td = (*depth as usize).min(scope.len());
+                let count = msg.count_of(NodeId(*target), &scope[..td]);
+                if !push_uint(buf, count as u64, *width as usize, *endian) {
+                    return Err(BuildError::DerivedOverflow {
+                        path: obf_name(idx),
                         width: *width as usize,
                         value: count as u64,
-                    },
-                )?
+                    });
+                }
             }
-            BaseOp::Const { pool } => self.plan.consts[*pool as usize].clone(),
-            BaseOp::Pad { k } => Value::from_bytes(
-                (0..*k).map(|_| rand::Rng::gen::<u8>(&mut self.rng)).collect::<Vec<u8>>(),
-            ),
+            BaseOp::Const { pool } => {
+                buf.extend_from_slice(plan.consts[*pool as usize].as_bytes());
+            }
+            BaseOp::Pad { k } => {
+                for _ in 0..*k {
+                    let b = rand::Rng::gen::<u8>(rng);
+                    buf.push(b);
+                }
+            }
             _ => unreachable!("materialize only handles auto/pad/const bases"),
         };
-        let Self { g, overlay, scope, rng, .. } = self;
-        runtime::distribute(g, ObfId(idx), raw, scope, rng, &mut |id, sc, v| {
-            overlay.set(id.index(), sc, v.as_bytes());
+        let prog = plan.dist[idx as usize]
+            .expect("materializable bases always compile a distribution program");
+        dist.eval(plan, prog, rng, &mut |obf, bytes| {
+            overlay.set(obf as usize, scope, bytes);
+        })
+        .map_err(|e| match e {
+            DistErr::BadLen { obf, expected, found } => BuildError::BadValueLength {
+                path: obf_name(obf),
+                expected: expected as usize,
+                found: found as usize,
+            },
+            DistErr::Delim { obf } => BuildError::ValueContainsDelimiter { path: obf_name(obf) },
         })
     }
 
@@ -389,9 +478,9 @@ impl<'c> SerializeSession<'c> {
         msg: &Message<'_>,
     ) -> Result<bool, BuildError> {
         let plan = self.plan;
-        let d = (depth as usize).min(self.scope.len());
+        let d = (depth as usize).min(self.scratch.scope.len());
         if let Some(prog) = plan.rec[subject as usize] {
-            let Self { ev, overlay, scope, .. } = self;
+            let SerializeScratch { ev, overlay, scope, .. } = &mut self.scratch;
             let xscope = &scope[..d];
             if let Some((s, l)) = ev.eval(plan, prog, xscope, &mut |obf, sc, buf| {
                 if let Some(b) = overlay.get(obf as usize, sc) {
@@ -410,7 +499,7 @@ impl<'c> SerializeSession<'c> {
         // Slow path: auto subjects (or unrecoverable wires) go through the
         // accessor recovery with its auto-value fallback.
         let v = msg
-            .value_at(NodeId(subject), &self.scope[..d])
+            .value_at(NodeId(subject), &self.scratch.scope[..d])
             .ok_or_else(|| BuildError::MissingField(self.plain_name(subject)))?;
         Ok(pred_eval(&plan.preds[pred as usize], v.as_bytes()))
     }
@@ -426,9 +515,9 @@ impl<'c> SerializeSession<'c> {
         msg: &Message<'_>,
     ) -> Result<u64, BuildError> {
         let plan = self.plan;
-        let d = (depth as usize).min(self.scope.len());
+        let d = (depth as usize).min(self.scratch.scope.len());
         if let Some(prog) = plan.rec[r as usize] {
-            let Self { ev, overlay, scope, .. } = self;
+            let SerializeScratch { ev, overlay, scope, .. } = &mut self.scratch;
             let xscope = &scope[..d];
             if let Some((s, l)) = ev.eval(plan, prog, xscope, &mut |obf, sc, buf| {
                 if let Some(b) = overlay.get(obf as usize, sc) {
@@ -446,10 +535,44 @@ impl<'c> SerializeSession<'c> {
             }
         }
         let v = msg
-            .value_at(NodeId(r), &self.scope[..d])
+            .value_at(NodeId(r), &self.scratch.scope[..d])
             .ok_or_else(|| BuildError::MissingField(self.plain_name(r)))?;
         v.to_uint(endian).ok_or_else(|| BuildError::NotNumeric(self.plain_name(r)))
     }
+}
+
+/// Encodes an unsigned integer directly into `out` (the allocation-free
+/// analogue of [`Value::from_uint`]). Returns `false` when `v` does not fit
+/// in `width` bytes.
+fn push_uint(out: &mut Vec<u8>, v: u64, width: usize, endian: crate::value::Endian) -> bool {
+    if width == 0 || width > 8 {
+        return false;
+    }
+    let start = out.len();
+    out.resize(start + width, 0);
+    fill_uint(&mut out[start..], v, endian)
+}
+
+/// Encodes an unsigned integer into an exact-width slice. Returns `false`
+/// (leaving zeros) when `v` does not fit.
+fn fill_uint(dst: &mut [u8], v: u64, endian: crate::value::Endian) -> bool {
+    let width = dst.len();
+    if width == 0 || width > 8 || (width < 8 && v >= 1u64 << (8 * width)) {
+        return false;
+    }
+    match endian {
+        crate::value::Endian::Big => {
+            for (i, b) in dst.iter_mut().enumerate() {
+                *b = (v >> (8 * (width - 1 - i))) as u8;
+            }
+        }
+        crate::value::Endian::Little => {
+            for (i, b) in dst.iter_mut().enumerate() {
+                *b = (v >> (8 * i)) as u8;
+            }
+        }
+    }
+    true
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,103 @@
+//! Steady-state allocation audit of the session hot paths.
+//!
+//! The plan sessions promise that, once warmed up, `serialize_into` /
+//! `parse_in_place` perform **no heap allocation** — including
+//! [`SerializeSession::materialize`], which since the compiled
+//! distribution programs no longer routes through the allocating
+//! `runtime::distribute`. This test pins that property with a counting
+//! global allocator: any future regression (a stray `Vec`, `format!`, or
+//! `Value` clone on the hot path) fails loudly.
+//!
+//! The file contains a single `#[test]` on purpose: the default harness
+//! runs tests of one binary on multiple threads, which would make the
+//! global counter ambiguous.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use protoobf_core::graph::{AutoValue, Boundary, GraphBuilder};
+use protoobf_core::value::TerminalKind;
+use protoobf_core::Obfuscator;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn steady_state_sessions_do_not_allocate() {
+    // A spec exercising every materialization path: auto length over a
+    // subtree, auto counter over a tabular, and (after obfuscation)
+    // splits, constant stacks, mirrors and pads on top.
+    let mut b = GraphBuilder::new("za");
+    let root = b.root_sequence("m", Boundary::End);
+    let len = b.uint_be(root, "len", 2);
+    let data = b.terminal(root, "data", TerminalKind::Bytes, Boundary::Length(len));
+    b.set_auto(len, AutoValue::LengthOf(data));
+    let count = b.uint_be(root, "count", 1);
+    let tab = b.tabular(root, "items", count);
+    b.set_auto(count, AutoValue::CounterOf(tab));
+    let item = b.sequence(tab, "item", Boundary::Delegated);
+    b.uint_be(item, "v", 2);
+    b.uint_be(root, "code", 4);
+    let graph = b.build().unwrap();
+
+    for (what, level) in [("identity", 0u32), ("obfuscated", 3)] {
+        let codec = if level == 0 {
+            protoobf_core::Codec::identity(&graph)
+        } else {
+            Obfuscator::new(&graph).seed(9).max_per_node(level).obfuscate().unwrap()
+        };
+        let mut msg = codec.message_seeded(1);
+        msg.set("data", b"steady state payload".as_slice()).unwrap();
+        for i in 0..4u64 {
+            msg.set_uint(&format!("items[{i}].v"), 40 + i).unwrap();
+        }
+        msg.set_uint("code", 7).unwrap();
+
+        let mut serializer = codec.serializer();
+        let mut parser = codec.parser();
+        let mut wire = Vec::new();
+
+        // Warm-up: let every scratch buffer reach its steady-state size.
+        for round in 0..5u64 {
+            serializer.serialize_into_seeded(&msg, &mut wire, round).unwrap();
+            parser.parse_in_place(&wire).unwrap();
+        }
+
+        let before = allocations();
+        for round in 0..50u64 {
+            serializer.serialize_into_seeded(&msg, &mut wire, round).unwrap();
+        }
+        let after_serialize = allocations();
+        assert_eq!(after_serialize - before, 0, "{what}: steady-state serialization allocated");
+
+        for _ in 0..50 {
+            parser.parse_in_place(&wire).unwrap();
+        }
+        let after_parse = allocations();
+        assert_eq!(after_parse - after_serialize, 0, "{what}: steady-state parsing allocated");
+    }
+}

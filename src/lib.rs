@@ -41,8 +41,9 @@
 //! ```
 
 pub use protoobf_core::{
-    Boundary, BuildError, ByteOp, Codec, Endian, FormatGraph, GraphBuilder, Message, NodeId,
-    Obfuscator, ParseError, Path, SpecError, TerminalKind, TransformError, TransformKind, Value,
+    Boundary, BuildError, ByteOp, Codec, CodecService, Endian, FormatGraph, GraphBuilder, Message,
+    NodeId, Obfuscator, ParseError, Path, SpecError, TerminalKind, TransformError, TransformKind,
+    Value,
 };
 
 pub use protoobf_codegen as codegen;
