@@ -162,32 +162,48 @@ fn bench_large(c: &mut Criterion) {
 fn bench_service(c: &mut Criterion) {
     const PER_WORKER: u64 = 4;
     let graph = bulk_graph();
-    let mut group = c.benchmark_group("service");
-    group.sample_size(10);
     let service = CodecService::new(codec_for(&graph, 2));
     let msg = bulk_message(service.codec());
     let wire = service.codec().serialize_seeded(&msg, 1).unwrap();
-    for workers in [1usize, 2, 4, 8] {
-        group.throughput(Throughput::Bytes(wire.len() as u64 * workers as u64 * PER_WORKER));
-        group.bench_with_input(BenchmarkId::new("roundtrip-64KiB", workers), &workers, |b, &w| {
-            b.iter(|| {
-                std::thread::scope(|scope| {
-                    for _ in 0..w {
-                        scope.spawn(|| {
-                            let mut serializer = service.serializer();
-                            let mut parser = service.parser();
-                            let mut out = Vec::new();
-                            for _ in 0..PER_WORKER {
-                                serializer.serialize_into_seeded(&msg, &mut out, 1).unwrap();
-                                parser.parse_in_place(&out).unwrap();
+    {
+        let mut group = c.benchmark_group("service");
+        group.sample_size(10);
+        for workers in [1usize, 2, 4, 8] {
+            group.throughput(Throughput::Bytes(wire.len() as u64 * workers as u64 * PER_WORKER));
+            group.bench_with_input(
+                BenchmarkId::new("roundtrip-64KiB", workers),
+                &workers,
+                |b, &w| {
+                    b.iter(|| {
+                        std::thread::scope(|scope| {
+                            for _ in 0..w {
+                                scope.spawn(|| {
+                                    let mut serializer = service.serializer();
+                                    let mut parser = service.parser();
+                                    let mut out = Vec::new();
+                                    for _ in 0..PER_WORKER {
+                                        serializer
+                                            .serialize_into_seeded(&msg, &mut out, 1)
+                                            .unwrap();
+                                        parser.parse_in_place(&out).unwrap();
+                                    }
+                                });
                             }
-                        });
-                    }
-                })
-            })
-        });
+                        })
+                    })
+                },
+            );
+        }
+        group.finish();
     }
-    group.finish();
+    // Trajectory file for cross-run comparison of the serving layer
+    // (min/median/max + aggregate throughput per worker count).
+    let path =
+        std::env::var("PROTOOBF_BENCH_JSON").unwrap_or_else(|_| "BENCH_service.json".to_string());
+    match c.export_json(&path, "service/") {
+        Ok(()) => eprintln!("service trajectory written to {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
 }
 
 criterion_group!(benches, bench_modbus, bench_http, bench_dns, bench_large, bench_service);

@@ -156,6 +156,9 @@ pub enum BuildError {
     /// An integer accessor was used on a field that is not an unsigned
     /// integer.
     NotNumeric(String),
+    /// A message was transcoded into a codec whose plain specification does
+    /// not match the one the message was built for.
+    GraphMismatch { expected: String, found: String },
 }
 
 impl fmt::Display for BuildError {
@@ -191,6 +194,13 @@ impl fmt::Display for BuildError {
             }
             BuildError::NotNumeric(p) => {
                 write!(f, "field {p:?} is not an unsigned integer")
+            }
+            BuildError::GraphMismatch { expected, found } => {
+                write!(
+                    f,
+                    "cannot transcode: message is bound to plain spec {found:?}, \
+                     destination expects {expected:?}"
+                )
             }
         }
     }

@@ -132,6 +132,41 @@ impl<'c, W: Write> FrameWriter<'c, W> {
     }
 }
 
+/// Serializes `msg` through an existing session and appends it to `out`
+/// as one length-prefixed frame: the body is written straight into `out`
+/// after a backfilled 4-byte prefix — no intermediate copy. On error,
+/// `out` is left exactly as it was. This is the one framing routine
+/// shared by [`crate::service::CodecService::serialize_framed`] and the
+/// transport layer's per-connection encoders.
+///
+/// # Errors
+///
+/// [`FrameError::Build`] for serialization failures,
+/// [`FrameError::TooLarge`] when the body exceeds `max_frame`.
+pub fn append_frame(
+    session: &mut SerializeSession<'_>,
+    msg: &Message<'_>,
+    out: &mut Vec<u8>,
+    max_frame: usize,
+) -> Result<(), FrameError> {
+    let start = out.len();
+    out.extend_from_slice(&[0u8; 4]);
+    if let Err(e) = session.serialize_append(msg, out) {
+        out.truncate(start);
+        return Err(FrameError::Build(e));
+    }
+    let body_len = out.len() - start - 4;
+    // The 4-byte prefix caps frames at u32::MAX even if the configured
+    // limit is larger; a truncated prefix would desynchronize the peer.
+    let limit = max_frame.min(u32::MAX as usize);
+    if body_len > limit {
+        out.truncate(start);
+        return Err(FrameError::TooLarge { limit, got: body_len });
+    }
+    out[start..start + 4].copy_from_slice(&(body_len as u32).to_be_bytes());
+    Ok(())
+}
+
 fn write_frame<W: Write>(inner: &mut W, body: &[u8], max_frame: usize) -> Result<(), FrameError> {
     // The 4-byte prefix caps frames at u32::MAX even if the configured
     // limit is larger; a truncated prefix would desynchronize the peer.
@@ -148,18 +183,41 @@ fn write_frame<W: Write>(inner: &mut W, body: &[u8], max_frame: usize) -> Result
 
 /// Reads length-framed obfuscated messages from a byte stream, reusing one
 /// parse session and one body buffer across messages.
+///
+/// The reader is **resumable**: partial progress through a frame (both the
+/// 4-byte prefix and the body) survives transient I/O errors. When the
+/// underlying stream is non-blocking and `read` fails with
+/// [`io::ErrorKind::WouldBlock`], the resulting [`FrameError::Io`] leaves
+/// the reader in a consistent state — call [`FrameReader::recv`] again when
+/// the stream is readable and the frame continues where it stopped.
+/// [`io::ErrorKind::Interrupted`] is retried internally.
 #[derive(Debug)]
 pub struct FrameReader<'c, R> {
     session: ParseSession<'c>,
     inner: R,
     body: Vec<u8>,
     max_frame: usize,
+    /// Prefix bytes accumulated so far (resumption state).
+    header: [u8; 4],
+    header_filled: usize,
+    /// `Some(len)` once the prefix is complete and the body is being read.
+    body_target: Option<usize>,
+    body_filled: usize,
 }
 
 impl<'c, R: Read> FrameReader<'c, R> {
     /// Wraps a reader.
     pub fn new(codec: &'c Codec, inner: R) -> Self {
-        FrameReader { session: codec.parser(), inner, body: Vec::new(), max_frame: MAX_FRAME }
+        FrameReader {
+            session: codec.parser(),
+            inner,
+            body: Vec::new(),
+            max_frame: MAX_FRAME,
+            header: [0u8; 4],
+            header_filled: 0,
+            body_target: None,
+            body_filled: 0,
+        }
     }
 
     /// Sets the maximum accepted frame size (default [`MAX_FRAME`]).
@@ -214,26 +272,43 @@ impl<'c, R: Read> FrameReader<'c, R> {
         Ok(Some(self.body.clone()))
     }
 
-    /// Reads the next frame into the reusable body buffer. Returns `false`
-    /// on clean EOF.
+    /// Reads the next frame into the reusable body buffer, resuming any
+    /// partially-read prefix/body from a previous errored call. Returns
+    /// `false` on clean EOF (stream end exactly at a frame boundary).
     fn fill_body(&mut self) -> Result<bool, FrameError> {
-        let mut len_buf = [0u8; 4];
-        match read_exact_or_eof(&mut self.inner, &mut len_buf)? {
-            ReadOutcome::Eof => return Ok(false),
-            ReadOutcome::Partial => return Err(FrameError::Truncated),
-            ReadOutcome::Full => {}
+        if self.body_target.is_none() {
+            while self.header_filled < 4 {
+                match self.inner.read(&mut self.header[self.header_filled..]) {
+                    Ok(0) if self.header_filled == 0 => return Ok(false),
+                    Ok(0) => return Err(FrameError::Truncated),
+                    Ok(n) => self.header_filled += n,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(FrameError::Io(e)),
+                }
+            }
+            let len = u32::from_be_bytes(self.header) as usize;
+            if len > self.max_frame {
+                return Err(FrameError::TooLarge { limit: self.max_frame, got: len });
+            }
+            self.body.clear();
+            self.body.resize(len, 0);
+            self.body_target = Some(len);
+            self.body_filled = 0;
         }
-        let len = u32::from_be_bytes(len_buf) as usize;
-        if len > self.max_frame {
-            return Err(FrameError::TooLarge { limit: self.max_frame, got: len });
+        let target = self.body_target.unwrap_or(0);
+        while self.body_filled < target {
+            match self.inner.read(&mut self.body[self.body_filled..target]) {
+                Ok(0) => return Err(FrameError::Truncated),
+                Ok(n) => self.body_filled += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(FrameError::Io(e)),
+            }
         }
-        self.body.clear();
-        self.body.resize(len, 0);
-        match read_exact_or_eof(&mut self.inner, &mut self.body)? {
-            ReadOutcome::Full => Ok(true),
-            _ if len == 0 => Ok(true),
-            _ => Err(FrameError::Truncated),
-        }
+        // Frame complete: reset the resumption state for the next one.
+        self.header_filled = 0;
+        self.body_target = None;
+        self.body_filled = 0;
+        Ok(true)
     }
 
     /// Consumes the reader, returning the underlying stream.
@@ -242,35 +317,24 @@ impl<'c, R: Read> FrameReader<'c, R> {
     }
 }
 
-enum ReadOutcome {
-    Full,
-    Partial,
-    Eof,
-}
-
-fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<ReadOutcome> {
-    let mut filled = 0usize;
-    while filled < buf.len() {
-        match r.read(&mut buf[filled..])? {
-            0 if filled == 0 => return Ok(ReadOutcome::Eof),
-            0 => return Ok(ReadOutcome::Partial),
-            n => filled += n,
-        }
-    }
-    Ok(ReadOutcome::Full)
-}
-
 /// Incremental frame reassembly for event-driven code: feed arbitrary
-/// chunks, pop complete frames.
+/// chunks, pop (or peek) complete frames.
+///
+/// Consumed frames advance a read cursor instead of memmoving the whole
+/// buffer, so draining a burst of pipelined frames is linear in the bytes
+/// fed, not quadratic; the buffer compacts itself once the drained prefix
+/// dominates the live bytes.
 #[derive(Debug)]
 pub struct FrameBuffer {
     buf: Vec<u8>,
+    /// Read cursor: bytes before it were consumed and await compaction.
+    start: usize,
     max_frame: usize,
 }
 
 impl Default for FrameBuffer {
     fn default() -> Self {
-        FrameBuffer { buf: Vec::new(), max_frame: MAX_FRAME }
+        FrameBuffer { buf: Vec::new(), start: 0, max_frame: MAX_FRAME }
     }
 }
 
@@ -288,34 +352,74 @@ impl FrameBuffer {
 
     /// Appends received bytes.
     pub fn feed(&mut self, chunk: &[u8]) {
+        // Compact when the drained prefix is at least as large as the live
+        // tail: amortized O(1) per byte over the buffer's lifetime.
+        if self.start > 0 && self.start >= self.buf.len() - self.start {
+            self.buf.copy_within(self.start.., 0);
+            self.buf.truncate(self.buf.len() - self.start);
+            self.start = 0;
+        }
         self.buf.extend_from_slice(chunk);
+    }
+
+    /// Length of the next complete frame's body, or `None` if the buffered
+    /// bytes do not yet hold a full frame.
+    fn next_len(&self) -> Result<Option<usize>, FrameError> {
+        let live = &self.buf[self.start..];
+        if live.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([live[0], live[1], live[2], live[3]]) as usize;
+        if len > self.max_frame {
+            return Err(FrameError::TooLarge { limit: self.max_frame, got: len });
+        }
+        if live.len() < 4 + len {
+            return Ok(None);
+        }
+        Ok(Some(len))
+    }
+
+    /// Borrows the next complete frame body without consuming it — the
+    /// copy-free entry point for event-driven parsing: peek, parse in
+    /// place, then [`FrameBuffer::consume`].
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::TooLarge`] when a buffered length prefix exceeds the
+    /// limit (the stream should be dropped).
+    pub fn peek(&self) -> Result<Option<&[u8]>, FrameError> {
+        Ok(self.next_len()?.map(|len| &self.buf[self.start + 4..self.start + 4 + len]))
+    }
+
+    /// Consumes the frame last returned by [`FrameBuffer::peek`]. No-op if
+    /// no complete frame is buffered.
+    pub fn consume(&mut self) {
+        if let Ok(Some(len)) = self.next_len() {
+            self.start += 4 + len;
+            if self.start == self.buf.len() {
+                self.buf.clear();
+                self.start = 0;
+            }
+        }
     }
 
     /// Pops the next complete frame body, if one is buffered.
     ///
     /// # Errors
     ///
-    /// [`FrameError::TooLarge`] when a buffered length prefix exceeds the
-    /// limit (the stream should be dropped).
+    /// See [`FrameBuffer::peek`].
     pub fn pop(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
-        if self.buf.len() < 4 {
-            return Ok(None);
+        let body = self.peek()?.map(<[u8]>::to_vec);
+        if body.is_some() {
+            self.consume();
         }
-        let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
-        if len > self.max_frame {
-            return Err(FrameError::TooLarge { limit: self.max_frame, got: len });
-        }
-        if self.buf.len() < 4 + len {
-            return Ok(None);
-        }
-        let body = self.buf[4..4 + len].to_vec();
-        self.buf.drain(..4 + len);
-        Ok(Some(body))
+        Ok(body)
     }
 
-    /// Bytes currently buffered (incomplete frame data).
+    /// Bytes currently buffered and not yet consumed (complete or partial
+    /// frame data).
     pub fn pending(&self) -> usize {
-        self.buf.len()
+        self.buf.len() - self.start
     }
 }
 
@@ -417,6 +521,134 @@ mod tests {
         match w.send_raw(&[0u8; 9]) {
             Err(FrameError::TooLarge { limit: 4, got: 9 }) => {}
             other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    /// Delivers at most one byte per `read` call: the hardest legal split
+    /// pattern a stream can produce (slow-loris trickle).
+    struct OneBytePer<R>(R);
+
+    impl<R: Read> Read for OneBytePer<R> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            let n = buf.len().min(1);
+            self.0.read(&mut buf[..n])
+        }
+    }
+
+    /// Interleaves every delivered byte with a transient error: first
+    /// `WouldBlock` (non-blocking readiness miss), then `Interrupted`
+    /// (signal), then one real byte.
+    struct Hostile<R> {
+        inner: R,
+        phase: u8,
+    }
+
+    impl<R: Read> Read for Hostile<R> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            self.phase = (self.phase + 1) % 3;
+            match self.phase {
+                1 => Err(io::Error::from(io::ErrorKind::WouldBlock)),
+                2 => Err(io::Error::from(io::ErrorKind::Interrupted)),
+                _ => {
+                    let n = buf.len().min(1);
+                    self.inner.read(&mut buf[..n])
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reader_survives_one_byte_trickle() {
+        // 1-byte reads split both the 4-byte prefix and every body
+        // boundary: the reader must reassemble without loss.
+        let c = codec();
+        let stream = sample_stream(&c, &[40, 41, 42]);
+        let mut r = FrameReader::new(&c, OneBytePer(stream.as_slice()));
+        for expect in [40u64, 41, 42] {
+            let m = r.recv().unwrap().expect("frame present");
+            assert_eq!(m.get_uint("id").unwrap(), expect);
+        }
+        assert!(r.recv().unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn reader_resumes_across_would_block() {
+        // A non-blocking stream errors with WouldBlock mid-prefix and
+        // mid-body; partial progress must survive so the next recv resumes
+        // the same frame instead of desynchronizing.
+        let c = codec();
+        let stream = sample_stream(&c, &[50, 51]);
+        let mut r = FrameReader::new(&c, Hostile { inner: stream.as_slice(), phase: 0 });
+        let mut got = Vec::new();
+        loop {
+            match r.recv() {
+                Ok(Some(m)) => got.push(m.get_uint("id").unwrap()),
+                Ok(None) => break,
+                Err(FrameError::Io(e)) if e.kind() == io::ErrorKind::WouldBlock => {}
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+        }
+        assert_eq!(got, [50, 51]);
+    }
+
+    #[test]
+    fn frame_buffer_peek_consume_matches_pop() {
+        let c = codec();
+        let stream = sample_stream(&c, &[60, 61, 62]);
+        let mut by_pop = FrameBuffer::new();
+        by_pop.feed(&stream);
+        let mut by_peek = FrameBuffer::new();
+        by_peek.feed(&stream);
+        while let Some(frame) = by_pop.pop().unwrap() {
+            let peeked = by_peek.peek().unwrap().expect("same frame boundary");
+            assert_eq!(peeked, frame.as_slice());
+            by_peek.consume();
+        }
+        assert!(by_peek.peek().unwrap().is_none());
+        assert_eq!(by_peek.pending(), 0);
+    }
+
+    #[test]
+    fn frame_buffer_split_feed_across_prefix_boundary() {
+        // Feeding stops inside the 4-byte prefix, then inside the body:
+        // pop must return None (not a bogus frame) until the frame
+        // completes.
+        let body = b"frame body".to_vec();
+        let mut wire = (body.len() as u32).to_be_bytes().to_vec();
+        wire.extend_from_slice(&body);
+        for cut1 in 1..4 {
+            for cut2 in cut1..wire.len() {
+                let mut fb = FrameBuffer::new();
+                fb.feed(&wire[..cut1]);
+                assert_eq!(fb.pop().unwrap(), None, "cut inside prefix at {cut1}");
+                fb.feed(&wire[cut1..cut2]);
+                if cut2 < wire.len() {
+                    assert_eq!(fb.pop().unwrap(), None, "cut inside body at {cut2}");
+                    fb.feed(&wire[cut2..]);
+                }
+                assert_eq!(fb.pop().unwrap(), Some(body.clone()));
+                assert_eq!(fb.pending(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn frame_buffer_cursor_compaction_keeps_frames_intact() {
+        // Many small frames consumed interleaved with feeds: the cursor +
+        // compaction bookkeeping must never corrupt frame boundaries.
+        let mut fb = FrameBuffer::new();
+        let mut fed = 0u32;
+        let mut popped = 0u32;
+        while popped < 300 {
+            while fed < popped + 3 {
+                let body = fed.to_be_bytes();
+                fb.feed(&(body.len() as u32).to_be_bytes());
+                fb.feed(&body);
+                fed += 1;
+            }
+            let frame = fb.pop().unwrap().expect("frame buffered");
+            assert_eq!(frame, popped.to_be_bytes());
+            popped += 1;
         }
     }
 

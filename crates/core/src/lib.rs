@@ -34,7 +34,15 @@
 //!    [`service::CodecService::parse_batch`]) and length-framed
 //!    ([`service::CodecService::serialize_framed`] /
 //!    [`service::CodecService::parse_framed`]) entry points for
-//!    multi-threaded proxies.
+//!    multi-threaded proxies;
+//! 6. **Transport** — the `protoobf-transport` crate carries the framed
+//!    traffic over real (non-blocking) sockets: a sans-io connection state
+//!    machine holds long-lived pooled sessions from the service, an event
+//!    loop drives thousands of concurrent connections, and an obfuscating
+//!    gateway pair transcodes between clear and obfuscated codecs through
+//!    the shared plain specification ([`message::Message::transcode_into`],
+//!    backed by this crate's resumable [`framing::FrameReader`] and the
+//!    cursor-based [`framing::FrameBuffer`]).
 //!
 //! The one-shot [`codec::Codec::serialize`]/[`codec::Codec::parse`] entry
 //! points remain as thin wrappers over the cached plan; the original

@@ -194,6 +194,12 @@ pub struct Message<'c> {
     pub(crate) presence: MetaStore<bool>,
     pub(crate) counts: MetaStore<usize>,
     rng: StdRng,
+    /// Uid of the last source graph this message was structurally
+    /// validated against as a transcode destination (0 = none). Lets a
+    /// reusable relay target skip the per-message [`plains_match`] walk;
+    /// graph uids are process-unique and refreshed on mutation, so the
+    /// cache cannot be fooled by allocator address reuse.
+    validated_src: u64,
 }
 
 /// The lifetime-free owned state of a [`Message`]: its stores and RNG
@@ -225,6 +231,7 @@ impl<'c> Message<'c> {
             presence: MetaStore::with_slots(n_plain),
             counts: MetaStore::with_slots(n_plain),
             rng: StdRng::seed_from_u64(seed),
+            validated_src: 0,
         }
     }
 
@@ -233,6 +240,14 @@ impl<'c> Message<'c> {
         self.wires.clear();
         self.presence.clear();
         self.counts.clear();
+    }
+
+    /// Clears every field, presence flag and element count, keeping all
+    /// allocated capacity — a long-lived message (e.g. the reusable
+    /// transcode target of a gateway relay) can be refilled without
+    /// reallocating its stores.
+    pub fn clear(&mut self) {
+        self.reset();
     }
 
     /// Rebinds pooled message state to the graph it was created for,
@@ -247,6 +262,7 @@ impl<'c> Message<'c> {
             presence: state.presence,
             counts: state.counts,
             rng: StdRng::seed_from_u64(rand::random()),
+            validated_src: 0,
         };
         m.reset();
         m
@@ -432,6 +448,115 @@ impl<'c> Message<'c> {
         }
     }
 
+    /// Sets the plain value of terminal `x` at `scope` without path
+    /// resolution or value validation — the transcoding fast path ([`
+    /// Message::transcode_into`]): values come from an already-validated
+    /// message over the same plain specification.
+    fn set_value_at(&mut self, x: NodeId, scope: &[u32], value: Value) -> Result<(), BuildError> {
+        self.mark_ancestors(x, scope);
+        let holder = self.graph.holder_of(x).ok_or_else(|| {
+            BuildError::UnknownPath(self.graph.plain().node(x).name().to_string())
+        })?;
+        let wires = &mut self.wires;
+        runtime::distribute(self.graph, holder, value, scope, &mut self.rng, &mut |id, sc, v| {
+            wires.set(id.index(), sc, v.as_bytes());
+        })
+    }
+
+    /// Copies every plain field value, presence flag and element count of
+    /// `self` into `dst` (cleared first, capacity kept) — the transcoding
+    /// primitive of the obfuscating gateway: a message parsed under one
+    /// codec is re-expressed under another codec that shares the **same
+    /// plain specification** but a different obfuscation plan (e.g. clear ↔
+    /// obfuscated). Auto-computed fields are skipped; the destination codec
+    /// rematerializes them at serialization time.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::GraphMismatch`] when the two messages' plain
+    /// specifications are not structurally identical.
+    pub fn transcode_into(&self, dst: &mut Message<'_>) -> Result<(), BuildError> {
+        let a = self.graph.plain();
+        let b = dst.graph.plain();
+        // The full structural walk runs once per (source graph,
+        // destination message) pairing; a reusable relay target then
+        // fast-paths on the source graph's uid — process-unique and
+        // refreshed on every rewrite — so the steady-state per-message
+        // cost is one integer compare, not a per-node revalidation.
+        if dst.validated_src != self.graph.uid() {
+            if !plains_match(a, b) {
+                return Err(BuildError::GraphMismatch {
+                    expected: format!("{} ({} nodes)", b.name(), b.len()),
+                    found: format!("{} ({} nodes)", a.name(), a.len()),
+                });
+            }
+            dst.validated_src = self.graph.uid();
+        }
+        dst.reset();
+        let mut scope = Vec::new();
+        self.copy_subtree(dst, a.root(), &mut scope)
+    }
+
+    /// Convenience form of [`Message::transcode_into`] that allocates a
+    /// fresh destination message for `graph`. Relays on a hot path should
+    /// hold a reusable destination and call `transcode_into` instead.
+    ///
+    /// # Errors
+    ///
+    /// See [`Message::transcode_into`].
+    pub fn transcode<'d>(&self, graph: &'d ObfGraph) -> Result<Message<'d>, BuildError> {
+        let mut dst = Message::new(graph);
+        self.transcode_into(&mut dst)?;
+        Ok(dst)
+    }
+
+    fn copy_subtree(
+        &self,
+        dst: &mut Message<'_>,
+        x: NodeId,
+        scope: &mut Vec<u32>,
+    ) -> Result<(), BuildError> {
+        let plain = self.graph.plain();
+        let node = plain.node(x);
+        match node.node_type() {
+            NodeType::Terminal(_) => {
+                // Auto fields are derived from structure at serialization
+                // time; copying them would only re-assert what the
+                // destination recomputes anyway.
+                if !node.auto().is_auto() {
+                    if let Some(v) = self.value_at(x, scope) {
+                        dst.set_value_at(x, scope, v)?;
+                    }
+                }
+                Ok(())
+            }
+            NodeType::Sequence => {
+                for &c in node.children() {
+                    self.copy_subtree(dst, c, scope)?;
+                }
+                Ok(())
+            }
+            NodeType::Optional(_) => {
+                if self.presence.get(x.index(), scope).unwrap_or(false) {
+                    dst.presence.set(x.index(), scope, true);
+                    self.copy_subtree(dst, node.children()[0], scope)?;
+                }
+                Ok(())
+            }
+            NodeType::Repetition(_) | NodeType::Tabular => {
+                let n = self.counts.get(x.index(), scope).unwrap_or(0);
+                dst.counts.set(x.index(), scope, n);
+                let child = node.children()[0];
+                for i in 0..n {
+                    scope.push(i as u32);
+                    self.copy_subtree(dst, child, scope)?;
+                    scope.pop();
+                }
+                Ok(())
+            }
+        }
+    }
+
     /// Marks presence/counts for every optional / repetition / tabular
     /// ancestor of `x` under the given scope.
     fn mark_ancestors(&mut self, x: NodeId, scope: &[u32]) {
@@ -607,6 +732,26 @@ impl<'c> Message<'c> {
     }
 }
 
+/// Structural identity of two plain specifications — the precondition of
+/// [`Message::transcode_into`], which copies values by raw node index. A
+/// name/size fingerprint alone would let two coincidentally same-sized
+/// specs silently mis-map fields, so every node is compared (name, type,
+/// boundary, auto rule, topology). Specs are small (tens of nodes), so
+/// the per-call cost is a short scan with early exit.
+fn plains_match(a: &crate::graph::FormatGraph, b: &crate::graph::FormatGraph) -> bool {
+    a.name() == b.name()
+        && a.len() == b.len()
+        && a.ids().all(|i| {
+            let (na, nb) = (a.node(i), b.node(i));
+            na.name() == nb.name()
+                && na.node_type() == nb.node_type()
+                && na.boundary() == nb.boundary()
+                && na.auto() == nb.auto()
+                && na.parent() == nb.parent()
+                && na.children() == nb.children()
+        })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -741,6 +886,85 @@ mod tests {
             m.set_str("word", "two words"),
             Err(BuildError::ValueContainsDelimiter { .. })
         ));
+    }
+
+    #[test]
+    fn transcode_between_plans_preserves_every_field() {
+        let plain = sample_graph();
+        let clear = ObfGraph::from_plain(&plain);
+        let obf =
+            crate::engine::Obfuscator::new(&plain).seed(11).max_per_node(2).obfuscate().unwrap();
+
+        let mut m = Message::with_seed(&clear, 1);
+        m.set("data", b"payload".as_slice()).unwrap();
+        m.set_uint("flag", 1).unwrap();
+        m.set_uint("extra.extra_val", 0xBEEF).unwrap();
+        m.set_uint("items[0].v", 10).unwrap();
+        m.set_uint("items[1].v", 20).unwrap();
+
+        // clear → obfuscated → clear: every plain field survives.
+        let obfuscated = m.transcode(obf.obf_graph()).unwrap();
+        assert_eq!(obfuscated.get("data").unwrap().as_bytes(), b"payload");
+        assert_eq!(obfuscated.get_uint("extra.extra_val").unwrap(), 0xBEEF);
+        let back = obfuscated.transcode(&clear).unwrap();
+        assert_eq!(back.get("data").unwrap().as_bytes(), b"payload");
+        assert_eq!(back.get_uint("flag").unwrap(), 1);
+        assert!(back.is_present("extra"));
+        assert_eq!(back.element_count("items"), 2);
+        assert_eq!(back.get_uint("items[1].v").unwrap(), 20);
+        // Auto fields are recomputed, not copied.
+        assert_eq!(back.get_uint("len").unwrap(), 7);
+        assert_eq!(back.get_uint("count").unwrap(), 2);
+    }
+
+    #[test]
+    fn transcode_into_reuses_target_and_clears_stale_state() {
+        let plain = sample_graph();
+        let clear = ObfGraph::from_plain(&plain);
+        let obf =
+            crate::engine::Obfuscator::new(&plain).seed(3).max_per_node(1).obfuscate().unwrap();
+        let mut dst = Message::with_seed(obf.obf_graph(), 9);
+
+        let mut a = Message::with_seed(&clear, 1);
+        a.set("data", b"first".as_slice()).unwrap();
+        a.set_uint("flag", 1).unwrap();
+        a.set_uint("extra.extra_val", 1).unwrap();
+        a.transcode_into(&mut dst).unwrap();
+        assert!(dst.is_present("extra"));
+
+        // Second use of the same target: the absent optional of `b` must
+        // not inherit `a`'s presence.
+        let mut b = Message::with_seed(&clear, 2);
+        b.set("data", b"second".as_slice()).unwrap();
+        b.set_uint("flag", 0).unwrap();
+        b.transcode_into(&mut dst).unwrap();
+        assert_eq!(dst.get("data").unwrap().as_bytes(), b"second");
+        assert!(!dst.is_present("extra"));
+    }
+
+    #[test]
+    fn transcode_rejects_foreign_graphs() {
+        let g1 = ObfGraph::from_plain(&sample_graph());
+        let mut other = GraphBuilder::new("other");
+        let root = other.root_sequence("m", Boundary::End);
+        other.uint_be(root, "x", 2);
+        let g2 = ObfGraph::from_plain(&other.build().unwrap());
+        let mut m = Message::with_seed(&g1, 1);
+        m.set("data", b"x".as_slice()).unwrap();
+        assert!(matches!(m.transcode(&g2), Err(BuildError::GraphMismatch { .. })));
+    }
+
+    #[test]
+    fn clear_keeps_message_reusable() {
+        let g = ObfGraph::from_plain(&sample_graph());
+        let mut m = Message::with_seed(&g, 1);
+        m.set("data", b"abc".as_slice()).unwrap();
+        m.set_uint("items[0].v", 5).unwrap();
+        m.clear();
+        assert!(matches!(m.get("data"), Err(BuildError::MissingField(_))));
+        assert_eq!(m.element_count("items"), 0);
+        m.set("data", b"again".as_slice()).unwrap();
+        assert_eq!(m.get("data").unwrap().as_bytes(), b"again");
     }
 
     #[test]

@@ -306,7 +306,17 @@ pub struct ObfGraph {
     /// fields are included: their recovered raw value *is* the plain value
     /// (the encoded length/count).
     holders: HashMap<NodeId, ObfId>,
+    /// Process-unique structural version, refreshed by every mutation
+    /// ([`ObfGraph::touch`]). Never reused across graphs, so caches keyed
+    /// on it (e.g. the transcode validation of
+    /// [`crate::message::Message`]) cannot be fooled by allocator address
+    /// reuse. Clones keep the uid: a clone is structurally identical
+    /// until its next mutation.
+    uid: u64,
 }
+
+/// Source of [`ObfGraph::uid`] values; starts at 1 so 0 can mean "none".
+static NEXT_GRAPH_UID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
 
 impl ObfGraph {
     /// Builds `G_1`: the identity image of a validated plain graph.
@@ -316,10 +326,22 @@ impl ObfGraph {
             nodes: Vec::with_capacity(plain.len()),
             root: ObfId(0),
             holders: HashMap::new(),
+            uid: NEXT_GRAPH_UID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         };
         let root = g.import(plain, plain.root(), None);
         g.root = root;
         g
+    }
+
+    /// The graph's structural version (see the field docs).
+    pub(crate) fn uid(&self) -> u64 {
+        self.uid
+    }
+
+    /// Assigns a fresh structural version. Called by every rewrite so
+    /// stale caches keyed on the old uid cannot match a changed graph.
+    pub(crate) fn touch(&mut self) {
+        self.uid = NEXT_GRAPH_UID.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
 
     fn import(&mut self, plain: &FormatGraph, id: NodeId, parent: Option<ObfId>) -> ObfId {

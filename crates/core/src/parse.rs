@@ -177,6 +177,14 @@ impl<'c> ParseSession<'c> {
         Ok(&self.msg)
     }
 
+    /// Borrows the session's internal message — the result of the last
+    /// successful [`ParseSession::parse_in_place`]. Long-lived holders
+    /// (e.g. transport connections) use this to re-borrow the parse result
+    /// after interleaved buffer bookkeeping, without taking ownership.
+    pub fn message(&self) -> &Message<'c> {
+        &self.msg
+    }
+
     /// Consumes the session, returning the last parsed message.
     pub fn into_message(self) -> Message<'c> {
         self.msg

@@ -87,6 +87,10 @@ pub struct CodecService {
     max_frame: usize,
     serialized: AtomicU64,
     parsed: AtomicU64,
+    /// `try_lock` misses across checkout/checkin shard scans — the
+    /// observable cost of pool contention (each miss is one extra shard
+    /// probed, never a blocked thread).
+    contended: AtomicU64,
 }
 
 #[derive(Debug, Default)]
@@ -108,6 +112,11 @@ pub struct ServiceStats {
     pub pooled_serializers: usize,
     /// Parser scratch states currently parked in the pools.
     pub pooled_parsers: usize,
+    /// Cumulative `try_lock` misses during checkout/checkin shard scans.
+    /// A steadily climbing value under load means the pools are contended:
+    /// add shards ([`CodecService::with_shards`]) or hold sessions longer
+    /// (e.g. one checkout per connection instead of per message).
+    pub checkout_contention: u64,
 }
 
 impl CodecService {
@@ -130,6 +139,7 @@ impl CodecService {
             max_frame: MAX_FRAME,
             serialized: AtomicU64::new(0),
             parsed: AtomicU64::new(0),
+            contended: AtomicU64::new(0),
         }
     }
 
@@ -144,6 +154,13 @@ impl CodecService {
     /// obfuscation plan).
     pub fn codec(&self) -> &Codec {
         &self.codec
+    }
+
+    /// The frame-size limit enforced by the framing entry points (set with
+    /// [`CodecService::max_frame`]). Transport layers stacking their own
+    /// [`FrameBuffer`]s on this service should adopt the same bound.
+    pub fn frame_limit(&self) -> usize {
+        self.max_frame
     }
 
     /// Checks a serializer session out of the pool (or starts a fresh one
@@ -223,21 +240,8 @@ impl CodecService {
     /// [`FrameError::TooLarge`] when the body exceeds the service's frame
     /// limit.
     pub fn serialize_framed(&self, msg: &Message<'_>, out: &mut Vec<u8>) -> Result<(), FrameError> {
-        let start = out.len();
-        out.extend_from_slice(&[0u8; 4]);
-        if let Err(e) = self.serializer().serialize_append(msg, out) {
-            out.truncate(start);
-            return Err(FrameError::Build(e));
-        }
-        let body_len = out.len() - start - 4;
-        // The 4-byte prefix caps frames at u32::MAX even if the configured
-        // limit is larger (mirrors `framing::write_frame`).
-        let limit = self.max_frame.min(u32::MAX as usize);
-        if body_len > limit {
-            out.truncate(start);
-            return Err(FrameError::TooLarge { limit, got: body_len });
-        }
-        out[start..start + 4].copy_from_slice(&(body_len as u32).to_be_bytes());
+        let mut session = self.serializer();
+        crate::framing::append_frame(&mut session, msg, out, self.max_frame)?;
         self.serialized.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -257,14 +261,25 @@ impl CodecService {
     ) -> Result<Vec<Message<'s>>, FrameError> {
         let mut session = self.parser();
         let mut msgs = Vec::new();
-        while let Some(frame) = buf.pop()? {
+        while let Some(frame) = buf.peek()? {
             // The buffer enforces its own limit at the length prefix; the
             // service's limit also applies on the receive side, so one
-            // misconfigured FrameBuffer cannot bypass it.
+            // misconfigured FrameBuffer cannot bypass it. The offending
+            // frame is consumed with the error (as below) so a retry does
+            // not re-fail on it.
             if frame.len() > self.max_frame {
-                return Err(FrameError::TooLarge { limit: self.max_frame, got: frame.len() });
+                let got = frame.len();
+                buf.consume();
+                return Err(FrameError::TooLarge { limit: self.max_frame, got });
             }
-            session.parse_in_place(&frame).map_err(FrameError::Parse)?;
+            // Parse straight out of the buffer (no per-frame copy), then
+            // advance the buffer's cursor past the frame. The cursor moves
+            // even when the frame does not decode — matching the previous
+            // pop()-based contract — so a caller that treats the error as
+            // recoverable does not spin on the same poison frame forever.
+            let parsed = session.parse_in_place(frame).map_err(FrameError::Parse);
+            buf.consume();
+            parsed?;
             msgs.push(session.take_message());
         }
         self.parsed.fetch_add(msgs.len() as u64, Ordering::Relaxed);
@@ -282,6 +297,7 @@ impl CodecService {
                 s.serializers.lock().unwrap_or_else(|e| e.into_inner()).len()
             }),
             pooled_parsers: count(|s| s.parsers.lock().unwrap_or_else(|e| e.into_inner()).len()),
+            checkout_contention: self.contended.load(Ordering::Relaxed),
         }
     }
 
@@ -294,14 +310,23 @@ impl CodecService {
     /// or busy — the caller starts a fresh session instead.
     fn checkout<T>(&self, home: usize, pool_of: impl Fn(&Shard) -> &Mutex<Vec<T>>) -> Option<T> {
         let n = self.shards.len();
+        let mut misses = 0u64;
+        let mut found = None;
         for i in 0..n {
-            if let Ok(mut pool) = pool_of(&self.shards[(home + i) % n]).try_lock() {
-                if let Some(item) = pool.pop() {
-                    return Some(item);
+            match pool_of(&self.shards[(home + i) % n]).try_lock() {
+                Ok(mut pool) => {
+                    if let Some(item) = pool.pop() {
+                        found = Some(item);
+                        break;
+                    }
                 }
+                Err(_) => misses += 1,
             }
         }
-        None
+        if misses > 0 {
+            self.contended.fetch_add(misses, Ordering::Relaxed);
+        }
+        found
     }
 
     /// Parks `item` in the first uncontended shard (capped); when every
@@ -314,9 +339,13 @@ impl CodecService {
                 if pool.len() < MAX_POOLED_PER_SHARD {
                     pool.push(item);
                 }
+                if i > 0 {
+                    self.contended.fetch_add(i as u64, Ordering::Relaxed);
+                }
                 return;
             }
         }
+        self.contended.fetch_add(n as u64, Ordering::Relaxed);
         let mut pool = pool_of(&self.shards[home]).lock().unwrap_or_else(|e| e.into_inner());
         if pool.len() < MAX_POOLED_PER_SHARD {
             pool.push(item);
@@ -594,6 +623,52 @@ mod tests {
             svc.parse_framed(&mut fb),
             Err(FrameError::TooLarge { limit: 8, got: 16 })
         ));
+        // The oversized frame was consumed with the error: a retry must
+        // not re-fail on it forever.
+        assert_eq!(fb.pending(), 0);
+        assert!(svc.parse_framed(&mut fb).unwrap().is_empty());
+    }
+
+    #[test]
+    fn parse_framed_drops_undecodable_frame_instead_of_poisoning() {
+        let svc = CodecService::with_shards(obfuscated_codec(), 1);
+        let mut fb = FrameBuffer::new();
+        // One garbage frame queued ahead of one valid frame.
+        let mut garbage = 8u32.to_be_bytes().to_vec();
+        garbage.extend_from_slice(&[0xFF; 8]);
+        fb.feed(&garbage);
+        let mut msg = svc.codec().message_seeded(1);
+        msg.set("data", b"ok".as_slice()).unwrap();
+        msg.set_uint("code", 1).unwrap();
+        let mut valid = Vec::new();
+        svc.serialize_framed(&msg, &mut valid).unwrap();
+        fb.feed(&valid);
+        assert!(matches!(svc.parse_framed(&mut fb), Err(FrameError::Parse(_))));
+        // The bad frame was consumed with the error: a retry must deliver
+        // the valid frame behind it, not the same error forever.
+        let msgs = svc.parse_framed(&mut fb).unwrap();
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].get_uint("code").unwrap(), 1);
+        assert_eq!(fb.pending(), 0);
+    }
+
+    #[test]
+    fn contention_counter_observes_try_lock_misses() {
+        let svc = CodecService::with_shards(obfuscated_codec(), 1);
+        assert_eq!(svc.stats().checkout_contention, 0, "no contention before use");
+        // Hold the single shard's serializer pool lock while another
+        // checkout scans: the scan must miss (and count it) rather than
+        // block. The guard must be released before stats()/checkin — both
+        // take blocking locks on the same shard in this single-threaded
+        // test.
+        let guard = svc.shards[0].serializers.lock().unwrap();
+        let s = svc.serializer();
+        drop(guard);
+        assert!(
+            svc.stats().checkout_contention >= 1,
+            "a checkout scanning a locked shard must record the miss"
+        );
+        drop(s);
     }
 
     #[test]

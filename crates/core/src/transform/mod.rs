@@ -330,6 +330,9 @@ pub fn apply<R: Rng + ?Sized>(
             reason,
         });
     }
+    // The rewrite below mutates the graph's structure: refresh its uid so
+    // caches keyed on the old version (transcode validation) miss.
+    g.touch();
     Ok(match kind {
         TransformKind::SplitAdd => rewrites::split_op(g, id, crate::value::ByteOp::Add, kind),
         TransformKind::SplitSub => rewrites::split_op(g, id, crate::value::ByteOp::Sub, kind),

@@ -1,0 +1,243 @@
+//! The sans-io connection state machine.
+//!
+//! A [`Conn`] owns no socket: the transport (event loop, test harness,
+//! in-memory [`crate::duplex`] pipes) moves raw bytes in and out, and the
+//! `Conn` turns them into codec messages:
+//!
+//! ```text
+//!            feed_inbound(bytes)            poll_inbound() -> &Message
+//!   wire ──────────────▶ [FrameBuffer ▶ pooled ParseSession] ──────────▶ app
+//!   wire ◀────────────── [pooled SerializeSession ▶ frames]  ◀────────── app
+//!            poll_outbound(buf)              send(&Message)
+//! ```
+//!
+//! Each connection checks **one** parser and **one** serializer out of its
+//! [`CodecService`]s at construction and holds them for its lifetime — the
+//! long-lived-checkout pattern: pool traffic happens per connection, not
+//! per message, and every message is decoded/encoded with warmed,
+//! allocation-free session scratch against the one shared compiled plan.
+//!
+//! All failure paths are typed ([`TransportError`]); hostile bytes move
+//! the connection to [`ConnState::Failed`] and never panic.
+
+use protoobf_core::framing::{FrameBuffer, FrameError};
+use protoobf_core::message::Message;
+use protoobf_core::service::{CodecService, PooledParser, PooledSerializer};
+
+use crate::error::TransportError;
+
+/// Where a [`Conn`] is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnState {
+    /// Both directions are live.
+    Open,
+    /// The peer finished sending (clean EOF at a frame boundary). The
+    /// outbound direction may still queue and flush messages.
+    PeerClosed,
+    /// [`Conn::close`] was requested and every queued outbound byte has
+    /// been drained by the transport. Terminal.
+    Closed,
+    /// A framing or codec error killed the connection. Terminal.
+    Failed,
+}
+
+/// A sans-io framed-codec connection; see the [module docs](self).
+#[derive(Debug)]
+pub struct Conn<'s> {
+    parser: PooledParser<'s>,
+    serializer: PooledSerializer<'s>,
+    inbuf: FrameBuffer,
+    out: Vec<u8>,
+    out_start: usize,
+    tx_max_frame: usize,
+    state: ConnState,
+    closing: bool,
+    msgs_in: u64,
+    msgs_out: u64,
+}
+
+impl<'s> Conn<'s> {
+    /// Creates a connection that parses inbound frames with `rx`'s codec
+    /// and serializes outbound messages with `tx`'s codec. The two may be
+    /// the same service (symmetric protocols) or differ (request/response
+    /// formats, clear/obfuscated gateway legs). Frame-size limits are
+    /// inherited from each service ([`CodecService::frame_limit`]).
+    pub fn new(rx: &'s CodecService, tx: &'s CodecService) -> Conn<'s> {
+        Conn {
+            parser: rx.parser(),
+            serializer: tx.serializer(),
+            inbuf: FrameBuffer::new().max_frame(rx.frame_limit()),
+            out: Vec::new(),
+            out_start: 0,
+            tx_max_frame: tx.frame_limit(),
+            state: ConnState::Open,
+            closing: false,
+            msgs_in: 0,
+            msgs_out: 0,
+        }
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> ConnState {
+        self.state
+    }
+
+    /// Messages decoded from the inbound direction so far.
+    pub fn messages_in(&self) -> u64 {
+        self.msgs_in
+    }
+
+    /// Messages queued on the outbound direction so far.
+    pub fn messages_out(&self) -> u64 {
+        self.msgs_out
+    }
+
+    /// Buffers raw transport bytes for decoding. Cheap: frames are only
+    /// parsed when [`Conn::poll_inbound`] is called.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Closed`] on a terminal connection.
+    pub fn feed_inbound(&mut self, chunk: &[u8]) -> Result<(), TransportError> {
+        match self.state {
+            ConnState::Closed | ConnState::Failed => Err(TransportError::Closed),
+            _ => {
+                self.inbuf.feed(chunk);
+                Ok(())
+            }
+        }
+    }
+
+    /// Signals a clean end of the inbound byte stream (the transport saw
+    /// EOF). Complete frames already buffered remain pollable; leftover
+    /// partial bytes surface as [`FrameError::Truncated`] on the next
+    /// [`Conn::poll_inbound`].
+    pub fn feed_eof(&mut self) {
+        if self.state == ConnState::Open {
+            self.state = ConnState::PeerClosed;
+        }
+    }
+
+    /// Decodes and returns the next complete inbound message, or `None`
+    /// when no full frame is buffered. The returned message borrows the
+    /// connection's parse session and is overwritten by the next poll —
+    /// steady-state decoding allocates nothing.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Frame`] for hostile input (oversized prefix,
+    /// undecodable frame, EOF inside a frame); the connection moves to
+    /// [`ConnState::Failed`]. [`TransportError::Closed`] on a terminal
+    /// connection.
+    pub fn poll_inbound(&mut self) -> Result<Option<&Message<'s>>, TransportError> {
+        if matches!(self.state, ConnState::Failed | ConnState::Closed) {
+            return Err(TransportError::Closed);
+        }
+        let frame = match self.inbuf.peek() {
+            Ok(Some(frame)) => frame,
+            Ok(None) => {
+                if self.state == ConnState::PeerClosed && self.inbuf.pending() > 0 {
+                    self.state = ConnState::Failed;
+                    return Err(TransportError::Frame(FrameError::Truncated));
+                }
+                return Ok(None);
+            }
+            Err(e) => {
+                self.state = ConnState::Failed;
+                return Err(TransportError::Frame(e));
+            }
+        };
+        match self.parser.parse_in_place(frame) {
+            Ok(_) => {
+                self.inbuf.consume();
+                self.msgs_in += 1;
+                Ok(Some(self.parser.message()))
+            }
+            Err(e) => {
+                self.state = ConnState::Failed;
+                Err(TransportError::Frame(FrameError::Parse(e)))
+            }
+        }
+    }
+
+    /// Serializes `msg` (which must be bound to the `tx` codec's graph)
+    /// into the outbound queue as one length-prefixed frame.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Build`] when the message does not serialize (the
+    /// connection stays usable — the fault is local, not the wire's),
+    /// [`TransportError::Frame`] ([`FrameError::TooLarge`]) when the frame
+    /// exceeds the tx limit, [`TransportError::Closed`] after
+    /// [`Conn::close`] or on a terminal connection.
+    pub fn send(&mut self, msg: &Message<'_>) -> Result<(), TransportError> {
+        if self.closing || matches!(self.state, ConnState::Failed | ConnState::Closed) {
+            return Err(TransportError::Closed);
+        }
+        match protoobf_core::framing::append_frame(
+            &mut self.serializer,
+            msg,
+            &mut self.out,
+            self.tx_max_frame,
+        ) {
+            Ok(()) => {
+                self.msgs_out += 1;
+                Ok(())
+            }
+            // A build failure is the local caller's fault, not the wire's:
+            // the connection stays usable.
+            Err(FrameError::Build(e)) => Err(TransportError::Build(e)),
+            Err(e) => Err(TransportError::Frame(e)),
+        }
+    }
+
+    /// The encoded bytes waiting for the transport to write.
+    pub fn outbound(&self) -> &[u8] {
+        &self.out[self.out_start..]
+    }
+
+    /// True when encoded bytes are waiting to be written.
+    pub fn has_outbound(&self) -> bool {
+        self.out_start < self.out.len()
+    }
+
+    /// Marks `n` outbound bytes as written by the transport (a partial
+    /// write advances a cursor; the buffer compacts itself).
+    pub fn consume_outbound(&mut self, n: usize) {
+        self.out_start = (self.out_start + n).min(self.out.len());
+        if self.out_start == self.out.len() {
+            self.out.clear();
+            self.out_start = 0;
+        } else if self.out_start >= self.out.len() - self.out_start {
+            self.out.copy_within(self.out_start.., 0);
+            self.out.truncate(self.out.len() - self.out_start);
+            self.out_start = 0;
+        }
+        self.finish_close_if_drained();
+    }
+
+    /// Copies up to `buf.len()` pending outbound bytes into `buf` and
+    /// consumes them, returning how many were copied. Zero means the
+    /// outbound direction is idle.
+    pub fn poll_outbound(&mut self, buf: &mut [u8]) -> usize {
+        let pending = self.outbound();
+        let n = pending.len().min(buf.len());
+        buf[..n].copy_from_slice(&pending[..n]);
+        self.consume_outbound(n);
+        n
+    }
+
+    /// Requests a clean close of the outbound direction: no further
+    /// [`Conn::send`]s are accepted, and once the transport drains the
+    /// queued bytes the connection reaches [`ConnState::Closed`].
+    pub fn close(&mut self) {
+        self.closing = true;
+        self.finish_close_if_drained();
+    }
+
+    fn finish_close_if_drained(&mut self) {
+        if self.closing && !self.has_outbound() && self.state != ConnState::Failed {
+            self.state = ConnState::Closed;
+        }
+    }
+}

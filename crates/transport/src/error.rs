@@ -1,0 +1,73 @@
+//! The transport layer's typed error: every way a connection can go wrong,
+//! without a panic path.
+
+use std::io;
+
+use protoobf_core::framing::FrameError;
+use protoobf_core::BuildError;
+
+/// Errors surfaced by connections, relays and the event loop. Hostile
+/// input (bad frames, undecodable bytes, oversized prefixes) arrives as
+/// [`TransportError::Frame`] and closes the connection — it must never
+/// panic the process.
+#[derive(Debug)]
+pub enum TransportError {
+    /// Underlying socket/stream failure.
+    Io(io::Error),
+    /// The framing layer rejected the byte stream (truncation, hostile
+    /// length prefix, undecodable frame).
+    Frame(FrameError),
+    /// A message could not be re-serialized (relay-side build failure).
+    Build(BuildError),
+    /// The operation was attempted on a connection that is closed or has
+    /// already failed.
+    Closed,
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Io(e) => write!(f, "transport i/o error: {e}"),
+            TransportError::Frame(e) => write!(f, "framing error: {e}"),
+            TransportError::Build(e) => write!(f, "relay serialization error: {e}"),
+            TransportError::Closed => write!(f, "connection is closed"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TransportError::Io(e) => Some(e),
+            TransportError::Frame(e) => Some(e),
+            TransportError::Build(e) => Some(e),
+            TransportError::Closed => None,
+        }
+    }
+}
+
+impl From<io::Error> for TransportError {
+    fn from(e: io::Error) -> Self {
+        TransportError::Io(e)
+    }
+}
+
+impl From<FrameError> for TransportError {
+    fn from(e: FrameError) -> Self {
+        TransportError::Frame(e)
+    }
+}
+
+impl From<BuildError> for TransportError {
+    fn from(e: BuildError) -> Self {
+        TransportError::Build(e)
+    }
+}
+
+impl TransportError {
+    /// True when the error is a transient non-blocking readiness miss
+    /// (`WouldBlock`) rather than a real failure.
+    pub fn is_would_block(&self) -> bool {
+        matches!(self, TransportError::Io(e) if e.kind() == io::ErrorKind::WouldBlock)
+    }
+}

@@ -1,0 +1,264 @@
+//! The non-blocking event loop: thread-per-core workers over `std::net`.
+//!
+//! The build targets environments without an async runtime, so readiness
+//! is discovered by scanning: every socket is switched to non-blocking
+//! mode and each worker repeatedly (1) drains its listener's accept queue
+//! and (2) calls [`Session::drive`] on every session it owns. A drive that
+//! hits `WouldBlock` simply reports no progress; when a whole scan makes
+//! none, the worker backs off exponentially (yield → short sleeps capped
+//! in the low milliseconds), so an idle loop costs microwatts while a busy
+//! one never sleeps.
+//!
+//! Workers share nothing but the listener and the [`Metrics`]: each
+//! accepted connection lives on the worker that accepted it, so there is
+//! no cross-thread session locking — the codec state they share (the
+//! compiled plan inside each [`protoobf_core::CodecService`]) is immutable
+//! by construction.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::error::TransportError;
+use crate::metrics::Metrics;
+
+/// What one [`Session::drive`] call accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Drive {
+    /// Bytes or messages moved; scan again immediately.
+    Progress,
+    /// Nothing to do right now (all reads/writes would block).
+    Idle,
+    /// The session finished cleanly and can be dropped.
+    Done,
+}
+
+/// One unit of work owned by an event-loop worker: typically a
+/// [`crate::gateway::Relay`] or [`crate::gateway::Echo`], but any
+/// state machine that can be pumped without blocking fits.
+pub trait Session {
+    /// Pumps the session once: read what's readable, decode/encode what's
+    /// complete, write what's writable — never blocking.
+    ///
+    /// # Errors
+    ///
+    /// A [`TransportError`] tears the session down (the loop counts it in
+    /// [`Metrics::failed`] and drops it, closing its sockets).
+    fn drive(&mut self) -> Result<Drive, TransportError>;
+}
+
+/// Event-loop sizing and lifecycle knobs.
+#[derive(Debug, Clone)]
+pub struct LoopConfig {
+    /// Worker threads (acceptor + driver each). Defaults to the number of
+    /// available CPUs.
+    pub workers: usize,
+    /// Stop accepting after this many connections in total and return once
+    /// the last session drains — bounded runs for tests and smoke jobs.
+    /// `None` runs until `shutdown` is raised.
+    pub accept_limit: Option<u64>,
+}
+
+impl Default for LoopConfig {
+    fn default() -> Self {
+        LoopConfig {
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            accept_limit: None,
+        }
+    }
+}
+
+/// Runs the event loop until `shutdown` is raised (live sessions are
+/// dropped immediately, closing their sockets) or `accept_limit` is
+/// reached and every session drains gracefully. `factory` is called once
+/// per accepted connection — on the accepting worker's thread — to build
+/// its session; a factory error closes the connection and counts an
+/// accept error.
+///
+/// # Errors
+///
+/// Only listener-level failures (clone/configure) abort the loop; per-
+/// connection errors are absorbed into `metrics`.
+pub fn serve<S, F>(
+    listener: TcpListener,
+    cfg: &LoopConfig,
+    shutdown: &AtomicBool,
+    metrics: &Metrics,
+    factory: F,
+) -> io::Result<()>
+where
+    S: Session,
+    F: Fn(TcpStream, SocketAddr) -> Result<S, TransportError> + Sync,
+{
+    listener.set_nonblocking(true)?;
+    let workers = cfg.workers.max(1);
+    let counters = AcceptCounters::default();
+    let factory = &factory;
+    let counters = &counters;
+    // Clone every worker's listener handle *before* spawning: a clone
+    // failure mid-spawn would otherwise leave already-running workers
+    // looping (shutdown never raised) while `?` waits on the scope join —
+    // a hang instead of an error.
+    let mut listeners = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        listeners.push(listener.try_clone()?);
+    }
+    drop(listener);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = listeners
+            .into_iter()
+            .map(|listener| {
+                let cfg = cfg.clone();
+                scope.spawn(move || worker(listener, &cfg, shutdown, metrics, counters, factory))
+            })
+            .collect();
+        for h in handles {
+            // Worker panics propagate: a crashed worker is a bug, not a
+            // recoverable condition.
+            h.join().expect("event-loop worker panicked");
+        }
+    });
+    Ok(())
+}
+
+/// Shared accept accounting. `reserved` bounds admissions (slots are taken
+/// *before* `accept` so concurrent workers cannot collectively over-admit
+/// and released when the accept yields nothing); `admitted` counts
+/// completed accepts and drives the workers' exit check — a transient
+/// reservation must not make sibling workers conclude the limit was
+/// reached and retire early.
+#[derive(Debug, Default)]
+struct AcceptCounters {
+    reserved: AtomicU64,
+    admitted: AtomicU64,
+}
+
+fn worker<S, F>(
+    listener: TcpListener,
+    cfg: &LoopConfig,
+    shutdown: &AtomicBool,
+    metrics: &Metrics,
+    counters: &AcceptCounters,
+    factory: &F,
+) where
+    S: Session,
+    F: Fn(TcpStream, SocketAddr) -> Result<S, TransportError> + Sync,
+{
+    let mut sessions: Vec<S> = Vec::new();
+    let mut idle_scans: u32 = 0;
+    loop {
+        let stop = shutdown.load(Ordering::Relaxed);
+        if stop && !sessions.is_empty() {
+            // Shutdown is immediate: drop every live session (closing its
+            // sockets) rather than waiting out idle peers that may never
+            // send or hang up — otherwise one lingering connection keeps
+            // serve() from ever returning. Bounded runs that want a
+            // graceful drain use `accept_limit` instead.
+            Metrics::add(&metrics.closed, sessions.len() as u64);
+            sessions.clear();
+        }
+        let limit_reached = cfg
+            .accept_limit
+            .is_some_and(|limit| counters.admitted.load(Ordering::Relaxed) >= limit);
+        if (stop || limit_reached) && sessions.is_empty() {
+            return;
+        }
+        let mut progress = false;
+
+        // Drain the accept queue (bounded burst so one worker cannot hoard
+        // every pending connection while its siblings starve).
+        if !stop && !limit_reached {
+            let release = || {
+                if cfg.accept_limit.is_some() {
+                    counters.reserved.fetch_sub(1, Ordering::Relaxed);
+                }
+            };
+            for _ in 0..32 {
+                if let Some(limit) = cfg.accept_limit {
+                    let reservation =
+                        counters.reserved.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                            (n < limit).then_some(n + 1)
+                        });
+                    if reservation.is_err() {
+                        break;
+                    }
+                }
+                match listener.accept() {
+                    Ok((stream, peer)) => {
+                        counters.admitted.fetch_add(1, Ordering::Relaxed);
+                        progress = true;
+                        match configure(&stream)
+                            .map_err(TransportError::Io)
+                            .and_then(|()| factory(stream, peer))
+                        {
+                            Ok(session) => {
+                                Metrics::add(&metrics.accepted, 1);
+                                sessions.push(session);
+                            }
+                            Err(_) => Metrics::add(&metrics.accept_errors, 1),
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        release();
+                        break;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => release(),
+                    // Transient accept failures (peer reset mid-handshake,
+                    // fd pressure): count and keep serving.
+                    Err(_) => {
+                        release();
+                        Metrics::add(&metrics.accept_errors, 1);
+                        break;
+                    }
+                }
+            }
+        }
+
+        sessions.retain_mut(|session| match session.drive() {
+            Ok(Drive::Progress) => {
+                progress = true;
+                true
+            }
+            Ok(Drive::Idle) => true,
+            Ok(Drive::Done) => {
+                progress = true;
+                Metrics::add(&metrics.closed, 1);
+                false
+            }
+            Err(_) => {
+                progress = true;
+                Metrics::add(&metrics.failed, 1);
+                false
+            }
+        });
+
+        if progress {
+            idle_scans = 0;
+        } else {
+            backoff(idle_scans, metrics);
+            idle_scans = idle_scans.saturating_add(1);
+        }
+    }
+}
+
+fn configure(stream: &TcpStream) -> io::Result<()> {
+    stream.set_nonblocking(true)?;
+    // Latency over batching: gateway frames are message-sized.
+    let _ = stream.set_nodelay(true);
+    Ok(())
+}
+
+/// Idle strategy: stay hot for a few dozen scans (another thread likely
+/// holds the bytes we're waiting for), then sleep exponentially up to
+/// ~1.6 ms — long enough to be cheap, short enough that shutdown and new
+/// connections are picked up promptly.
+fn backoff(idle_scans: u32, metrics: &Metrics) {
+    if idle_scans < 32 {
+        std::thread::yield_now();
+    } else {
+        let exp = ((idle_scans - 32) / 32).min(5);
+        Metrics::add(&metrics.idle_naps, 1);
+        std::thread::sleep(Duration::from_micros(50u64 << exp));
+    }
+}

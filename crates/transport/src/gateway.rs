@@ -1,0 +1,355 @@
+//! The obfuscating gateway: the paper's deployment model as a transparent
+//! TCP relay pair.
+//!
+//! An **encode** gateway accepts clear-framed connections (unmodified
+//! client software linked against the plain spec), transcodes every
+//! message onto the obfuscated codec and relays it upstream; a **decode**
+//! gateway does the inverse in front of the real server. Response traffic
+//! flows back through the same pair in reverse. Both directions of both
+//! legs run over one shared compiled plan per codec ([`CodecService`]),
+//! with per-connection pooled sessions ([`Conn`]).
+//!
+//! ```text
+//!        clear frames          obfuscated frames          clear frames
+//! client ───────────▶ encode gateway ───────────▶ decode gateway ───────────▶ server
+//!        ◀─────────── (Relay per connection)     ◀─────────── (Relay)
+//! ```
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::AtomicBool;
+use std::time::Duration;
+
+use protoobf_core::message::Message;
+use protoobf_core::service::CodecService;
+use protoobf_core::{Codec, FormatGraph};
+
+use crate::conn::{Conn, ConnState};
+use crate::error::TransportError;
+use crate::evloop::{self, Drive, LoopConfig, Session};
+use crate::metrics::Metrics;
+
+/// Bound on the per-connection upstream dial. The dial happens on the
+/// accepting worker's thread, so an unreachable upstream must stall that
+/// worker's other relays for at most this long (a fully non-blocking
+/// connect is a ROADMAP item).
+const UPSTREAM_DIAL_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Which side of the obfuscated wire this gateway faces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GatewayMode {
+    /// Accept clear traffic, emit obfuscated traffic upstream (client
+    /// side).
+    Encode,
+    /// Accept obfuscated traffic, emit clear traffic upstream (server
+    /// side).
+    Decode,
+}
+
+/// One relayed connection: the accepted ("down") leg and the dialed
+/// upstream ("up") leg, each a sans-io [`Conn`], glued together by
+/// transcoding every decoded message onto the other leg's codec.
+///
+/// Buffers and sessions are all reused across messages: decode borrows
+/// the parse session's message, transcode refills a long-lived
+/// destination message, encode appends to the outbound buffer. The
+/// transcode step itself still runs the graph-walk runtime (per-field
+/// value materialization allocates); compiling it into plan-level copy
+/// programs is a ROADMAP item.
+pub struct Relay<'s> {
+    down: TcpStream,
+    up: TcpStream,
+    down_conn: Conn<'s>,
+    up_conn: Conn<'s>,
+    /// Transcode target bound to the up leg's tx codec.
+    to_up: Message<'s>,
+    /// Transcode target bound to the down leg's tx codec.
+    to_down: Message<'s>,
+    read_buf: Vec<u8>,
+    down_eof_relayed: bool,
+    up_eof_relayed: bool,
+    metrics: &'s Metrics,
+}
+
+impl<'s> Relay<'s> {
+    /// Builds a relay between an accepted socket (framed with `down_svc`'s
+    /// codec in both directions) and a dialed upstream socket (framed with
+    /// `up_svc`'s codec). Both sockets must already be non-blocking.
+    pub fn new(
+        down: TcpStream,
+        up: TcpStream,
+        down_svc: &'s CodecService,
+        up_svc: &'s CodecService,
+        metrics: &'s Metrics,
+    ) -> Relay<'s> {
+        Relay {
+            down,
+            up,
+            down_conn: Conn::new(down_svc, down_svc),
+            up_conn: Conn::new(up_svc, up_svc),
+            to_up: up_svc.codec().message(),
+            to_down: down_svc.codec().message(),
+            read_buf: vec![0u8; 16 * 1024],
+            down_eof_relayed: false,
+            up_eof_relayed: false,
+            metrics,
+        }
+    }
+}
+
+impl Session for Relay<'_> {
+    fn drive(&mut self) -> Result<Drive, TransportError> {
+        let mut progress = false;
+        progress |= pump_direction(
+            &mut self.down,
+            &mut self.down_conn,
+            &mut self.up,
+            &mut self.up_conn,
+            &mut self.to_up,
+            &mut self.read_buf,
+            &mut self.down_eof_relayed,
+            self.metrics,
+        )?;
+        progress |= pump_direction(
+            &mut self.up,
+            &mut self.up_conn,
+            &mut self.down,
+            &mut self.down_conn,
+            &mut self.to_down,
+            &mut self.read_buf,
+            &mut self.up_eof_relayed,
+            self.metrics,
+        )?;
+        if self.down_eof_relayed && self.up_eof_relayed {
+            return Ok(Drive::Done);
+        }
+        Ok(if progress { Drive::Progress } else { Drive::Idle })
+    }
+}
+
+/// Drains the socket's ready bytes into the connection (non-blocking).
+/// Returns whether any byte moved; clean EOF is fed to the connection.
+fn read_into(
+    stream: &mut TcpStream,
+    conn: &mut Conn<'_>,
+    buf: &mut [u8],
+    metrics: &Metrics,
+) -> Result<bool, TransportError> {
+    if conn.state() != ConnState::Open {
+        return Ok(false);
+    }
+    let mut progress = false;
+    loop {
+        match stream.read(buf) {
+            Ok(0) => {
+                conn.feed_eof();
+                progress = true;
+                break;
+            }
+            Ok(n) => {
+                conn.feed_inbound(&buf[..n])?;
+                Metrics::add(&metrics.bytes_in, n as u64);
+                progress = true;
+                if n < buf.len() {
+                    break; // drained the socket's ready bytes
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(TransportError::Io(e)),
+        }
+    }
+    Ok(progress)
+}
+
+/// Writes the connection's queued outbound bytes to the socket until it
+/// would block or the queue drains. Returns whether any byte moved.
+fn flush_from(
+    stream: &mut TcpStream,
+    conn: &mut Conn<'_>,
+    metrics: &Metrics,
+) -> Result<bool, TransportError> {
+    let mut progress = false;
+    while conn.has_outbound() {
+        match stream.write(conn.outbound()) {
+            Ok(0) => return Err(TransportError::Io(io::Error::from(io::ErrorKind::WriteZero))),
+            Ok(n) => {
+                conn.consume_outbound(n);
+                Metrics::add(&metrics.bytes_out, n as u64);
+                progress = true;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(TransportError::Io(e)),
+        }
+    }
+    Ok(progress)
+}
+
+/// Pumps one direction of a relay: `src` socket bytes → `src_conn` frames
+/// → decoded messages → transcode into `tmpl` → `dst_conn` frames → `dst`
+/// socket. Returns whether any byte or message moved.
+#[allow(clippy::too_many_arguments)]
+fn pump_direction(
+    src: &mut TcpStream,
+    src_conn: &mut Conn<'_>,
+    dst: &mut TcpStream,
+    dst_conn: &mut Conn<'_>,
+    tmpl: &mut Message<'_>,
+    read_buf: &mut [u8],
+    eof_relayed: &mut bool,
+    metrics: &Metrics,
+) -> Result<bool, TransportError> {
+    let mut progress = read_into(src, src_conn, read_buf, metrics)?;
+
+    // Decode complete frames, transcode, re-encode onto the other leg.
+    while let Some(msg) = src_conn.poll_inbound()? {
+        msg.transcode_into(tmpl)?;
+        dst_conn.send(tmpl)?;
+        Metrics::add(&metrics.messages_in, 1);
+        Metrics::add(&metrics.messages_out, 1);
+        progress = true;
+    }
+
+    progress |= flush_from(dst, dst_conn, metrics)?;
+
+    // Propagate the half-close once everything in flight is delivered.
+    if !*eof_relayed && src_conn.state() == ConnState::PeerClosed && !dst_conn.has_outbound() {
+        let _ = dst.shutdown(Shutdown::Write);
+        *eof_relayed = true;
+        progress = true;
+    }
+    Ok(progress)
+}
+
+/// A framed echo session: parses every inbound message and sends it
+/// straight back on the same codec — the stand-in "real server" for
+/// gateway smoke tests and the `protoobf recv` subcommand.
+pub struct Echo<'s> {
+    stream: TcpStream,
+    conn: Conn<'s>,
+    reply: Message<'s>,
+    read_buf: Vec<u8>,
+    metrics: &'s Metrics,
+}
+
+impl<'s> Echo<'s> {
+    /// Wraps an accepted (non-blocking) socket speaking `svc`'s codec in
+    /// both directions.
+    pub fn new(stream: TcpStream, svc: &'s CodecService, metrics: &'s Metrics) -> Echo<'s> {
+        Echo {
+            stream,
+            conn: Conn::new(svc, svc),
+            reply: svc.codec().message(),
+            read_buf: vec![0u8; 16 * 1024],
+            metrics,
+        }
+    }
+}
+
+impl Session for Echo<'_> {
+    fn drive(&mut self) -> Result<Drive, TransportError> {
+        let mut progress =
+            read_into(&mut self.stream, &mut self.conn, &mut self.read_buf, self.metrics)?;
+        // Decode, then echo. The reply cannot be sent while the decoded
+        // message is still borrowed from the connection's parse session,
+        // so each message is first copied into the reusable reply (same
+        // graph on both sides: transcoding is a plain structural copy).
+        while let Some(msg) = self.conn.poll_inbound()? {
+            msg.transcode_into(&mut self.reply)?;
+            Metrics::add(&self.metrics.messages_in, 1);
+            progress = true;
+            self.conn.send(&self.reply)?;
+            Metrics::add(&self.metrics.messages_out, 1);
+        }
+        progress |= flush_from(&mut self.stream, &mut self.conn, self.metrics)?;
+        if self.conn.state() == ConnState::PeerClosed && !self.conn.has_outbound() {
+            let _ = self.stream.shutdown(Shutdown::Write);
+            return Ok(Drive::Done);
+        }
+        Ok(if progress { Drive::Progress } else { Drive::Idle })
+    }
+}
+
+/// One obfuscation gateway: the clear codec (identity plan over the plain
+/// specification) and the obfuscated codec, plus which side of the wire
+/// this instance faces. [`Gateway::serve`] relays accepted connections to
+/// `upstream` until shut down.
+pub struct Gateway {
+    clear: CodecService,
+    obf: CodecService,
+    mode: GatewayMode,
+    upstream: SocketAddr,
+    metrics: Metrics,
+}
+
+impl Gateway {
+    /// Builds a gateway for `plain`'s protocol with the given obfuscated
+    /// codec (both gateways of a pair must derive it from the same seed /
+    /// level — the shared secret). `upstream` is the decode gateway (for
+    /// [`GatewayMode::Encode`]) or the real server (for
+    /// [`GatewayMode::Decode`]).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors resolving `upstream`.
+    pub fn new(
+        plain: &FormatGraph,
+        obf: Codec,
+        mode: GatewayMode,
+        upstream: impl ToSocketAddrs,
+    ) -> io::Result<Gateway> {
+        let upstream = upstream.to_socket_addrs()?.next().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "upstream resolves to no address")
+        })?;
+        Ok(Gateway {
+            clear: CodecService::new(Codec::identity(plain)),
+            obf: CodecService::new(obf),
+            mode,
+            upstream,
+            metrics: Metrics::new(),
+        })
+    }
+
+    /// The gateway's live counters.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The clear-side codec service (identity plan).
+    pub fn clear_service(&self) -> &CodecService {
+        &self.clear
+    }
+
+    /// The obfuscated-side codec service.
+    pub fn obf_service(&self) -> &CodecService {
+        &self.obf
+    }
+
+    /// Accepts and relays connections until `shutdown` is raised (or
+    /// `cfg.accept_limit` is reached and the last relay drains). Each
+    /// accepted connection dials one upstream connection.
+    ///
+    /// # Errors
+    ///
+    /// Listener-level failures only; per-connection errors are counted in
+    /// [`Gateway::metrics`].
+    pub fn serve(
+        &self,
+        listener: TcpListener,
+        cfg: &LoopConfig,
+        shutdown: &AtomicBool,
+    ) -> io::Result<()> {
+        let (down_svc, up_svc) = match self.mode {
+            GatewayMode::Encode => (&self.clear, &self.obf),
+            GatewayMode::Decode => (&self.obf, &self.clear),
+        };
+        evloop::serve(listener, cfg, shutdown, &self.metrics, |down, _peer| {
+            let up = TcpStream::connect_timeout(&self.upstream, UPSTREAM_DIAL_TIMEOUT)
+                .map_err(TransportError::Io)?;
+            up.set_nonblocking(true).map_err(TransportError::Io)?;
+            let _ = up.set_nodelay(true);
+            Ok(Relay::new(down, up, down_svc, up_svc, &self.metrics))
+        })
+    }
+}

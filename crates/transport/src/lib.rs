@@ -1,0 +1,49 @@
+//! # protoobf-transport
+//!
+//! Stage 6 of the pipeline — **Transport**: carrying obfuscated traffic
+//! between real endpoints, the paper's deployment model of a pair of
+//! obfuscation gateways sitting on the wire between an unmodified client
+//! and server.
+//!
+//! ```text
+//!  client ──clear──▶ [encode gateway] ──obfuscated──▶ [decode gateway] ──clear──▶ server
+//!         ◀──clear── (responses follow the reverse path) ◀──clear──
+//! ```
+//!
+//! The crate is built from three layers, each usable on its own:
+//!
+//! * [`conn::Conn`] — a **sans-io connection state machine**: feed it raw
+//!   transport bytes ([`conn::Conn::feed_inbound`]), poll decoded messages
+//!   ([`conn::Conn::poll_inbound`]), queue outbound messages
+//!   ([`conn::Conn::send`]) and drain the encoded bytes
+//!   ([`conn::Conn::poll_outbound`]). It owns no socket: any transport —
+//!   TCP, the in-memory [`duplex`] pipes, a fuzzer — can drive it. Each
+//!   `Conn` holds one pooled parser and one pooled serializer checked out
+//!   of a shared [`protoobf_core::CodecService`] for its whole lifetime,
+//!   so one compiled plan serves every connection and steady-state
+//!   per-message work is allocation-free.
+//! * [`evloop`] — a **non-blocking event loop** over `std::net` sockets
+//!   (the build environment has no async runtime; none is needed):
+//!   thread-per-core workers each accept and drive their own set of
+//!   sessions with `try`-style readiness scanning and exponential idle
+//!   backoff.
+//! * [`gateway::Gateway`] — the obfuscating relay: the ingress side parses
+//!   obfuscated frames into clear messages, the egress side re-serializes
+//!   clear messages into obfuscated frames, transcoding through the shared
+//!   plain specification ([`protoobf_core::Message::transcode_into`]).
+//!
+//! [`metrics::Metrics`] instruments all of it; [`duplex`] provides the
+//! in-memory transport used by the differential tests.
+
+pub mod conn;
+pub mod duplex;
+pub mod error;
+pub mod evloop;
+pub mod gateway;
+pub mod metrics;
+
+pub use conn::{Conn, ConnState};
+pub use error::TransportError;
+pub use evloop::{serve, Drive, LoopConfig, Session};
+pub use gateway::{Echo, Gateway, GatewayMode, Relay};
+pub use metrics::{Metrics, MetricsSnapshot};

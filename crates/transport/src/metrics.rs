@@ -1,0 +1,92 @@
+//! Transport observability: lock-free counters shared by every worker
+//! thread of an event loop / gateway, snapshotted for tuning.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cumulative transport counters. All fields are relaxed atomics — cheap
+/// enough for per-chunk increments on the hot path. Share by reference
+/// (the event loop takes `&Metrics`) or wrap in an `Arc` for reporting
+/// threads.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Connections accepted by the event loop.
+    pub accepted: AtomicU64,
+    /// Accept-time failures (socket setup, upstream dial, handshake).
+    pub accept_errors: AtomicU64,
+    /// Sessions that finished cleanly.
+    pub closed: AtomicU64,
+    /// Sessions torn down by a typed transport error (hostile frames,
+    /// socket failures).
+    pub failed: AtomicU64,
+    /// Messages decoded from transport bytes.
+    pub messages_in: AtomicU64,
+    /// Messages re-encoded onto transport bytes (relay: after transcode).
+    pub messages_out: AtomicU64,
+    /// Raw bytes read off sockets.
+    pub bytes_in: AtomicU64,
+    /// Raw bytes written to sockets.
+    pub bytes_out: AtomicU64,
+    /// Idle backoff naps taken by event-loop workers (high and climbing
+    /// while traffic flows = workers starved of readiness, consider more
+    /// workers; high while idle = normal).
+    pub idle_naps: AtomicU64,
+}
+
+impl Metrics {
+    /// Creates zeroed counters.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    pub(crate) fn add(field: &AtomicU64, n: u64) {
+        field.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            accept_errors: self.accept_errors.load(Ordering::Relaxed),
+            closed: self.closed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            messages_in: self.messages_in.load(Ordering::Relaxed),
+            messages_out: self.messages_out.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            idle_naps: self.idle_naps.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A frozen copy of [`Metrics`], from [`Metrics::snapshot`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    pub accepted: u64,
+    pub accept_errors: u64,
+    pub closed: u64,
+    pub failed: u64,
+    pub messages_in: u64,
+    pub messages_out: u64,
+    pub bytes_in: u64,
+    pub bytes_out: u64,
+    pub idle_naps: u64,
+}
+
+impl std::fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "conns {} accepted / {} closed / {} failed ({} accept errors); \
+             msgs {} in / {} out; bytes {} in / {} out; {} idle naps",
+            self.accepted,
+            self.closed,
+            self.failed,
+            self.accept_errors,
+            self.messages_in,
+            self.messages_out,
+            self.bytes_in,
+            self.bytes_out,
+            self.idle_naps
+        )
+    }
+}

@@ -1,0 +1,107 @@
+//! The paper's deployment model, end to end on loopback: an unmodified
+//! "client" and "server" speak the **clear** protocol, while everything
+//! between the two obfuscation gateways crosses the wire obfuscated.
+//!
+//! ```text
+//! client ──clear──▶ encode gw ──obfuscated──▶ decode gw ──clear──▶ echo server
+//! ```
+//!
+//! Both gateways derive the same obfuscated codec from a shared seed (the
+//! deployment secret); client and server only ever link the plain spec.
+//!
+//! ```sh
+//! cargo run --example gateway_pair
+//! ```
+
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use protoobf::core::framing::{FrameReader, FrameWriter};
+use protoobf::core::service::CodecService;
+use protoobf::protocols::modbus::{self, Function};
+use protoobf::transport::{evloop, Echo, Gateway, GatewayMode, LoopConfig, Metrics};
+use protoobf::{Codec, Obfuscator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SHARED_SEED: u64 = 0x6A7E;
+const LEVEL: u32 = 2;
+const CLIENTS: usize = 8;
+const MSGS: usize = 8;
+
+fn obf_codec(graph: &protoobf::FormatGraph) -> Result<Codec, Box<dyn std::error::Error>> {
+    Ok(Obfuscator::new(graph).seed(SHARED_SEED).max_per_node(LEVEL).obfuscate()?)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let graph = modbus::request_graph();
+
+    // Three listeners on ephemeral ports: echo server, decode gw, encode gw.
+    let server_l = TcpListener::bind("127.0.0.1:0")?;
+    let decode_l = TcpListener::bind("127.0.0.1:0")?;
+    let encode_l = TcpListener::bind("127.0.0.1:0")?;
+    let client_addr = encode_l.local_addr()?;
+
+    let encode_gw =
+        Gateway::new(&graph, obf_codec(&graph)?, GatewayMode::Encode, decode_l.local_addr()?)?;
+    let decode_gw =
+        Gateway::new(&graph, obf_codec(&graph)?, GatewayMode::Decode, server_l.local_addr()?)?;
+    let server_svc = CodecService::new(Codec::identity(&graph));
+    let server_metrics = Metrics::new();
+
+    let shutdown = AtomicBool::new(false);
+    let cfg = LoopConfig::default();
+    println!("chain: client → {client_addr} (clear) → obfuscated → echo server");
+
+    std::thread::scope(|scope| -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+        let loops = [
+            scope.spawn(|| {
+                evloop::serve(server_l, &cfg, &shutdown, &server_metrics, |s, _| {
+                    Ok(Echo::new(s, &server_svc, &server_metrics))
+                })
+            }),
+            scope.spawn(|| decode_gw.serve(decode_l, &cfg, &shutdown)),
+            scope.spawn(|| encode_gw.serve(encode_l, &cfg, &shutdown)),
+        ];
+
+        // Concurrent clear-protocol clients, oblivious to the obfuscation.
+        std::thread::scope(|clients| {
+            for t in 0..CLIENTS {
+                let graph = &graph;
+                clients.spawn(move || {
+                    let clear = Codec::identity(graph);
+                    let stream = TcpStream::connect(client_addr).expect("connect");
+                    let mut writer = FrameWriter::new(&clear, &stream);
+                    let mut reader = FrameReader::new(&clear, &stream);
+                    let mut rng = StdRng::seed_from_u64(t as u64);
+                    for i in 0..MSGS {
+                        let f = Function::ALL[(t + i) % Function::ALL.len()];
+                        let msg = modbus::build_request(&clear, f, &mut rng);
+                        let wire = clear.serialize(&msg).expect("serialize");
+                        writer.send_raw(&wire).expect("send");
+                        let echo = reader.recv_raw().expect("recv").expect("echo");
+                        assert_eq!(echo, wire, "client {t}: echo must be byte-identical");
+                    }
+                });
+            }
+        });
+
+        shutdown.store(true, Ordering::Relaxed);
+        for l in loops {
+            l.join().expect("loop thread")?;
+        }
+        Ok(())
+    })
+    .map_err(|e| -> Box<dyn std::error::Error> { e })?;
+
+    let enc = encode_gw.metrics().snapshot();
+    let dec = decode_gw.metrics().snapshot();
+    println!("encode gateway: {enc}");
+    println!("decode gateway: {dec}");
+    println!(
+        "\n{} clients × {} messages round-tripped byte-identical; the decode gateway \
+         relayed {} messages and moved {} bytes across its sockets ✓",
+        CLIENTS, MSGS, dec.messages_in, dec.bytes_in
+    );
+    Ok(())
+}

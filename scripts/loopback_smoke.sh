@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Loopback smoke test of the full gateway deployment: for each bundled
+# protocol, spawn echo-server + decode-gateway + encode-gateway as real
+# processes on 127.0.0.1 and round-trip a corpus of random messages
+# through real sockets. Every process self-terminates via --accept-limit;
+# the client is additionally bounded by `timeout`.
+#
+#   PROTOOBF_BIN    binary to test (default target/release/protoobf)
+#   SMOKE_COUNT     messages per protocol (default 64)
+#   SMOKE_TIMEOUT   client timeout seconds (default 120)
+#   SMOKE_BASE_PORT first loopback port (default 19750)
+set -euo pipefail
+
+BIN="${PROTOOBF_BIN:-target/release/protoobf}"
+COUNT="${SMOKE_COUNT:-64}"
+CLIENT_TIMEOUT="${SMOKE_TIMEOUT:-120}"
+PORT="${SMOKE_BASE_PORT:-19750}"
+SEED=7
+LEVEL=2
+
+logdir=$(mktemp -d)
+pids=()
+cleanup() {
+    status=$?
+    for pid in "${pids[@]}"; do
+        kill "$pid" 2>/dev/null || true
+    done
+    if [ "$status" -ne 0 ]; then
+        echo "[smoke] failure (exit $status); server logs:" >&2
+        tail -n +1 "$logdir"/*.log >&2 2>/dev/null || true
+    fi
+    rm -rf "$logdir"
+}
+trap cleanup EXIT
+
+# Each server prints its "… on ADDR" line after binding its listener;
+# polling the log avoids both a fixed-sleep race on loaded runners and
+# probe connections (which would consume the --accept-limit budget).
+wait_ready() { # <pattern> <log-file>
+    for _ in $(seq 1 300); do
+        grep -q "$1" "$2" 2>/dev/null && return 0
+        sleep 0.1
+    done
+    echo "[smoke] timed out waiting for: $1" >&2
+    return 1
+}
+
+for spec in dns-query http-request modbus-request; do
+    p_client=$PORT p_obf=$((PORT + 1)) p_server=$((PORT + 2))
+    PORT=$((PORT + 3))
+
+    "$BIN" recv "builtin:$spec" --listen "127.0.0.1:$p_server" --accept-limit 1 \
+        2>"$logdir/$spec-recv.log" &
+    recv_pid=$!
+    "$BIN" gateway "builtin:$spec" --mode decode --seed $SEED --level $LEVEL \
+        --listen "127.0.0.1:$p_obf" --upstream "127.0.0.1:$p_server" --accept-limit 1 \
+        2>"$logdir/$spec-decode.log" &
+    dec_pid=$!
+    "$BIN" gateway "builtin:$spec" --mode encode --seed $SEED --level $LEVEL \
+        --listen "127.0.0.1:$p_client" --upstream "127.0.0.1:$p_obf" --accept-limit 1 \
+        2>"$logdir/$spec-encode.log" &
+    enc_pid=$!
+    pids+=("$recv_pid" "$dec_pid" "$enc_pid")
+
+    wait_ready "echo server on" "$logdir/$spec-recv.log"
+    wait_ready "gateway on" "$logdir/$spec-decode.log"
+    wait_ready "gateway on" "$logdir/$spec-encode.log"
+    timeout "$CLIENT_TIMEOUT" "$BIN" send "builtin:$spec" \
+        --connect "127.0.0.1:$p_client" --count "$COUNT" --seed 3
+
+    wait "$recv_pid" "$dec_pid" "$enc_pid"
+    echo "[smoke] $spec: $COUNT messages byte-identical through the gateway pair"
+done
+
+echo "[smoke] all protocols passed"

@@ -7,12 +7,38 @@
 //! protoobf gen <spec> [--level N --seed N] [-o lib.c]
 //!                                            generate the C library + metrics
 //! protoobf demo <spec> [--level N --seed N]  round-trip a random message
+//! protoobf gateway <spec> --listen A --upstream B --mode encode|decode
+//!                  [--level N --seed N --workers N --accept-limit N]
+//!                                            run one obfuscation gateway
+//! protoobf recv <spec> --listen A [--workers N --accept-limit N]
+//!                                            clear-framed echo server
+//! protoobf send <spec> --connect A [--count N --seed N]
+//!                                            clear-framed client, verifies echoes
+//! ```
+//!
+//! `<spec>` is a DSL file, or `builtin:NAME` for the bundled experiment
+//! protocols (`dns-query`, `dns-response`, `http-request`,
+//! `http-response`, `modbus-request`, `modbus-response`).
+//!
+//! A full loopback deployment (the paper's gateway-pair model):
+//!
+//! ```sh
+//! protoobf recv    builtin:modbus-request --listen 127.0.0.1:9002 &
+//! protoobf gateway builtin:modbus-request --mode decode --seed 7 \
+//!     --listen 127.0.0.1:9001 --upstream 127.0.0.1:9002 &
+//! protoobf gateway builtin:modbus-request --mode encode --seed 7 \
+//!     --listen 127.0.0.1:9000 --upstream 127.0.0.1:9001 &
+//! protoobf send    builtin:modbus-request --connect 127.0.0.1:9000 --count 64
 //! ```
 
 use std::process::ExitCode;
+use std::sync::atomic::AtomicBool;
 
 use protoobf::codegen::{generate, measure};
+use protoobf::core::framing::{FrameReader, FrameWriter};
 use protoobf::core::sample::random_message;
+use protoobf::core::service::CodecService;
+use protoobf::transport::{evloop, Echo, Gateway, GatewayMode, LoopConfig, Metrics};
 use protoobf::{Codec, Obfuscator};
 
 struct Options {
@@ -20,39 +46,68 @@ struct Options {
     level: u32,
     seed: u64,
     out: Option<String>,
+    listen: Option<String>,
+    upstream: Option<String>,
+    connect: Option<String>,
+    mode: Option<String>,
+    workers: Option<usize>,
+    accept_limit: Option<u64>,
+    count: usize,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: protoobf <check|print|dot|gen|demo> <spec-file> [--level N] [--seed N] [-o FILE]"
+        "usage: protoobf <check|print|dot|gen|demo|gateway|recv|send> <spec-file|builtin:NAME>\n\
+         \x20      [--level N] [--seed N] [-o FILE] [--listen ADDR] [--upstream ADDR]\n\
+         \x20      [--connect ADDR] [--mode encode|decode] [--workers N]\n\
+         \x20      [--accept-limit N] [--count N]"
     );
     ExitCode::from(2)
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        spec_path: String::new(),
+        level: 1,
+        seed: 0,
+        out: None,
+        listen: None,
+        upstream: None,
+        connect: None,
+        mode: None,
+        workers: None,
+        accept_limit: None,
+        count: 16,
+    };
     let mut spec_path = None;
-    let mut level = 1u32;
-    let mut seed = 0u64;
-    let mut out = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().cloned().ok_or(format!("{flag} needs a value"));
         match arg.as_str() {
             "--level" => {
-                level = it
-                    .next()
-                    .ok_or("--level needs a value")?
-                    .parse()
-                    .map_err(|_| "--level must be a number")?;
+                opts.level = value("--level")?.parse().map_err(|_| "--level must be a number")?;
             }
             "--seed" => {
-                seed = it
-                    .next()
-                    .ok_or("--seed needs a value")?
-                    .parse()
-                    .map_err(|_| "--seed must be a number")?;
+                opts.seed = value("--seed")?.parse().map_err(|_| "--seed must be a number")?;
             }
-            "-o" | "--out" => {
-                out = Some(it.next().ok_or("-o needs a path")?.clone());
+            "-o" | "--out" => opts.out = Some(value("-o")?),
+            "--listen" => opts.listen = Some(value("--listen")?),
+            "--upstream" => opts.upstream = Some(value("--upstream")?),
+            "--connect" => opts.connect = Some(value("--connect")?),
+            "--mode" => opts.mode = Some(value("--mode")?),
+            "--workers" => {
+                opts.workers =
+                    Some(value("--workers")?.parse().map_err(|_| "--workers must be a number")?);
+            }
+            "--accept-limit" => {
+                opts.accept_limit = Some(
+                    value("--accept-limit")?
+                        .parse()
+                        .map_err(|_| "--accept-limit must be a number")?,
+                );
+            }
+            "--count" => {
+                opts.count = value("--count")?.parse().map_err(|_| "--count must be a number")?;
             }
             other if spec_path.is_none() && !other.starts_with('-') => {
                 spec_path = Some(other.to_string());
@@ -60,10 +115,26 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
-    Ok(Options { spec_path: spec_path.ok_or("missing specification file")?, level, seed, out })
+    opts.spec_path = spec_path.ok_or("missing specification file")?;
+    Ok(opts)
 }
 
 fn load(path: &str) -> Result<protoobf::FormatGraph, String> {
+    if let Some(name) = path.strip_prefix("builtin:") {
+        use protoobf::protocols::{dns, http, modbus};
+        return match name {
+            "dns-query" => Ok(dns::query_graph()),
+            "dns-response" => Ok(dns::response_graph()),
+            "http-request" => Ok(http::request_graph()),
+            "http-response" => Ok(http::response_graph()),
+            "modbus-request" => Ok(modbus::request_graph()),
+            "modbus-response" => Ok(modbus::response_graph()),
+            other => Err(format!(
+                "unknown builtin protocol {other:?} (expected dns-query, dns-response, \
+                 http-request, http-response, modbus-request or modbus-response)"
+            )),
+        };
+    }
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     protoobf::spec::parse_spec(&text).map_err(|e| e.to_string())
 }
@@ -154,9 +225,90 @@ fn run() -> Result<(), String> {
             parser.parse_in_place(&wire).map_err(|e| format!("self-parse failed: {e}"))?;
             println!("round-trip: ok");
         }
+        "gateway" => {
+            let listen = opts.listen.as_deref().ok_or("gateway needs --listen ADDR")?;
+            let upstream = opts.upstream.as_deref().ok_or("gateway needs --upstream ADDR")?;
+            let mode = match opts.mode.as_deref() {
+                Some("encode") => GatewayMode::Encode,
+                Some("decode") => GatewayMode::Decode,
+                Some(other) => {
+                    return Err(format!("--mode must be encode or decode, got {other:?}"))
+                }
+                None => return Err("gateway needs --mode encode|decode".into()),
+            };
+            let codec = codec_for(&graph, &opts)?;
+            let gw = Gateway::new(&graph, codec, mode, upstream).map_err(|e| e.to_string())?;
+            let listener =
+                std::net::TcpListener::bind(listen).map_err(|e| format!("bind {listen}: {e}"))?;
+            let cfg = loop_config(&opts);
+            eprintln!(
+                "{mode:?} gateway on {listen} → {upstream} ({} workers, level {}, seed {})",
+                cfg.workers, opts.level, opts.seed
+            );
+            let shutdown = AtomicBool::new(false);
+            gw.serve(listener, &cfg, &shutdown).map_err(|e| e.to_string())?;
+            eprintln!("gateway done: {}", gw.metrics().snapshot());
+        }
+        "recv" => {
+            let listen = opts.listen.as_deref().ok_or("recv needs --listen ADDR")?;
+            let svc = CodecService::new(Codec::identity(&graph));
+            let metrics = Metrics::new();
+            let listener =
+                std::net::TcpListener::bind(listen).map_err(|e| format!("bind {listen}: {e}"))?;
+            let cfg = loop_config(&opts);
+            eprintln!("echo server on {listen} ({} workers)", cfg.workers);
+            let shutdown = AtomicBool::new(false);
+            evloop::serve(listener, &cfg, &shutdown, &metrics, |stream, _peer| {
+                Ok(Echo::new(stream, &svc, &metrics))
+            })
+            .map_err(|e| e.to_string())?;
+            eprintln!("echo server done: {}", metrics.snapshot());
+        }
+        "send" => {
+            let connect = opts.connect.as_deref().ok_or("send needs --connect ADDR")?;
+            let clear = Codec::identity(&graph);
+            let stream = std::net::TcpStream::connect(connect)
+                .map_err(|e| format!("connect {connect}: {e}"))?;
+            stream
+                .set_read_timeout(Some(std::time::Duration::from_secs(60)))
+                .map_err(|e| e.to_string())?;
+            let mut writer = FrameWriter::new(&clear, &stream);
+            let mut reader = FrameReader::new(&clear, &stream);
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(opts.seed);
+            let mut bytes = 0usize;
+            for i in 0..opts.count {
+                let msg = random_message(&clear, &mut rng);
+                // Identity serialization is deterministic: the bytes sent
+                // are the reference the echo must match byte-for-byte.
+                let reference = clear.serialize(&msg).map_err(|e| e.to_string())?;
+                writer.send_raw(&reference).map_err(|e| e.to_string())?;
+                let echoed = reader
+                    .recv_raw()
+                    .map_err(|e| e.to_string())?
+                    .ok_or_else(|| format!("stream ended after {i} messages"))?;
+                if echoed != reference {
+                    return Err(format!("message {i}: echoed wire differs from reference"));
+                }
+                bytes += reference.len() + 4;
+            }
+            println!(
+                "{} messages ({} bytes framed) round-tripped byte-identical through {connect}",
+                opts.count, bytes
+            );
+        }
         other => return Err(format!("unknown command {other:?}")),
     }
     Ok(())
+}
+
+fn loop_config(opts: &Options) -> LoopConfig {
+    let mut cfg = LoopConfig::default();
+    if let Some(w) = opts.workers {
+        cfg.workers = w.max(1);
+    }
+    cfg.accept_limit = opts.accept_limit;
+    cfg
 }
 
 fn main() -> ExitCode {

@@ -13,6 +13,8 @@
 //! * [`spec`] — the specification DSL;
 //! * [`codegen`] — C library generation + potency metrics;
 //! * [`protocols`] — Modbus/TCP and HTTP formats and core applications;
+//! * [`transport`] — the non-blocking transport layer and the obfuscating
+//!   gateway pair (the paper's deployment model over real sockets);
 //! * [`pre`] — the reverse-engineering toolkit used for resilience
 //!   experiments.
 //!
@@ -51,3 +53,4 @@ pub use protoobf_core as core;
 pub use protoobf_pre as pre;
 pub use protoobf_protocols as protocols;
 pub use protoobf_spec as spec;
+pub use protoobf_transport as transport;

@@ -4,10 +4,13 @@
 //!
 //! The harness is deliberately simple: per benchmark it warms up, picks an
 //! iteration count targeting a fixed measurement window, runs a few
-//! samples, and reports the median time per iteration (plus bytes/second
-//! throughput when [`Throughput::Bytes`] is set on the group). Numbers are
-//! comparable within one machine and one run, which is all the workspace's
-//! plan-vs-interpreter and level-vs-level comparisons need.
+//! samples, and reports the min/median/max time per iteration (plus
+//! bytes/second throughput when [`Throughput::Bytes`] is set on the
+//! group). Numbers are comparable within one machine and one run, which is
+//! all the workspace's plan-vs-interpreter and level-vs-level comparisons
+//! need. Results accumulate on the [`Criterion`] instance and can be
+//! dumped as a JSON trajectory file with [`Criterion::export_json`] (used
+//! by the `service` bench group to emit `BENCH_service.json`).
 
 use std::time::{Duration, Instant};
 
@@ -50,17 +53,29 @@ impl std::fmt::Display for BenchmarkId {
     }
 }
 
+/// Per-iteration timing distribution of one benchmark.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Stats {
+    /// Fastest sample, nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Median sample, nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Slowest sample, nanoseconds per iteration.
+    pub max_ns: f64,
+}
+
 /// Per-iteration timing callback holder.
 pub struct Bencher {
-    /// Median nanoseconds per iteration, filled by `iter`.
-    ns_per_iter: f64,
+    /// Sample distribution, filled by `iter`.
+    stats: Stats,
 }
 
 const TARGET_SAMPLE: Duration = Duration::from_millis(60);
 const SAMPLES: usize = 7;
 
 impl Bencher {
-    /// Measures `f`, recording the median time per call.
+    /// Measures `f`, recording the min/median/max time per call across
+    /// the sample windows.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         // Warm-up & calibration: how many calls fit the target window?
         let start = Instant::now();
@@ -85,7 +100,11 @@ impl Bencher {
             samples.push(t.elapsed().as_nanos() as f64 / iters as f64);
         }
         samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        self.ns_per_iter = samples[samples.len() / 2];
+        self.stats = Stats {
+            min_ns: samples[0],
+            median_ns: samples[samples.len() / 2],
+            max_ns: samples[samples.len() - 1],
+        };
     }
 }
 
@@ -99,15 +118,20 @@ fn format_time(ns: f64) -> String {
     }
 }
 
-fn report(name: &str, ns: f64, throughput: Option<Throughput>) {
-    let mut line = format!("{name:<48} time: [{:>10}]", format_time(ns));
+fn report(name: &str, stats: Stats, throughput: Option<Throughput>) {
+    let mut line = format!(
+        "{name:<48} time: [{:>10} {:>10} {:>10}]",
+        format_time(stats.min_ns),
+        format_time(stats.median_ns),
+        format_time(stats.max_ns)
+    );
     match throughput {
         Some(Throughput::Bytes(b)) => {
-            let bytes_per_sec = b as f64 / (ns / 1e9);
+            let bytes_per_sec = b as f64 / (stats.median_ns / 1e9);
             line.push_str(&format!("   thrpt: [{:.2} MiB/s]", bytes_per_sec / (1024.0 * 1024.0)));
         }
         Some(Throughput::Elements(e)) => {
-            let elems_per_sec = e as f64 / (ns / 1e9);
+            let elems_per_sec = e as f64 / (stats.median_ns / 1e9);
             line.push_str(&format!("   thrpt: [{elems_per_sec:.0} elem/s]"));
         }
         None => {}
@@ -115,11 +139,22 @@ fn report(name: &str, ns: f64, throughput: Option<Throughput>) {
     println!("{line}");
 }
 
+/// One finished benchmark, retained for [`Criterion::export_json`].
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark name (`group/function/parameter`).
+    pub name: String,
+    /// Timing distribution.
+    pub stats: Stats,
+    /// Declared throughput, if the group set one.
+    pub throughput: Option<Throughput>,
+}
+
 /// A named group of related benchmarks.
 pub struct BenchmarkGroup<'c> {
     name: String,
     throughput: Option<Throughput>,
-    _criterion: &'c mut Criterion,
+    criterion: &'c mut Criterion,
 }
 
 impl<'c> BenchmarkGroup<'c> {
@@ -146,9 +181,9 @@ impl<'c> BenchmarkGroup<'c> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        let mut b = Bencher { ns_per_iter: 0.0 };
+        let mut b = Bencher { stats: Stats::default() };
         f(&mut b, input);
-        report(&format!("{}/{}", self.name, id), b.ns_per_iter, self.throughput);
+        self.criterion.record(format!("{}/{}", self.name, id), b.stats, self.throughput);
         self
     }
 
@@ -157,9 +192,9 @@ impl<'c> BenchmarkGroup<'c> {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher { ns_per_iter: 0.0 };
+        let mut b = Bencher { stats: Stats::default() };
         f(&mut b);
-        report(&format!("{}/{}", self.name, id), b.ns_per_iter, self.throughput);
+        self.criterion.record(format!("{}/{}", self.name, id), b.stats, self.throughput);
         self
     }
 
@@ -169,12 +204,14 @@ impl<'c> BenchmarkGroup<'c> {
 
 /// The benchmark harness entry point.
 #[derive(Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
 
 impl Criterion {
     /// Starts a benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.into(), throughput: None, _criterion: self }
+        BenchmarkGroup { name: name.into(), throughput: None, criterion: self }
     }
 
     /// Runs one stand-alone benchmark.
@@ -182,11 +219,72 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher { ns_per_iter: 0.0 };
+        let mut b = Bencher { stats: Stats::default() };
         f(&mut b);
-        report(name, b.ns_per_iter, None);
+        self.record(name.to_string(), b.stats, None);
         self
     }
+
+    fn record(&mut self, name: String, stats: Stats, throughput: Option<Throughput>) {
+        report(&name, stats, throughput);
+        self.results.push(BenchResult { name, stats, throughput });
+    }
+
+    /// Results recorded so far, in run order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Writes every recorded result whose name starts with `prefix` as a
+    /// JSON trajectory file: one run's numbers, stamped with the wall
+    /// clock, appendable across runs by external tooling. Hand-rolled
+    /// serialization — the environment is offline, so no serde.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors.
+    pub fn export_json(&self, path: &str, prefix: &str) -> std::io::Result<()> {
+        let unix_time = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"prefix\": \"{}\",\n", escape(prefix)));
+        out.push_str(&format!("  \"unix_time\": {unix_time},\n"));
+        out.push_str("  \"results\": [\n");
+        let matching: Vec<&BenchResult> =
+            self.results.iter().filter(|r| r.name.starts_with(prefix)).collect();
+        for (i, r) in matching.iter().enumerate() {
+            let sep = if i + 1 == matching.len() { "" } else { "," };
+            let mut fields = format!(
+                "\"name\": \"{}\", \"min_ns\": {:.1}, \"median_ns\": {:.1}, \"max_ns\": {:.1}",
+                escape(&r.name),
+                r.stats.min_ns,
+                r.stats.median_ns,
+                r.stats.max_ns
+            );
+            match r.throughput {
+                Some(Throughput::Bytes(b)) => {
+                    let mib_s = b as f64 / (r.stats.median_ns / 1e9) / (1024.0 * 1024.0);
+                    fields.push_str(&format!(
+                        ", \"bytes_per_iter\": {b}, \"mib_per_s_median\": {mib_s:.2}"
+                    ));
+                }
+                Some(Throughput::Elements(e)) => {
+                    fields.push_str(&format!(", \"elements_per_iter\": {e}"));
+                }
+                None => {}
+            }
+            out.push_str(&format!("    {{{fields}}}{sep}\n"));
+        }
+        out.push_str("  ]\n}\n");
+        std::fs::write(path, out)
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 /// Groups benchmark functions under one runner (vendored form).
