@@ -52,10 +52,35 @@ impl<'g> Obfuscator<'g> {
         Obfuscator { graph, seed: 0, max_per_node: 1, allowed: TransformKind::ALL.to_vec() }
     }
 
-    /// Sets the RNG seed. Both communicating peers must use the same seed
-    /// (and specification) to derive identical codecs.
+    /// Sets the raw RNG seed. Both communicating peers must use the same
+    /// seed (and specification) to derive identical codecs.
+    ///
+    /// Deprecated shim: a bare `u64` is awkward to distribute and keep in
+    /// sync across every layer of a deployment. Prefer
+    /// [`Obfuscator::key`] (a string/byte secret, stretched into the seed)
+    /// or, at the endpoint level, a [`crate::profile::Profile`] — the one
+    /// object both peers share.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the shared secret: an arbitrary byte/string key stretched into
+    /// the per-graph RNG seed ([`crate::profile::stretch_key`]). Both
+    /// communicating peers must use the same key (and specification) to
+    /// derive identical codecs. Supersedes [`Obfuscator::seed`].
+    pub fn key(mut self, key: impl AsRef<[u8]>) -> Self {
+        self.seed = crate::profile::stretch_key(key.as_ref());
+        self
+    }
+
+    /// Applies a whole [`crate::profile::ObfConfig`] — key, per-node
+    /// budget and allowed transformation set — in one step. This is how
+    /// [`crate::profile::Profile::build_with`] drives the engine.
+    pub fn config(mut self, cfg: &crate::profile::ObfConfig) -> Self {
+        self.seed = cfg.rng_seed();
+        self.max_per_node = cfg.level;
+        self.allowed = cfg.allowed.clone();
         self
     }
 

@@ -42,7 +42,16 @@
 //!    gateway pair transcodes between clear and obfuscated codecs through
 //!    the shared plain specification ([`message::Message::transcode_into`],
 //!    backed by this crate's resumable [`framing::FrameReader`] and the
-//!    cursor-based [`framing::FrameBuffer`]).
+//!    cursor-based [`framing::FrameBuffer`]);
+//! 7. **Configure** — a [`profile::Profile`] bundles the whole endpoint
+//!    configuration into one serializable, shared-secret-keyed object:
+//!    spec sources (distinct per direction for asymmetric
+//!    request/response protocols), the obfuscation key/level/transform
+//!    set, and service tuning. [`profile::Profile::build_with`] compiles
+//!    it into a [`profile::Endpoint`] (obfuscated + clear services both
+//!    ways) whose [`profile::Fingerprint`] — a stable digest over the
+//!    compiled plans — lets both peers verify they derived identical
+//!    stacks before any traffic flows.
 //!
 //! The one-shot [`codec::Codec::serialize`]/[`codec::Codec::parse`] entry
 //! points remain as thin wrappers over the cached plan; the original
@@ -99,6 +108,7 @@ pub mod obf;
 pub mod parse;
 pub mod path;
 pub mod plan;
+pub mod profile;
 pub mod runtime;
 pub mod sample;
 pub mod serialize;
@@ -112,6 +122,9 @@ pub use error::{BuildError, ParseError, SpecError, TransformError};
 pub use graph::{Boundary, FormatGraph, GraphBuilder, NodeId};
 pub use message::Message;
 pub use path::Path;
+pub use profile::{
+    Derivation, Endpoint, Fingerprint, ObfConfig, Profile, ProfileError, SpecResolver, SpecSource,
+};
 pub use service::CodecService;
 pub use transform::TransformKind;
 pub use value::{ByteOp, Endian, TerminalKind, Value};

@@ -452,6 +452,452 @@ impl CodecPlan {
     pub fn compile(g: &ObfGraph) -> CodecPlan {
         Compiler::new(g).run()
     }
+
+    /// Stable 64-bit digest of the compiled plan.
+    ///
+    /// Two peers that derived their codecs from the same specification and
+    /// obfuscation key compile byte-for-byte identical plans, so comparing
+    /// digests (see `crate::profile::Fingerprint`) verifies the shared
+    /// secret **before any traffic flows** — without revealing the key or
+    /// the plan itself. The digest is FNV-1a over an explicit, versioned
+    /// byte encoding of every structural field (slots, pools, indices):
+    /// it does not depend on `Debug` formatting, field names, or any
+    /// other incidental text, so builds of different crate or toolchain
+    /// versions agree as long as the plan semantics agree.
+    pub fn digest(&self) -> u64 {
+        let mut h = StableHasher::new(0xcbf2_9ce4_8422_2325);
+        h.update(b"protoobf-plan-digest/1");
+        self.digest_into(&mut h);
+        h.finish()
+    }
+}
+
+/// Explicit structural hashing of the plan component types. Every
+/// variant gets a fixed tag byte and every collection a length prefix,
+/// so distinct structures cannot collide by concatenation ambiguity.
+/// This is the **fingerprint interop contract**: changing an encoding
+/// here changes every deployed profile's fingerprint — bump the version
+/// tag in [`CodecPlan::digest`] when that is intended.
+pub(crate) trait Digest {
+    fn digest_into(&self, h: &mut StableHasher);
+}
+
+impl Digest for u8 {
+    fn digest_into(&self, h: &mut StableHasher) {
+        h.update(&[*self]);
+    }
+}
+
+impl Digest for u32 {
+    fn digest_into(&self, h: &mut StableHasher) {
+        h.update(&self.to_be_bytes());
+    }
+}
+
+impl Digest for u64 {
+    fn digest_into(&self, h: &mut StableHasher) {
+        h.update(&self.to_be_bytes());
+    }
+}
+
+impl<T: Digest> Digest for [T] {
+    fn digest_into(&self, h: &mut StableHasher) {
+        (self.len() as u64).digest_into(h);
+        for item in self {
+            item.digest_into(h);
+        }
+    }
+}
+
+impl<T: Digest> Digest for Vec<T> {
+    fn digest_into(&self, h: &mut StableHasher) {
+        self.as_slice().digest_into(h);
+    }
+}
+
+impl<T: Digest> Digest for Option<T> {
+    fn digest_into(&self, h: &mut StableHasher) {
+        match self {
+            None => h.update(&[0]),
+            Some(x) => {
+                h.update(&[1]);
+                x.digest_into(h);
+            }
+        }
+    }
+}
+
+impl Digest for (u32, u32) {
+    fn digest_into(&self, h: &mut StableHasher) {
+        self.0.digest_into(h);
+        self.1.digest_into(h);
+    }
+}
+
+impl Digest for Endian {
+    fn digest_into(&self, h: &mut StableHasher) {
+        h.update(&[match self {
+            Endian::Big => 0,
+            Endian::Little => 1,
+        }]);
+    }
+}
+
+impl Digest for ByteOp {
+    fn digest_into(&self, h: &mut StableHasher) {
+        h.update(&[match self {
+            ByteOp::Add => 0,
+            ByteOp::Sub => 1,
+            ByteOp::Xor => 2,
+        }]);
+    }
+}
+
+impl Digest for LenStep {
+    fn digest_into(&self, h: &mut StableHasher) {
+        h.update(&[match self {
+            LenStep::HalfLo => 0,
+            LenStep::HalfHi => 1,
+        }]);
+    }
+}
+
+impl Digest for ConstOp {
+    fn digest_into(&self, h: &mut StableHasher) {
+        self.op.digest_into(h);
+        self.k.digest_into(h);
+    }
+}
+
+impl Digest for Value {
+    fn digest_into(&self, h: &mut StableHasher) {
+        (self.as_bytes().len() as u64).digest_into(h);
+        h.update(self.as_bytes());
+    }
+}
+
+impl Digest for Predicate {
+    fn digest_into(&self, h: &mut StableHasher) {
+        match self {
+            Predicate::Equals(v) => {
+                h.update(&[0]);
+                v.digest_into(h);
+            }
+            Predicate::NotEquals(v) => {
+                h.update(&[1]);
+                v.digest_into(h);
+            }
+            Predicate::OneOf(vs) => {
+                h.update(&[2]);
+                vs.digest_into(h);
+            }
+        }
+    }
+}
+
+impl Digest for TermB {
+    fn digest_into(&self, h: &mut StableHasher) {
+        match self {
+            TermB::Fixed(n) => {
+                h.update(&[0]);
+                n.digest_into(h);
+            }
+            TermB::Delim(d) => {
+                h.update(&[1]);
+                d.digest_into(h);
+            }
+            TermB::PlainLen { r, r_depth, r_endian, steps } => {
+                h.update(&[2]);
+                r.digest_into(h);
+                r_depth.digest_into(h);
+                r_endian.digest_into(h);
+                steps.digest_into(h);
+            }
+            TermB::End => h.update(&[3]),
+        }
+    }
+}
+
+impl Digest for SeqB {
+    fn digest_into(&self, h: &mut StableHasher) {
+        match self {
+            SeqB::Delegated => h.update(&[0]),
+            SeqB::End => h.update(&[1]),
+            SeqB::Fixed(n) => {
+                h.update(&[2]);
+                n.digest_into(h);
+            }
+            SeqB::PlainLen { r, r_depth, r_endian } => {
+                h.update(&[3]);
+                r.digest_into(h);
+                r_depth.digest_into(h);
+                r_endian.digest_into(h);
+            }
+        }
+    }
+}
+
+impl Digest for BaseOp {
+    fn digest_into(&self, h: &mut StableHasher) {
+        match self {
+            BaseOp::Source { plain } => {
+                h.update(&[0]);
+                plain.digest_into(h);
+            }
+            BaseOp::Pad { k } => {
+                h.update(&[1]);
+                k.digest_into(h);
+            }
+            BaseOp::AutoLen { target, depth, width, endian } => {
+                h.update(&[2]);
+                target.digest_into(h);
+                depth.digest_into(h);
+                width.digest_into(h);
+                endian.digest_into(h);
+            }
+            BaseOp::AutoCount { target, depth, width, endian } => {
+                h.update(&[3]);
+                target.digest_into(h);
+                depth.digest_into(h);
+                width.digest_into(h);
+                endian.digest_into(h);
+            }
+            BaseOp::Const { pool } => {
+                h.update(&[4]);
+                pool.digest_into(h);
+            }
+            BaseOp::Inherit => h.update(&[5]),
+        }
+    }
+}
+
+impl Digest for RepStopC {
+    fn digest_into(&self, h: &mut StableHasher) {
+        match self {
+            RepStopC::Terminator(t) => {
+                h.update(&[0]);
+                t.digest_into(h);
+            }
+            RepStopC::Exhausted => h.update(&[1]),
+            RepStopC::CountOf(s) => {
+                h.update(&[2]);
+                s.digest_into(h);
+            }
+        }
+    }
+}
+
+impl Digest for PlanOp {
+    fn digest_into(&self, h: &mut StableHasher) {
+        match self {
+            PlanOp::Dead => h.update(&[0]),
+            PlanOp::Term { base, boundary } => {
+                h.update(&[1]);
+                base.digest_into(h);
+                boundary.digest_into(h);
+            }
+            PlanOp::Split { base, first_term } => {
+                h.update(&[2]);
+                base.digest_into(h);
+                first_term.digest_into(h);
+            }
+            PlanOp::Seq { boundary } => {
+                h.update(&[3]);
+                boundary.digest_into(h);
+            }
+            PlanOp::Opt { subject, subject_depth, pred, origin, origin_depth } => {
+                h.update(&[4]);
+                subject.digest_into(h);
+                subject_depth.digest_into(h);
+                pred.digest_into(h);
+                origin.digest_into(h);
+                origin_depth.digest_into(h);
+            }
+            PlanOp::Rep { stop, origin, origin_depth } => {
+                h.update(&[5]);
+                stop.digest_into(h);
+                origin.digest_into(h);
+                origin_depth.digest_into(h);
+            }
+            PlanOp::Tab { counter, counter_depth, counter_endian, origin, origin_depth } => {
+                h.update(&[6]);
+                counter.digest_into(h);
+                counter_depth.digest_into(h);
+                counter_endian.digest_into(h);
+                origin.digest_into(h);
+                origin_depth.digest_into(h);
+            }
+            PlanOp::Mirror => h.update(&[7]),
+            PlanOp::Prefixed { width, endian } => {
+                h.update(&[8]);
+                width.digest_into(h);
+                endian.digest_into(h);
+            }
+        }
+    }
+}
+
+impl Digest for PlanNode {
+    fn digest_into(&self, h: &mut StableHasher) {
+        self.op.digest_into(h);
+        self.children.digest_into(h);
+    }
+}
+
+impl Digest for RecStep {
+    fn digest_into(&self, h: &mut StableHasher) {
+        match self {
+            RecStep::Load { obf, ops } => {
+                h.update(&[0]);
+                obf.digest_into(h);
+                ops.digest_into(h);
+            }
+            RecStep::Concat { ops } => {
+                h.update(&[1]);
+                ops.digest_into(h);
+            }
+            RecStep::Op { op, ops } => {
+                h.update(&[2]);
+                op.digest_into(h);
+                ops.digest_into(h);
+            }
+        }
+    }
+}
+
+impl Digest for DistCheck {
+    fn digest_into(&self, h: &mut StableHasher) {
+        match self {
+            DistCheck::None => h.update(&[0]),
+            DistCheck::Fixed(n) => {
+                h.update(&[1]);
+                n.digest_into(h);
+            }
+            DistCheck::Delim(d) => {
+                h.update(&[2]);
+                d.digest_into(h);
+            }
+        }
+    }
+}
+
+impl Digest for SplitRuleC {
+    fn digest_into(&self, h: &mut StableHasher) {
+        match self {
+            SplitRuleC::At(n) => {
+                h.update(&[0]);
+                n.digest_into(h);
+            }
+            SplitRuleC::Half => h.update(&[1]),
+            SplitRuleC::Op(op) => {
+                h.update(&[2]);
+                op.digest_into(h);
+            }
+        }
+    }
+}
+
+impl Digest for DistStep {
+    fn digest_into(&self, h: &mut StableHasher) {
+        match self {
+            DistStep::Store { obf, ops, check } => {
+                h.update(&[0]);
+                obf.digest_into(h);
+                ops.digest_into(h);
+                check.digest_into(h);
+            }
+            DistStep::Split { ops, rule } => {
+                h.update(&[1]);
+                ops.digest_into(h);
+                rule.digest_into(h);
+            }
+        }
+    }
+}
+
+impl Digest for RecProg {
+    fn digest_into(&self, h: &mut StableHasher) {
+        self.0.digest_into(h);
+    }
+}
+
+impl Digest for DistProg {
+    fn digest_into(&self, h: &mut StableHasher) {
+        self.0.digest_into(h);
+    }
+}
+
+impl Digest for AutoCheckKind {
+    fn digest_into(&self, h: &mut StableHasher) {
+        match self {
+            AutoCheckKind::Literal(v) => {
+                h.update(&[0]);
+                v.digest_into(h);
+            }
+            AutoCheckKind::LengthOf { target, depth } => {
+                h.update(&[1]);
+                target.digest_into(h);
+                depth.digest_into(h);
+            }
+            AutoCheckKind::CounterOf { target, depth } => {
+                h.update(&[2]);
+                target.digest_into(h);
+                depth.digest_into(h);
+            }
+        }
+    }
+}
+
+impl Digest for AutoCheck {
+    fn digest_into(&self, h: &mut StableHasher) {
+        self.plain.digest_into(h);
+        self.first_term.digest_into(h);
+        self.kind.digest_into(h);
+    }
+}
+
+impl Digest for CodecPlan {
+    fn digest_into(&self, h: &mut StableHasher) {
+        self.nodes.digest_into(h);
+        self.children.digest_into(h);
+        self.root.digest_into(h);
+        self.holder.digest_into(h);
+        self.plain_depth.digest_into(h);
+        self.plain_endian.digest_into(h);
+        self.rec.digest_into(h);
+        self.rec_steps.digest_into(h);
+        self.dist.digest_into(h);
+        self.dist_steps.digest_into(h);
+        self.ops.digest_into(h);
+        self.bytes.digest_into(h);
+        self.consts.digest_into(h);
+        self.preds.digest_into(h);
+        self.steps.digest_into(h);
+        self.autos.digest_into(h);
+    }
+}
+
+/// FNV-1a accumulator with a caller-chosen initial state; deterministic
+/// across processes and platforms (unlike [`std::collections::hash_map::
+/// RandomState`], which is seeded per process).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct StableHasher(u64);
+
+impl StableHasher {
+    pub(crate) fn new(init: u64) -> Self {
+        StableHasher(init)
+    }
+
+    pub(crate) fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    pub(crate) fn finish(self) -> u64 {
+        self.0
+    }
 }
 
 struct Compiler<'g> {

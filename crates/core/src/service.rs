@@ -67,9 +67,10 @@ use crate::message::Message;
 use crate::parse::{ParseScratch, ParseSession};
 use crate::serialize::{SerializeScratch, SerializeSession};
 
-/// Upper bound of pooled scratch states kept per shard. Checkins beyond
-/// the cap drop the scratch instead of growing the pool without bound
-/// under bursty checkout patterns.
+/// Default upper bound of pooled scratch states kept per shard. Checkins
+/// beyond the cap drop the scratch instead of growing the pool without
+/// bound under bursty checkout patterns. Tunable per service with
+/// [`CodecService::pool_capacity`].
 const MAX_POOLED_PER_SHARD: usize = 32;
 
 /// A thread-safe codec front end: one shared [`Codec`] (and compiled
@@ -85,6 +86,8 @@ pub struct CodecService {
     /// Round-robin checkout cursor (shard selection hint, not a lock).
     next: AtomicUsize,
     max_frame: usize,
+    /// Pooled scratch states kept per shard before checkins are dropped.
+    pool_cap: usize,
     serialized: AtomicU64,
     parsed: AtomicU64,
     /// `try_lock` misses across checkout/checkin shard scans — the
@@ -137,6 +140,7 @@ impl CodecService {
             shards: (0..shards.max(1)).map(|_| Shard::default()).collect(),
             next: AtomicUsize::new(0),
             max_frame: MAX_FRAME,
+            pool_cap: MAX_POOLED_PER_SHARD,
             serialized: AtomicU64::new(0),
             parsed: AtomicU64::new(0),
             contended: AtomicU64::new(0),
@@ -147,6 +151,14 @@ impl CodecService {
     /// points (default [`MAX_FRAME`]).
     pub fn max_frame(mut self, limit: usize) -> Self {
         self.max_frame = limit;
+        self
+    }
+
+    /// Sets how many warmed scratch states each shard may park (default
+    /// 32). Lower caps bound memory on bursty workloads; zero disables
+    /// pooling entirely (every checkout starts a fresh session).
+    pub fn pool_capacity(mut self, cap: usize) -> Self {
+        self.pool_cap = cap;
         self
     }
 
@@ -336,7 +348,7 @@ impl CodecService {
         let n = self.shards.len();
         for i in 0..n {
             if let Ok(mut pool) = pool_of(&self.shards[(home + i) % n]).try_lock() {
-                if pool.len() < MAX_POOLED_PER_SHARD {
+                if pool.len() < self.pool_cap {
                     pool.push(item);
                 }
                 if i > 0 {
@@ -347,7 +359,7 @@ impl CodecService {
         }
         self.contended.fetch_add(n as u64, Ordering::Relaxed);
         let mut pool = pool_of(&self.shards[home]).lock().unwrap_or_else(|e| e.into_inner());
-        if pool.len() < MAX_POOLED_PER_SHARD {
+        if pool.len() < self.pool_cap {
             pool.push(item);
         }
     }

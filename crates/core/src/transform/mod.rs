@@ -107,6 +107,12 @@ impl TransformKind {
         }
     }
 
+    /// Inverse of [`TransformKind::name`]: resolves the paper's name back
+    /// to the kind (used by the [`crate::profile`] text format).
+    pub fn from_name(name: &str) -> Option<TransformKind> {
+        TransformKind::ALL.iter().copied().find(|k| k.name() == name)
+    }
+
     /// Collberg-taxonomy category.
     pub fn category(self) -> Category {
         match self {

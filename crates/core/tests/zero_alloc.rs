@@ -8,12 +8,13 @@
 //! global allocator: any future regression (a stray `Vec`, `format!`, or
 //! `Value` clone on the hot path) fails loudly.
 //!
-//! The file contains a single `#[test]` on purpose: the default harness
-//! runs tests of one binary on multiple threads, which would make the
-//! global counter ambiguous.
+//! The counter is **thread-local**: the libtest harness keeps its own
+//! threads (and may allocate on them at any time — its main thread races
+//! the test thread), so a process-global counter flakes. Only
+//! allocations made by the test's own thread count.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
 
 use protoobf_core::graph::{AutoValue, Boundary, GraphBuilder};
 use protoobf_core::value::TerminalKind;
@@ -21,11 +22,21 @@ use protoobf_core::Obfuscator;
 
 struct CountingAlloc;
 
-static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+thread_local! {
+    /// Allocations made by this thread (const-initialized: reading it
+    /// never allocates, which matters inside the allocator itself).
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn bump() {
+    // try_with: during thread teardown the TLS slot may already be
+    // destroyed; those allocations are not ours to count anyway.
+    let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        bump();
         System.alloc(layout)
     }
 
@@ -34,7 +45,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        bump();
         System.realloc(ptr, layout, new_size)
     }
 }
@@ -43,7 +54,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static GLOBAL: CountingAlloc = CountingAlloc;
 
 fn allocations() -> u64 {
-    ALLOCATIONS.load(Ordering::Relaxed)
+    ALLOCATIONS.with(Cell::get)
 }
 
 #[test]

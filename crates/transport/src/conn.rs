@@ -22,6 +22,7 @@
 
 use protoobf_core::framing::{FrameBuffer, FrameError};
 use protoobf_core::message::Message;
+use protoobf_core::profile::Endpoint;
 use protoobf_core::service::{CodecService, PooledParser, PooledSerializer};
 
 use crate::error::TransportError;
@@ -75,6 +76,20 @@ impl<'s> Conn<'s> {
             msgs_in: 0,
             msgs_out: 0,
         }
+    }
+
+    /// An initiator-side connection over a profile endpoint's obfuscated
+    /// stacks: sends the endpoint's `tx` spec, receives its `rx` spec
+    /// (asymmetric profiles give the two directions distinct codecs).
+    pub fn initiator(endpoint: &'s Endpoint) -> Conn<'s> {
+        Conn::new(endpoint.rx_service(), endpoint.tx_service())
+    }
+
+    /// The responder-side mirror of [`Conn::initiator`]: receives the
+    /// endpoint's `tx` spec, sends its `rx` spec. Both peers build from
+    /// the same profile; the role picks the orientation.
+    pub fn responder(endpoint: &'s Endpoint) -> Conn<'s> {
+        Conn::new(endpoint.tx_service(), endpoint.rx_service())
     }
 
     /// Current lifecycle state.

@@ -14,15 +14,28 @@
 //! client ───────────▶ encode gateway ───────────▶ decode gateway ───────────▶ server
 //!        ◀─────────── (Relay per connection)     ◀─────────── (Relay)
 //! ```
+//!
+//! A gateway pair is configured by two copies of one
+//! [`protoobf_core::profile::Profile`] file ([`Gateway::from_endpoint`]):
+//! each side independently derives the whole stack from the shared key,
+//! and the two derivations can be verified equal by comparing
+//! [`Gateway::fingerprint`]s before any traffic flows. Profiles with
+//! distinct `tx`/`rx` specs run **asymmetric** request/response chains —
+//! each relay leg carries a different grammar per direction.
 
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 use std::time::Duration;
 
 use protoobf_core::message::Message;
+use protoobf_core::profile::{Endpoint, Fingerprint};
+use protoobf_core::sample::random_message;
 use protoobf_core::service::CodecService;
 use protoobf_core::{Codec, FormatGraph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 use crate::conn::{Conn, ConnState};
 use crate::error::TransportError;
@@ -44,6 +57,24 @@ pub enum GatewayMode {
     /// Accept obfuscated traffic, emit clear traffic upstream (server
     /// side).
     Decode,
+}
+
+/// The two codec services of one relay leg: what the leg's socket is
+/// parsed with (`rx`) and serialized onto (`tx`). Symmetric protocols
+/// pass the same service twice ([`LegServices::symmetric`]).
+#[derive(Debug, Clone, Copy)]
+pub struct LegServices<'s> {
+    /// Codec of the leg's inbound frames.
+    pub rx: &'s CodecService,
+    /// Codec of the leg's outbound frames.
+    pub tx: &'s CodecService,
+}
+
+impl<'s> LegServices<'s> {
+    /// Both directions of the leg speak `svc`'s codec.
+    pub fn symmetric(svc: &'s CodecService) -> LegServices<'s> {
+        LegServices { rx: svc, tx: svc }
+    }
 }
 
 /// One relayed connection: the accepted ("down") leg and the dialed
@@ -72,23 +103,26 @@ pub struct Relay<'s> {
 }
 
 impl<'s> Relay<'s> {
-    /// Builds a relay between an accepted socket (framed with `down_svc`'s
-    /// codec in both directions) and a dialed upstream socket (framed with
-    /// `up_svc`'s codec). Both sockets must already be non-blocking.
+    /// Builds a relay between an accepted socket (framed with `down`'s
+    /// services) and a dialed upstream socket (framed with `up`'s). The
+    /// two legs may differ per direction (asymmetric request/response
+    /// profiles); `down.rx` must share its plain spec with `up.tx`, and
+    /// `up.rx` with `down.tx` (the transcode path). Both sockets must
+    /// already be non-blocking.
     pub fn new(
-        down: TcpStream,
-        up: TcpStream,
-        down_svc: &'s CodecService,
-        up_svc: &'s CodecService,
+        down_stream: TcpStream,
+        up_stream: TcpStream,
+        down: LegServices<'s>,
+        up: LegServices<'s>,
         metrics: &'s Metrics,
     ) -> Relay<'s> {
         Relay {
-            down,
-            up,
-            down_conn: Conn::new(down_svc, down_svc),
-            up_conn: Conn::new(up_svc, up_svc),
-            to_up: up_svc.codec().message(),
-            to_down: down_svc.codec().message(),
+            down: down_stream,
+            up: up_stream,
+            down_conn: Conn::new(down.rx, down.tx),
+            up_conn: Conn::new(up.rx, up.tx),
+            to_up: up.tx.codec().message(),
+            to_down: down.tx.codec().message(),
             read_buf: vec![0u8; 16 * 1024],
             down_eof_relayed: false,
             up_eof_relayed: false,
@@ -271,24 +305,91 @@ impl Session for Echo<'_> {
     }
 }
 
-/// One obfuscation gateway: the clear codec (identity plan over the plain
-/// specification) and the obfuscated codec, plus which side of the wire
-/// this instance faces. [`Gateway::serve`] relays accepted connections to
-/// `upstream` until shut down.
+/// A framed request/response session for **asymmetric** protocols: every
+/// inbound message (the request spec) is answered with a freshly sampled
+/// message of the response spec — the stand-in "real server" behind a
+/// decode gateway when the two directions speak different grammars and a
+/// byte [`Echo`] therefore cannot apply. Used by `protoobf recv` for
+/// asymmetric profiles.
+pub struct Responder<'s> {
+    stream: TcpStream,
+    conn: Conn<'s>,
+    /// Codec the sampled replies are drawn from (`reply_svc`'s).
+    reply_svc: &'s CodecService,
+    rng: StdRng,
+    read_buf: Vec<u8>,
+    metrics: &'s Metrics,
+}
+
+impl<'s> Responder<'s> {
+    /// Wraps an accepted (non-blocking) socket that receives
+    /// `request_svc`-framed messages and answers each with a random
+    /// message of `reply_svc`'s codec (deterministic per `seed`).
+    pub fn new(
+        stream: TcpStream,
+        request_svc: &'s CodecService,
+        reply_svc: &'s CodecService,
+        seed: u64,
+        metrics: &'s Metrics,
+    ) -> Responder<'s> {
+        Responder {
+            stream,
+            conn: Conn::new(request_svc, reply_svc),
+            reply_svc,
+            rng: StdRng::seed_from_u64(seed),
+            read_buf: vec![0u8; 16 * 1024],
+            metrics,
+        }
+    }
+}
+
+impl Session for Responder<'_> {
+    fn drive(&mut self) -> Result<Drive, TransportError> {
+        let mut progress =
+            read_into(&mut self.stream, &mut self.conn, &mut self.read_buf, self.metrics)?;
+        // The decoded request's content is not inspected — arrival of a
+        // structurally valid message is the contract; the reply is
+        // sampled from the *other* direction's grammar.
+        while self.conn.poll_inbound()?.is_some() {
+            Metrics::add(&self.metrics.messages_in, 1);
+            let reply = random_message(self.reply_svc.codec(), &mut self.rng);
+            self.conn.send(&reply)?;
+            Metrics::add(&self.metrics.messages_out, 1);
+            progress = true;
+        }
+        progress |= flush_from(&mut self.stream, &mut self.conn, self.metrics)?;
+        if self.conn.state() == ConnState::PeerClosed && !self.conn.has_outbound() {
+            let _ = self.stream.shutdown(Shutdown::Write);
+            return Ok(Drive::Done);
+        }
+        Ok(if progress { Drive::Progress } else { Drive::Idle })
+    }
+}
+
+/// One obfuscation gateway: the four codec services of its two relay legs
+/// (accepted "down" side and dialed "up" side, one `rx`/`tx` pair each),
+/// plus which side of the obfuscated wire this instance faces.
+/// [`Gateway::serve`] relays accepted connections to `upstream` until
+/// shut down.
 pub struct Gateway {
-    clear: CodecService,
-    obf: CodecService,
+    down_rx: Arc<CodecService>,
+    down_tx: Arc<CodecService>,
+    up_rx: Arc<CodecService>,
+    up_tx: Arc<CodecService>,
     mode: GatewayMode,
     upstream: SocketAddr,
     metrics: Metrics,
+    /// Derivation fingerprint when built from a profile endpoint.
+    fingerprint: Option<Fingerprint>,
 }
 
 impl Gateway {
-    /// Builds a gateway for `plain`'s protocol with the given obfuscated
-    /// codec (both gateways of a pair must derive it from the same seed /
-    /// level — the shared secret). `upstream` is the decode gateway (for
-    /// [`GatewayMode::Encode`]) or the real server (for
-    /// [`GatewayMode::Decode`]).
+    /// Legacy symmetric constructor: one plain spec, one obfuscated codec
+    /// for both directions (both gateways of a pair must derive it from
+    /// the same key / level — the shared secret). `upstream` is the
+    /// decode gateway (for [`GatewayMode::Encode`]) or the real server
+    /// (for [`GatewayMode::Decode`]). Prefer [`Gateway::from_endpoint`],
+    /// which also carries asymmetric profiles and the fingerprint.
     ///
     /// # Errors
     ///
@@ -299,15 +400,67 @@ impl Gateway {
         mode: GatewayMode,
         upstream: impl ToSocketAddrs,
     ) -> io::Result<Gateway> {
-        let upstream = upstream.to_socket_addrs()?.next().ok_or_else(|| {
-            io::Error::new(io::ErrorKind::InvalidInput, "upstream resolves to no address")
-        })?;
+        let clear = Arc::new(CodecService::new(Codec::identity(plain)));
+        let obf = Arc::new(CodecService::new(obf));
+        let (down, up) = match mode {
+            GatewayMode::Encode => (&clear, &obf),
+            GatewayMode::Decode => (&obf, &clear),
+        };
         Ok(Gateway {
-            clear: CodecService::new(Codec::identity(plain)),
-            obf: CodecService::new(obf),
+            down_rx: Arc::clone(down),
+            down_tx: Arc::clone(down),
+            up_rx: Arc::clone(up),
+            up_tx: Arc::clone(up),
             mode,
-            upstream,
+            upstream: resolve_upstream(upstream)?,
             metrics: Metrics::new(),
+            fingerprint: None,
+        })
+    }
+
+    /// Builds a gateway from a compiled profile [`Endpoint`] — the whole
+    /// point of the profile API: both gateways of a pair are configured
+    /// by two copies of the same profile file and derive identical
+    /// stacks, verifiable via [`Gateway::fingerprint`] before traffic
+    /// flows.
+    ///
+    /// The encode gateway faces the initiator: its clear leg parses the
+    /// profile's `tx` spec and emits the `rx` spec, its obfuscated leg
+    /// the reverse. The decode gateway mirrors that onto the responder
+    /// side. Asymmetric profiles (distinct `tx`/`rx`) thus run a
+    /// different grammar per direction on every leg.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors resolving `upstream`.
+    pub fn from_endpoint(
+        endpoint: &Endpoint,
+        mode: GatewayMode,
+        upstream: impl ToSocketAddrs,
+    ) -> io::Result<Gateway> {
+        let (down_rx, down_tx, up_rx, up_tx) = match mode {
+            GatewayMode::Encode => (
+                endpoint.clear_tx_service(),
+                endpoint.clear_rx_service(),
+                endpoint.rx_service(),
+                endpoint.tx_service(),
+            ),
+            GatewayMode::Decode => (
+                endpoint.tx_service(),
+                endpoint.rx_service(),
+                endpoint.clear_rx_service(),
+                endpoint.clear_tx_service(),
+            ),
+        };
+        Ok(Gateway {
+            down_rx: Arc::clone(down_rx),
+            down_tx: Arc::clone(down_tx),
+            up_rx: Arc::clone(up_rx),
+            up_tx: Arc::clone(up_tx),
+            mode,
+            upstream: resolve_upstream(upstream)?,
+            metrics: Metrics::new(),
+            fingerprint: Some(endpoint.fingerprint()),
         })
     }
 
@@ -316,14 +469,27 @@ impl Gateway {
         &self.metrics
     }
 
-    /// The clear-side codec service (identity plan).
-    pub fn clear_service(&self) -> &CodecService {
-        &self.clear
+    /// Which side of the obfuscated wire this gateway faces.
+    pub fn mode(&self) -> GatewayMode {
+        self.mode
     }
 
-    /// The obfuscated-side codec service.
-    pub fn obf_service(&self) -> &CodecService {
-        &self.obf
+    /// The profile derivation fingerprint (`None` for the legacy
+    /// [`Gateway::new`] construction). Operators compare this across the
+    /// pair — equal fingerprints mean both sides derived identical
+    /// stacks; a key mismatch is caught here, before any traffic flows.
+    pub fn fingerprint(&self) -> Option<Fingerprint> {
+        self.fingerprint
+    }
+
+    /// Services of the accepted ("down") leg, `(rx, tx)`.
+    pub fn down_services(&self) -> LegServices<'_> {
+        LegServices { rx: &self.down_rx, tx: &self.down_tx }
+    }
+
+    /// Services of the dialed upstream ("up") leg, `(rx, tx)`.
+    pub fn up_services(&self) -> LegServices<'_> {
+        LegServices { rx: &self.up_rx, tx: &self.up_tx }
     }
 
     /// Accepts and relays connections until `shutdown` is raised (or
@@ -340,16 +506,18 @@ impl Gateway {
         cfg: &LoopConfig,
         shutdown: &AtomicBool,
     ) -> io::Result<()> {
-        let (down_svc, up_svc) = match self.mode {
-            GatewayMode::Encode => (&self.clear, &self.obf),
-            GatewayMode::Decode => (&self.obf, &self.clear),
-        };
         evloop::serve(listener, cfg, shutdown, &self.metrics, |down, _peer| {
             let up = TcpStream::connect_timeout(&self.upstream, UPSTREAM_DIAL_TIMEOUT)
                 .map_err(TransportError::Io)?;
             up.set_nonblocking(true).map_err(TransportError::Io)?;
             let _ = up.set_nodelay(true);
-            Ok(Relay::new(down, up, down_svc, up_svc, &self.metrics))
+            Ok(Relay::new(down, up, self.down_services(), self.up_services(), &self.metrics))
         })
     }
+}
+
+fn resolve_upstream(upstream: impl ToSocketAddrs) -> io::Result<SocketAddr> {
+    upstream.to_socket_addrs()?.next().ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, "upstream resolves to no address")
+    })
 }

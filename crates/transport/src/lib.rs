@@ -34,6 +34,15 @@
 //!
 //! [`metrics::Metrics`] instruments all of it; [`duplex`] provides the
 //! in-memory transport used by the differential tests.
+//!
+//! Deployments configure the whole stack through a
+//! [`protoobf_core::profile::Profile`]: [`gateway::Gateway::from_endpoint`]
+//! wires a (possibly **asymmetric** — distinct request/response grammars
+//! per direction) gateway from a compiled endpoint, and
+//! [`conn::Conn::initiator`] / [`conn::Conn::responder`] do the same for
+//! natively obfuscated peers. Both sides of a deployment hold copies of
+//! one profile file and verify their derivations agree by comparing
+//! fingerprints before sending traffic.
 
 pub mod conn;
 pub mod duplex;
@@ -45,5 +54,5 @@ pub mod metrics;
 pub use conn::{Conn, ConnState};
 pub use error::TransportError;
 pub use evloop::{serve, Drive, LoopConfig, Session};
-pub use gateway::{Echo, Gateway, GatewayMode, Relay};
+pub use gateway::{Echo, Gateway, GatewayMode, LegServices, Relay, Responder};
 pub use metrics::{Metrics, MetricsSnapshot};

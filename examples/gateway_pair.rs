@@ -6,8 +6,12 @@
 //! client ──clear──▶ encode gw ──obfuscated──▶ decode gw ──clear──▶ echo server
 //! ```
 //!
-//! Both gateways derive the same obfuscated codec from a shared seed (the
-//! deployment secret); client and server only ever link the plain spec.
+//! Everything is configured by **two copies of one profile file** — the
+//! single shared secret object. Each gateway independently derives its
+//! whole stack from its copy ([`Profile::build`] via the standard
+//! resolver) and the two derivations are verified identical by comparing
+//! fingerprints *before* any traffic flows; a wrong key is caught right
+//! there, not as garbage on the wire.
 //!
 //! ```sh
 //! cargo run --example gateway_pair
@@ -17,24 +21,38 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 
 use protoobf::core::framing::{FrameReader, FrameWriter};
-use protoobf::core::service::CodecService;
 use protoobf::protocols::modbus::{self, Function};
 use protoobf::transport::{evloop, Echo, Gateway, GatewayMode, LoopConfig, Metrics};
-use protoobf::{Codec, Obfuscator};
+use protoobf::{Profile, ProfileExt};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-const SHARED_SEED: u64 = 0x6A7E;
-const LEVEL: u32 = 2;
+/// In a real deployment this is a file both sides hold a copy of.
+const PROFILE_TEXT: &str = r#"
+profile protoobf/1
+spec builtin:modbus-request
+key "gateway-pair demo secret"
+level 2
+"#;
+
 const CLIENTS: usize = 8;
 const MSGS: usize = 8;
 
-fn obf_codec(graph: &protoobf::FormatGraph) -> Result<Codec, Box<dyn std::error::Error>> {
-    Ok(Obfuscator::new(graph).seed(SHARED_SEED).max_per_node(LEVEL).obfuscate()?)
-}
-
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let graph = modbus::request_graph();
+    // Each side parses and builds its *own copy* of the profile.
+    let encode_ep = Profile::parse(PROFILE_TEXT)?.build()?;
+    let decode_ep = Profile::parse(PROFILE_TEXT)?.build()?;
+
+    // The handshake a deployment performs out of band: compare the
+    // derivation fingerprints before any traffic flows.
+    assert_eq!(encode_ep.fingerprint(), decode_ep.fingerprint());
+    let imposter = Profile::parse(PROFILE_TEXT)?.key("wrong secret").build()?;
+    assert_ne!(
+        encode_ep.fingerprint(),
+        imposter.fingerprint(),
+        "a key mismatch must be detectable by fingerprint comparison"
+    );
+    println!("fingerprints agree: {}", encode_ep.fingerprint());
 
     // Three listeners on ephemeral ports: echo server, decode gw, encode gw.
     let server_l = TcpListener::bind("127.0.0.1:0")?;
@@ -43,10 +61,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let client_addr = encode_l.local_addr()?;
 
     let encode_gw =
-        Gateway::new(&graph, obf_codec(&graph)?, GatewayMode::Encode, decode_l.local_addr()?)?;
+        Gateway::from_endpoint(&encode_ep, GatewayMode::Encode, decode_l.local_addr()?)?;
     let decode_gw =
-        Gateway::new(&graph, obf_codec(&graph)?, GatewayMode::Decode, server_l.local_addr()?)?;
-    let server_svc = CodecService::new(Codec::identity(&graph));
+        Gateway::from_endpoint(&decode_ep, GatewayMode::Decode, server_l.local_addr()?)?;
+    // Client and server never see the key: they use the clear (identity)
+    // stack the endpoint derives from the same profile.
+    let server_svc = decode_ep.clear_tx_service();
     let server_metrics = Metrics::new();
 
     let shutdown = AtomicBool::new(false);
@@ -57,7 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let loops = [
             scope.spawn(|| {
                 evloop::serve(server_l, &cfg, &shutdown, &server_metrics, |s, _| {
-                    Ok(Echo::new(s, &server_svc, &server_metrics))
+                    Ok(Echo::new(s, server_svc, &server_metrics))
                 })
             }),
             scope.spawn(|| decode_gw.serve(decode_l, &cfg, &shutdown)),
@@ -67,16 +87,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Concurrent clear-protocol clients, oblivious to the obfuscation.
         std::thread::scope(|clients| {
             for t in 0..CLIENTS {
-                let graph = &graph;
+                let clear = encode_ep.clear_tx_service().codec();
                 clients.spawn(move || {
-                    let clear = Codec::identity(graph);
                     let stream = TcpStream::connect(client_addr).expect("connect");
-                    let mut writer = FrameWriter::new(&clear, &stream);
-                    let mut reader = FrameReader::new(&clear, &stream);
+                    let mut writer = FrameWriter::new(clear, &stream);
+                    let mut reader = FrameReader::new(clear, &stream);
                     let mut rng = StdRng::seed_from_u64(t as u64);
                     for i in 0..MSGS {
                         let f = Function::ALL[(t + i) % Function::ALL.len()];
-                        let msg = modbus::build_request(&clear, f, &mut rng);
+                        let msg = modbus::build_request(clear, f, &mut rng);
                         let wire = clear.serialize(&msg).expect("serialize");
                         writer.send_raw(&wire).expect("send");
                         let echo = reader.recv_raw().expect("recv").expect("echo");

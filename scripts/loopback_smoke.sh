@@ -68,8 +68,58 @@ for spec in dns-query http-request modbus-request; do
     timeout "$CLIENT_TIMEOUT" "$BIN" send "builtin:$spec" \
         --connect "127.0.0.1:$p_client" --count "$COUNT" --seed 3
 
-    wait "$recv_pid" "$dec_pid" "$enc_pid"
+    # wait with multiple PIDs reports only the last one's status; loop so
+    # a responder/decode-gateway failure cannot be masked.
+    for pid in "$recv_pid" "$dec_pid" "$enc_pid"; do wait "$pid"; done
     echo "[smoke] $spec: $COUNT messages byte-identical through the gateway pair"
 done
+
+# The profile-driven chain: everything — including an asymmetric
+# request/response split (dns-query up, dns-response back) — configured
+# by copies of ONE profile file. The gateways must print equal
+# fingerprints; the responder answers each query with a response-grammar
+# message the client verifies parse.
+profile="$logdir/chain.profile"
+cat > "$profile" <<'PROFILE'
+profile protoobf/1
+tx builtin:dns-query
+rx builtin:dns-response
+key "loopback smoke shared secret"
+level 2
+PROFILE
+
+p_client=$PORT p_obf=$((PORT + 1)) p_server=$((PORT + 2))
+PORT=$((PORT + 3))
+
+"$BIN" recv --profile "$profile" --listen "127.0.0.1:$p_server" --accept-limit 1 \
+    2>"$logdir/profile-recv.log" &
+recv_pid=$!
+"$BIN" gateway --profile "$profile" --mode decode \
+    --listen "127.0.0.1:$p_obf" --upstream "127.0.0.1:$p_server" --accept-limit 1 \
+    2>"$logdir/profile-decode.log" &
+dec_pid=$!
+"$BIN" gateway --profile "$profile" --mode encode \
+    --listen "127.0.0.1:$p_client" --upstream "127.0.0.1:$p_obf" --accept-limit 1 \
+    2>"$logdir/profile-encode.log" &
+enc_pid=$!
+pids+=("$recv_pid" "$dec_pid" "$enc_pid")
+
+wait_ready "responder on" "$logdir/profile-recv.log"
+wait_ready "gateway on" "$logdir/profile-decode.log"
+wait_ready "gateway on" "$logdir/profile-encode.log"
+
+fp_enc=$(grep -o 'fingerprint [0-9a-f]*' "$logdir/profile-encode.log" | head -1)
+fp_dec=$(grep -o 'fingerprint [0-9a-f]*' "$logdir/profile-decode.log" | head -1)
+if [ -z "$fp_enc" ] || [ "$fp_enc" != "$fp_dec" ]; then
+    echo "[smoke] gateway fingerprints disagree: '$fp_enc' vs '$fp_dec'" >&2
+    exit 1
+fi
+echo "[smoke] profile chain fingerprints agree: $fp_enc"
+
+timeout "$CLIENT_TIMEOUT" "$BIN" send --profile "$profile" \
+    --connect "127.0.0.1:$p_client" --count "$COUNT"
+
+for pid in "$recv_pid" "$dec_pid" "$enc_pid"; do wait "$pid"; done
+echo "[smoke] asymmetric profile chain: $COUNT query/response rounds relayed"
 
 echo "[smoke] all protocols passed"

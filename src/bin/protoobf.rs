@@ -1,35 +1,55 @@
 //! `protoobf` — command-line front end to the obfuscation framework.
 //!
 //! ```text
-//! protoobf check <spec>                      validate a specification
-//! protoobf print <spec>                      re-print the canonical form
-//! protoobf dot <spec> [--level N --seed N]   Graphviz (plain or obfuscated)
-//! protoobf gen <spec> [--level N --seed N] [-o lib.c]
+//! protoobf check <target>                    validate; with --profile also
+//!                                            print the derivation fingerprint
+//! protoobf print <target>                    re-print the canonical form
+//!                                            (spec text, or profile + summary)
+//! protoobf dot <target> [--level N --key K]  Graphviz (plain or obfuscated)
+//! protoobf gen <target> [--level N --key K] [-o lib.c]
 //!                                            generate the C library + metrics
-//! protoobf demo <spec> [--level N --seed N]  round-trip a random message
-//! protoobf gateway <spec> --listen A --upstream B --mode encode|decode
-//!                  [--level N --seed N --workers N --accept-limit N]
+//! protoobf demo <target> [--level N --key K] round-trip a random message
+//! protoobf gateway <target> --listen A --upstream B --mode encode|decode
+//!                  [--workers N --accept-limit N]
 //!                                            run one obfuscation gateway
-//! protoobf recv <spec> --listen A [--workers N --accept-limit N]
-//!                                            clear-framed echo server
-//! protoobf send <spec> --connect A [--count N --seed N]
+//! protoobf recv <target> --listen A [--workers N --accept-limit N]
+//!                                            clear-framed echo/responder server
+//! protoobf send <target> --connect A [--count N]
 //!                                            clear-framed client, verifies echoes
 //! ```
 //!
-//! `<spec>` is a DSL file, or `builtin:NAME` for the bundled experiment
-//! protocols (`dns-query`, `dns-response`, `http-request`,
-//! `http-response`, `modbus-request`, `modbus-response`).
+//! `<target>` is either a positional spec — a DSL file, or `builtin:NAME`
+//! for the bundled experiment protocols (`dns-query`, `dns-response`,
+//! `http-request`, `http-response`, `modbus-request`,
+//! `modbus-response`) — or `--profile FILE`, a profile in the
+//! [`protoobf::Profile`] text format. The profile is the deployment's
+//! single source of truth: spec source(s) (optionally distinct per
+//! direction — asymmetric request/response), the shared key, level,
+//! allowed transformations and service tuning. Legacy flags map onto an
+//! implicit symmetric profile: `--key STRING` sets the secret, `--seed N`
+//! is the deprecated alias for `--key N`, `--level N` the budget.
 //!
-//! A full loopback deployment (the paper's gateway-pair model):
+//! A full loopback deployment (the paper's gateway-pair model), driven by
+//! two copies of one profile file:
 //!
 //! ```sh
-//! protoobf recv    builtin:modbus-request --listen 127.0.0.1:9002 &
-//! protoobf gateway builtin:modbus-request --mode decode --seed 7 \
+//! cat > chain.profile <<'EOF'
+//! profile protoobf/1
+//! tx builtin:dns-query
+//! rx builtin:dns-response
+//! key "shared-secret"
+//! level 2
+//! EOF
+//! protoobf recv    --profile chain.profile --listen 127.0.0.1:9002 &
+//! protoobf gateway --profile chain.profile --mode decode \
 //!     --listen 127.0.0.1:9001 --upstream 127.0.0.1:9002 &
-//! protoobf gateway builtin:modbus-request --mode encode --seed 7 \
+//! protoobf gateway --profile chain.profile --mode encode \
 //!     --listen 127.0.0.1:9000 --upstream 127.0.0.1:9001 &
-//! protoobf send    builtin:modbus-request --connect 127.0.0.1:9000 --count 64
+//! protoobf send    --profile chain.profile --connect 127.0.0.1:9000 --count 64
 //! ```
+//!
+//! Both gateways print the same `fingerprint` line when (and only when)
+//! their profiles agree — compare them before sending traffic.
 
 use std::process::ExitCode;
 use std::sync::atomic::AtomicBool;
@@ -37,14 +57,39 @@ use std::sync::atomic::AtomicBool;
 use protoobf::codegen::{generate, measure};
 use protoobf::core::framing::{FrameReader, FrameWriter};
 use protoobf::core::sample::random_message;
-use protoobf::core::service::CodecService;
-use protoobf::transport::{evloop, Echo, Gateway, GatewayMode, LoopConfig, Metrics};
-use protoobf::{Codec, Obfuscator};
+use protoobf::transport::{evloop, Echo, Gateway, GatewayMode, LoopConfig, Metrics, Responder};
+use protoobf::{Derivation, Endpoint, Profile, ProfileExt, SpecSource};
+
+/// A CLI failure: usage errors re-print the usage text naming the
+/// offending token (exit 2); run errors report and exit 1.
+enum CliError {
+    Usage(String),
+    Run(String),
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> CliError {
+        CliError::Run(msg)
+    }
+}
+
+fn usage(msg: &str) -> String {
+    format!(
+        "error: {msg}\n\
+         usage: protoobf <check|print|dot|gen|demo|gateway|recv|send>\n\
+         \x20      <spec-file|builtin:NAME> | --profile FILE\n\
+         \x20      [--key STRING] [--seed N (deprecated alias for --key N)] [--level N]\n\
+         \x20      [-o FILE] [--listen ADDR] [--upstream ADDR] [--connect ADDR]\n\
+         \x20      [--mode encode|decode] [--workers N] [--accept-limit N] [--count N]"
+    )
+}
 
 struct Options {
-    spec_path: String,
-    level: u32,
-    seed: u64,
+    spec_path: Option<String>,
+    profile: Option<String>,
+    level: Option<u32>,
+    seed: Option<u64>,
+    key: Option<String>,
     out: Option<String>,
     listen: Option<String>,
     upstream: Option<String>,
@@ -55,21 +100,13 @@ struct Options {
     count: usize,
 }
 
-fn usage() -> ExitCode {
-    eprintln!(
-        "usage: protoobf <check|print|dot|gen|demo|gateway|recv|send> <spec-file|builtin:NAME>\n\
-         \x20      [--level N] [--seed N] [-o FILE] [--listen ADDR] [--upstream ADDR]\n\
-         \x20      [--connect ADDR] [--mode encode|decode] [--workers N]\n\
-         \x20      [--accept-limit N] [--count N]"
-    );
-    ExitCode::from(2)
-}
-
 fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
-        spec_path: String::new(),
-        level: 1,
-        seed: 0,
+        spec_path: None,
+        profile: None,
+        level: None,
+        seed: None,
+        key: None,
         out: None,
         listen: None,
         upstream: None,
@@ -79,110 +116,176 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         accept_limit: None,
         count: 16,
     };
-    let mut spec_path = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| it.next().cloned().ok_or(format!("{flag} needs a value"));
         match arg.as_str() {
-            "--level" => {
-                opts.level = value("--level")?.parse().map_err(|_| "--level must be a number")?;
-            }
-            "--seed" => {
-                opts.seed = value("--seed")?.parse().map_err(|_| "--seed must be a number")?;
-            }
+            "--profile" => opts.profile = Some(value("--profile")?),
+            "--level" => opts.level = Some(number("--level", &value("--level")?)?),
+            "--seed" => opts.seed = Some(number("--seed", &value("--seed")?)?),
+            "--key" => opts.key = Some(value("--key")?),
             "-o" | "--out" => opts.out = Some(value("-o")?),
-            "--listen" => opts.listen = Some(value("--listen")?),
-            "--upstream" => opts.upstream = Some(value("--upstream")?),
-            "--connect" => opts.connect = Some(value("--connect")?),
+            "--listen" => opts.listen = Some(addr("--listen", &value("--listen")?)?),
+            "--upstream" => opts.upstream = Some(addr("--upstream", &value("--upstream")?)?),
+            "--connect" => opts.connect = Some(addr("--connect", &value("--connect")?)?),
             "--mode" => opts.mode = Some(value("--mode")?),
-            "--workers" => {
-                opts.workers =
-                    Some(value("--workers")?.parse().map_err(|_| "--workers must be a number")?);
-            }
+            "--workers" => opts.workers = Some(number("--workers", &value("--workers")?)?),
             "--accept-limit" => {
-                opts.accept_limit = Some(
-                    value("--accept-limit")?
-                        .parse()
-                        .map_err(|_| "--accept-limit must be a number")?,
-                );
+                opts.accept_limit = Some(number("--accept-limit", &value("--accept-limit")?)?);
             }
-            "--count" => {
-                opts.count = value("--count")?.parse().map_err(|_| "--count must be a number")?;
-            }
-            other if spec_path.is_none() && !other.starts_with('-') => {
-                spec_path = Some(other.to_string());
-            }
-            other => return Err(format!("unknown argument {other:?}")),
+            "--count" => opts.count = number("--count", &value("--count")?)?,
+            other if other.starts_with('-') => return Err(format!("unknown flag {other:?}")),
+            other if opts.spec_path.is_none() => opts.spec_path = Some(other.to_string()),
+            other => return Err(format!("unexpected argument {other:?}")),
         }
     }
-    opts.spec_path = spec_path.ok_or("missing specification file")?;
+    if opts.profile.is_some() {
+        if let Some(spec) = &opts.spec_path {
+            return Err(format!("--profile excludes the positional spec {spec:?}"));
+        }
+        for (flag, given) in [
+            ("--seed", opts.seed.is_some()),
+            ("--key", opts.key.is_some()),
+            ("--level", opts.level.is_some()),
+        ] {
+            if given {
+                return Err(format!("--profile excludes {flag} (set it in the profile file)"));
+            }
+        }
+    } else if opts.spec_path.is_none() {
+        return Err("missing specification (give a spec file, builtin:NAME or --profile)".into());
+    }
     Ok(opts)
 }
 
-fn load(path: &str) -> Result<protoobf::FormatGraph, String> {
-    if let Some(name) = path.strip_prefix("builtin:") {
-        use protoobf::protocols::{dns, http, modbus};
-        return match name {
-            "dns-query" => Ok(dns::query_graph()),
-            "dns-response" => Ok(dns::response_graph()),
-            "http-request" => Ok(http::request_graph()),
-            "http-response" => Ok(http::response_graph()),
-            "modbus-request" => Ok(modbus::request_graph()),
-            "modbus-response" => Ok(modbus::response_graph()),
-            other => Err(format!(
-                "unknown builtin protocol {other:?} (expected dns-query, dns-response, \
-                 http-request, http-response, modbus-request or modbus-response)"
-            )),
-        };
-    }
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    protoobf::spec::parse_spec(&text).map_err(|e| e.to_string())
+fn number<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, String> {
+    v.parse().map_err(|_| format!("{flag}: invalid number {v:?}"))
 }
 
-fn codec_for(graph: &protoobf::FormatGraph, opts: &Options) -> Result<Codec, String> {
-    if opts.level == 0 {
-        Ok(Codec::identity(graph))
-    } else {
-        Obfuscator::new(graph)
-            .seed(opts.seed)
-            .max_per_node(opts.level)
-            .obfuscate()
-            .map_err(|e| e.to_string())
+/// Validates an address flag's **shape** eagerly (typos surface as usage
+/// errors naming the token), without resolving hostnames: DNS stays a
+/// runtime concern, so a transient resolver failure cannot masquerade as
+/// a usage error.
+fn addr(flag: &str, v: &str) -> Result<String, String> {
+    if v.parse::<std::net::SocketAddr>().is_ok() {
+        return Ok(v.to_string());
+    }
+    match v.rsplit_once(':') {
+        Some((host, port)) if !host.is_empty() && port.parse::<u16>().is_ok() => Ok(v.to_string()),
+        _ => Err(format!("{flag}: invalid address {v:?} (expected HOST:PORT)")),
     }
 }
 
-fn run() -> Result<(), String> {
+/// The profile driving this invocation: `--profile FILE`, or an implicit
+/// symmetric profile assembled from the legacy flags.
+fn profile_for(opts: &Options) -> Result<Profile, CliError> {
+    if let Some(path) = &opts.profile {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::Run(format!("cannot read {path}: {e}")))?;
+        return Profile::parse(&text).map_err(|e| CliError::Run(format!("{path}: {e}")));
+    }
+    // The positional spec is taken verbatim (unlike sources inside a
+    // profile file, a CLI path may contain spaces or '#').
+    let raw = opts.spec_path.as_deref().expect("parse_options guarantees a spec");
+    let spec = match raw.strip_prefix("builtin:") {
+        Some(name) => SpecSource::Builtin(name.to_string()),
+        None => SpecSource::File(raw.to_string()),
+    };
+    // Legacy mapping: --seed N is an alias for --key N (the decimal
+    // string); explicit --key wins. Default key "0" matches the old
+    // default seed of 0.
+    let key = match (&opts.key, opts.seed) {
+        (Some(k), _) => k.clone(),
+        (None, Some(seed)) => {
+            eprintln!(
+                "note: --seed {seed} is deprecated and now derives the stack from key \
+                 \"{seed}\" (not the raw u64 seed of older releases); pair only with peers \
+                 on the same version, and prefer --key or a profile file"
+            );
+            seed.to_string()
+        }
+        (None, None) => "0".to_string(),
+    };
+    Ok(Profile::symmetric(spec).key(key).level(opts.level.unwrap_or(1)))
+}
+
+fn endpoint_for(opts: &Options) -> Result<Endpoint, CliError> {
+    profile_for(opts)?.build().map_err(|e| CliError::Run(e.to_string()))
+}
+
+/// Codec-level derivation (no service pools) for the one-shot
+/// inspection subcommands.
+fn derivation_for(opts: &Options) -> Result<Derivation, CliError> {
+    profile_for(opts)?.derive_with(&protoobf::StdResolver).map_err(|e| CliError::Run(e.to_string()))
+}
+
+fn run() -> Result<(), CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (command, rest) = match args.split_first() {
         Some((c, rest)) => (c.clone(), rest.to_vec()),
-        None => return Err("missing command".into()),
+        None => return Err(CliError::Usage("missing command".into())),
     };
-    let opts = parse_options(&rest)?;
-    let graph = load(&opts.spec_path)?;
+    let opts = parse_options(&rest).map_err(CliError::Usage)?;
 
     match command.as_str() {
         "check" => {
-            println!(
-                "{}: ok — {} nodes, {} terminals",
-                graph.name(),
-                graph.len(),
-                graph.ids().filter(|&i| graph.node(i).is_terminal()).count()
-            );
+            let describe = |label: &str, graph: &protoobf::FormatGraph| {
+                println!(
+                    "{label}{}: ok — {} nodes, {} terminals",
+                    graph.name(),
+                    graph.len(),
+                    graph.ids().filter(|&i| graph.node(i).is_terminal()).count()
+                );
+            };
+            if opts.profile.is_some() {
+                // A profile check validates the whole derivation (both
+                // halves) and reports the fingerprint to diff against the
+                // peer's.
+                let derivation = derivation_for(&opts)?;
+                describe("tx ", derivation.tx.plain());
+                if let Some(rx) = &derivation.rx {
+                    describe("rx ", rx.plain());
+                }
+                println!("fingerprint {}", derivation.fingerprint);
+            } else {
+                // A bare spec check only parses and validates — no
+                // obfuscation derivation is paid for.
+                let graph =
+                    protoobf::resolve_spec(profile_for(&opts)?.tx()).map_err(CliError::Run)?;
+                graph.validate().map_err(|e| CliError::Run(e.to_string()))?;
+                describe("", &graph);
+            }
         }
         "print" => {
-            print!("{}", protoobf::spec::to_text(&graph));
+            if opts.profile.is_some() {
+                let endpoint = endpoint_for(&opts)?;
+                print!("{}", endpoint.profile().to_text());
+                println!();
+                print!("{}", endpoint.summary());
+            } else {
+                // Reuse the implicit profile's verbatim source mapping so
+                // paths with spaces keep working.
+                let graph =
+                    protoobf::resolve_spec(profile_for(&opts)?.tx()).map_err(CliError::Run)?;
+                print!("{}", protoobf::spec::to_text(&graph));
+            }
         }
         "dot" => {
-            if opts.level == 0 {
-                print!("{}", protoobf::core::dot::format_graph_to_dot(&graph));
+            // Profiles may be asymmetric; dot renders the tx half.
+            let derivation = derivation_for(&opts)?;
+            let codec = &derivation.tx;
+            if codec.transform_count() == 0 {
+                print!("{}", protoobf::core::dot::format_graph_to_dot(codec.plain()));
             } else {
-                let codec = codec_for(&graph, &opts)?;
                 print!("{}", protoobf::core::dot::obf_graph_to_dot(codec.obf_graph()));
             }
         }
         "gen" => {
-            let codec = codec_for(&graph, &opts)?;
-            let lib = generate(&codec);
+            // Code generation covers the tx half (run twice with swapped
+            // halves of an asymmetric profile for both libraries).
+            let derivation = derivation_for(&opts)?;
+            let codec = &derivation.tx;
+            let lib = generate(codec);
             let m = measure(&lib);
             eprintln!(
                 "{} transformations; {} lines, {} structs, call graph {}x{}",
@@ -202,9 +305,10 @@ fn run() -> Result<(), String> {
             }
         }
         "demo" => {
-            let codec = codec_for(&graph, &opts)?;
+            let derivation = derivation_for(&opts)?;
+            let codec = &derivation.tx;
             let mut rng = rand::thread_rng();
-            let msg = random_message(&codec, &mut rng);
+            let msg = random_message(codec, &mut rng);
             // Reusable sessions over the compiled plan: the steady-state
             // encode/decode path a deployment would hold per connection.
             let mut serializer = codec.serializer();
@@ -223,81 +327,132 @@ fn run() -> Result<(), String> {
                 println!("  {}", hex.join(" "));
             }
             parser.parse_in_place(&wire).map_err(|e| format!("self-parse failed: {e}"))?;
-            println!("round-trip: ok");
+            println!("round-trip: ok ({})", derivation.fingerprint);
         }
         "gateway" => {
-            let listen = opts.listen.as_deref().ok_or("gateway needs --listen ADDR")?;
-            let upstream = opts.upstream.as_deref().ok_or("gateway needs --upstream ADDR")?;
+            let listen = opts
+                .listen
+                .as_deref()
+                .ok_or(CliError::Usage("gateway needs --listen ADDR".into()))?;
+            let upstream = opts
+                .upstream
+                .as_deref()
+                .ok_or(CliError::Usage("gateway needs --upstream ADDR".into()))?;
             let mode = match opts.mode.as_deref() {
                 Some("encode") => GatewayMode::Encode,
                 Some("decode") => GatewayMode::Decode,
                 Some(other) => {
-                    return Err(format!("--mode must be encode or decode, got {other:?}"))
+                    return Err(CliError::Usage(format!(
+                        "--mode must be encode or decode, got {other:?}"
+                    )));
                 }
-                None => return Err("gateway needs --mode encode|decode".into()),
+                None => return Err(CliError::Usage("gateway needs --mode encode|decode".into())),
             };
-            let codec = codec_for(&graph, &opts)?;
-            let gw = Gateway::new(&graph, codec, mode, upstream).map_err(|e| e.to_string())?;
+            let endpoint = endpoint_for(&opts)?;
+            let gw =
+                Gateway::from_endpoint(&endpoint, mode, upstream).map_err(|e| e.to_string())?;
             let listener =
                 std::net::TcpListener::bind(listen).map_err(|e| format!("bind {listen}: {e}"))?;
             let cfg = loop_config(&opts);
             eprintln!(
-                "{mode:?} gateway on {listen} → {upstream} ({} workers, level {}, seed {})",
-                cfg.workers, opts.level, opts.seed
+                "{mode:?} gateway on {listen} → {upstream} ({} workers)\nfingerprint {}",
+                cfg.workers,
+                endpoint.fingerprint()
             );
             let shutdown = AtomicBool::new(false);
             gw.serve(listener, &cfg, &shutdown).map_err(|e| e.to_string())?;
             eprintln!("gateway done: {}", gw.metrics().snapshot());
         }
         "recv" => {
-            let listen = opts.listen.as_deref().ok_or("recv needs --listen ADDR")?;
-            let svc = CodecService::new(Codec::identity(&graph));
+            let listen =
+                opts.listen.as_deref().ok_or(CliError::Usage("recv needs --listen ADDR".into()))?;
+            let endpoint = endpoint_for(&opts)?;
+            // The responder side of the chain: parse the profile's tx
+            // spec, answer on the rx spec — clear framing on both (the
+            // decode gateway faces the obfuscated wire for us).
+            let request_svc = endpoint.clear_tx_service();
+            let reply_svc = endpoint.clear_rx_service();
             let metrics = Metrics::new();
             let listener =
                 std::net::TcpListener::bind(listen).map_err(|e| format!("bind {listen}: {e}"))?;
             let cfg = loop_config(&opts);
-            eprintln!("echo server on {listen} ({} workers)", cfg.workers);
             let shutdown = AtomicBool::new(false);
-            evloop::serve(listener, &cfg, &shutdown, &metrics, |stream, _peer| {
-                Ok(Echo::new(stream, &svc, &metrics))
-            })
-            .map_err(|e| e.to_string())?;
-            eprintln!("echo server done: {}", metrics.snapshot());
+            if endpoint.is_symmetric() {
+                eprintln!("echo server on {listen} ({} workers)", cfg.workers);
+                evloop::serve(listener, &cfg, &shutdown, &metrics, |stream, _peer| {
+                    Ok(Echo::new(stream, request_svc, &metrics))
+                })
+                .map_err(|e| e.to_string())?;
+            } else {
+                eprintln!(
+                    "responder on {listen} ({} workers): {} in, {} out",
+                    cfg.workers,
+                    endpoint.profile().tx(),
+                    endpoint.profile().rx()
+                );
+                let seed = std::sync::atomic::AtomicU64::new(1);
+                evloop::serve(listener, &cfg, &shutdown, &metrics, |stream, _peer| {
+                    let s = seed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    Ok(Responder::new(stream, request_svc, reply_svc, s, &metrics))
+                })
+                .map_err(|e| e.to_string())?;
+            }
+            eprintln!("server done: {}", metrics.snapshot());
         }
         "send" => {
-            let connect = opts.connect.as_deref().ok_or("send needs --connect ADDR")?;
-            let clear = Codec::identity(&graph);
+            let connect = opts
+                .connect
+                .as_deref()
+                .ok_or(CliError::Usage("send needs --connect ADDR".into()))?;
+            let endpoint = endpoint_for(&opts)?;
+            let tx_clear = endpoint.clear_tx_service().codec();
+            let rx_clear = endpoint.clear_rx_service().codec();
             let stream = std::net::TcpStream::connect(connect)
                 .map_err(|e| format!("connect {connect}: {e}"))?;
             stream
                 .set_read_timeout(Some(std::time::Duration::from_secs(60)))
                 .map_err(|e| e.to_string())?;
-            let mut writer = FrameWriter::new(&clear, &stream);
-            let mut reader = FrameReader::new(&clear, &stream);
+            let mut writer = FrameWriter::new(tx_clear, &stream);
+            let mut reader = FrameReader::new(rx_clear, &stream);
             use rand::SeedableRng;
-            let mut rng = rand::rngs::StdRng::seed_from_u64(opts.seed);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(opts.seed.unwrap_or(0));
+            let symmetric = endpoint.is_symmetric();
             let mut bytes = 0usize;
+            eprintln!("fingerprint {}", endpoint.fingerprint());
             for i in 0..opts.count {
-                let msg = random_message(&clear, &mut rng);
+                let msg = random_message(tx_clear, &mut rng);
                 // Identity serialization is deterministic: the bytes sent
-                // are the reference the echo must match byte-for-byte.
-                let reference = clear.serialize(&msg).map_err(|e| e.to_string())?;
+                // are the reference a symmetric echo must match
+                // byte-for-byte.
+                let reference = tx_clear.serialize(&msg).map_err(|e| e.to_string())?;
                 writer.send_raw(&reference).map_err(|e| e.to_string())?;
                 let echoed = reader
                     .recv_raw()
                     .map_err(|e| e.to_string())?
                     .ok_or_else(|| format!("stream ended after {i} messages"))?;
-                if echoed != reference {
-                    return Err(format!("message {i}: echoed wire differs from reference"));
+                if symmetric {
+                    if echoed != reference {
+                        return Err(CliError::Run(format!(
+                            "message {i}: echoed wire differs from reference"
+                        )));
+                    }
+                } else {
+                    // Asymmetric chains answer in the rx grammar: verify
+                    // the response parses as such.
+                    rx_clear
+                        .parse(&echoed)
+                        .map_err(|e| format!("message {i}: response does not parse: {e}"))?;
                 }
                 bytes += reference.len() + 4;
             }
             println!(
-                "{} messages ({} bytes framed) round-tripped byte-identical through {connect}",
-                opts.count, bytes
+                "{} messages ({} bytes framed) round-tripped {} through {connect}",
+                opts.count,
+                bytes,
+                if symmetric { "byte-identical" } else { "with parsed responses" }
             );
         }
-        other => return Err(format!("unknown command {other:?}")),
+        other => return Err(CliError::Usage(format!("unknown command {other:?}"))),
     }
     Ok(())
 }
@@ -314,11 +469,12 @@ fn loop_config(opts: &Options) -> LoopConfig {
 fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("error: {e}");
-            if e.contains("missing command") {
-                return usage();
-            }
+        Err(CliError::Usage(msg)) => {
+            eprintln!("{}", usage(&msg));
+            ExitCode::from(2)
+        }
+        Err(CliError::Run(msg)) => {
+            eprintln!("error: {msg}");
             ExitCode::FAILURE
         }
     }

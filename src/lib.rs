@@ -18,6 +18,31 @@
 //! * [`pre`] — the reverse-engineering toolkit used for resilience
 //!   experiments.
 //!
+//! The deployment entry point is the **profile**: one serializable,
+//! shared-secret-keyed object ([`Profile`]) from which each peer
+//! independently derives the whole obfuscated stack ([`Endpoint`], via
+//! [`ProfileExt::build`] and the standard [`StdResolver`]), verified
+//! equal across peers by comparing [`Fingerprint`]s before any traffic
+//! flows:
+//!
+//! ```
+//! use protoobf::{Profile, ProfileExt};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let text = "profile protoobf/1\n\
+//!             tx builtin:dns-query\n\
+//!             rx builtin:dns-response\n\
+//!             key \"shared secret\"\n\
+//!             level 1\n";
+//! let ours = Profile::parse(text)?.build()?;
+//! let theirs = Profile::parse(text)?.build()?; // the peer's copy
+//! assert_eq!(ours.fingerprint(), theirs.fingerprint());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Below the profile, the codec layers remain directly usable:
+//!
 //! ```
 //! use protoobf::{Obfuscator, spec::parse_spec};
 //!
@@ -29,7 +54,7 @@
 //!         bytes payload sized_by length;
 //!     }
 //! "#)?;
-//! let codec = Obfuscator::new(&graph).seed(7).max_per_node(2).obfuscate()?;
+//! let codec = Obfuscator::new(&graph).key("shared secret").max_per_node(2).obfuscate()?;
 //!
 //! let mut msg = codec.message();
 //! msg.set_uint("id", 99)?;
@@ -43,8 +68,9 @@
 //! ```
 
 pub use protoobf_core::{
-    Boundary, BuildError, ByteOp, Codec, CodecService, Endian, FormatGraph, GraphBuilder, Message,
-    NodeId, Obfuscator, ParseError, Path, SpecError, TerminalKind, TransformError, TransformKind,
+    Boundary, BuildError, ByteOp, Codec, CodecService, Derivation, Endian, Endpoint, Fingerprint,
+    FormatGraph, GraphBuilder, Message, NodeId, ObfConfig, Obfuscator, ParseError, Path, Profile,
+    ProfileError, SpecError, SpecResolver, SpecSource, TerminalKind, TransformError, TransformKind,
     Value,
 };
 
@@ -54,3 +80,74 @@ pub use protoobf_pre as pre;
 pub use protoobf_protocols as protocols;
 pub use protoobf_spec as spec;
 pub use protoobf_transport as transport;
+
+/// The standard [`SpecResolver`]: `builtin:NAME` maps to the bundled
+/// experiment protocols, anything else is read as a specification DSL
+/// file. This is what [`ProfileExt::build`] and the `protoobf` CLI use.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StdResolver;
+
+impl SpecResolver for StdResolver {
+    fn resolve(&self, src: &SpecSource) -> Result<FormatGraph, String> {
+        resolve_spec(src)
+    }
+}
+
+/// Resolves one [`SpecSource`] with the standard rules (see
+/// [`StdResolver`]).
+///
+/// # Errors
+///
+/// A human-readable message naming the source: unknown builtin, missing
+/// file, or DSL parse failure.
+pub fn resolve_spec(src: &SpecSource) -> Result<FormatGraph, String> {
+    match src {
+        SpecSource::Builtin(name) => match name.as_str() {
+            "dns-query" => Ok(protocols::dns::query_graph()),
+            "dns-response" => Ok(protocols::dns::response_graph()),
+            "http-request" => Ok(protocols::http::request_graph()),
+            "http-response" => Ok(protocols::http::response_graph()),
+            "modbus-request" => Ok(protocols::modbus::request_graph()),
+            "modbus-response" => Ok(protocols::modbus::response_graph()),
+            other => Err(format!(
+                "unknown builtin protocol {other:?} (expected dns-query, dns-response, \
+                 http-request, http-response, modbus-request or modbus-response)"
+            )),
+        },
+        SpecSource::File(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            spec::parse_spec(&text).map_err(|e| e.to_string())
+        }
+    }
+}
+
+/// Convenience extension binding [`Profile`] to the [`StdResolver`], so
+/// application code can write `profile.build()?` instead of threading a
+/// resolver through.
+pub trait ProfileExt {
+    /// Builds the endpoint with the standard resolver
+    /// ([`Profile::build_with`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`Profile::build_with`].
+    fn build(&self) -> Result<Endpoint, ProfileError>;
+
+    /// Derives only the fingerprint ([`Profile::fingerprint_with`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`Profile::build_with`].
+    fn fingerprint(&self) -> Result<Fingerprint, ProfileError>;
+}
+
+impl ProfileExt for Profile {
+    fn build(&self) -> Result<Endpoint, ProfileError> {
+        self.build_with(&StdResolver)
+    }
+
+    fn fingerprint(&self) -> Result<Fingerprint, ProfileError> {
+        self.fingerprint_with(&StdResolver)
+    }
+}

@@ -100,3 +100,178 @@ fn missing_file_reports_error() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
 }
+
+/// Every subcommand must reject trailing garbage with the usage text and
+/// the offending token named (exit code 2: a usage error, not a runtime
+/// failure).
+#[test]
+fn every_subcommand_rejects_trailing_garbage() {
+    let path = write_spec("garbage", SPEC);
+    for cmd in ["check", "print", "dot", "gen", "demo", "gateway", "recv", "send"] {
+        let out = cli().arg(cmd).arg(&path).arg("trailing-garbage").output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "{cmd}: garbage must be a usage error");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("trailing-garbage"), "{cmd}: must name the token: {stderr}");
+        assert!(stderr.contains("usage:"), "{cmd}: must print usage: {stderr}");
+    }
+}
+
+#[test]
+fn unknown_flags_and_malformed_values_route_through_usage() {
+    let path = write_spec("badflags", SPEC);
+    let cases: &[(&[&str], &str)] = &[
+        (&["check", "--bogus-flag"], "--bogus-flag"),
+        (&["demo", "--seed", "not-a-number"], "not-a-number"),
+        (&["demo", "--level", "x9"], "x9"),
+        (&["gateway", "--listen", "not@an:addr"], "not@an:addr"),
+        (&["send", "--connect", "12345"], "12345"),
+        (&["recv", "--workers", "two"], "two"),
+    ];
+    for (args, needle) in cases {
+        let out = cli().args(*args).arg(&path).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "{args:?} must be a usage error");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(needle), "{args:?}: must name {needle:?}: {stderr}");
+        assert!(stderr.contains("usage:"), "{args:?}: must print usage: {stderr}");
+    }
+
+    // A flag at the very end with its value missing (no spec path after
+    // it to swallow).
+    let out = cli().arg("demo").arg(&path).arg("--seed").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--seed needs a value"));
+}
+
+#[test]
+fn missing_spec_and_profile_conflicts_are_usage_errors() {
+    let out = cli().arg("check").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing specification"));
+
+    // --profile and a positional spec are mutually exclusive, as are
+    // --profile and the legacy derivation flags.
+    let profile = write_profile("conflict", "profile protoobf/1\nspec builtin:dns-query\n");
+    let spec = write_spec("conflict", SPEC);
+    let out = cli().arg("check").arg(&spec).arg("--profile").arg(&profile).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--profile excludes"));
+    let out =
+        cli().args(["check", "--profile"]).arg(&profile).args(["--seed", "3"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--seed"));
+}
+
+fn write_profile(name: &str, body: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("protoobf-cli-test-{name}.profile"));
+    std::fs::write(&path, body).unwrap();
+    path
+}
+
+const ASYM_PROFILE: &str = "profile protoobf/1\n\
+                            tx builtin:dns-query\n\
+                            rx builtin:dns-response\n\
+                            key \"cli test secret\"\n\
+                            level 2\n";
+
+/// `check --profile` and `print --profile` expose the derivation
+/// fingerprint, and two runs over the same file agree (the operator's
+/// offline diff of two endpoints).
+#[test]
+fn profile_check_and_print_report_a_stable_fingerprint() {
+    let path = write_profile("fp", ASYM_PROFILE);
+    let fingerprint_of = |out: &std::process::Output| -> String {
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        stdout
+            .lines()
+            .find_map(|l| l.strip_prefix("fingerprint "))
+            .unwrap_or_else(|| panic!("no fingerprint line in {stdout:?}"))
+            .to_string()
+    };
+
+    let a = cli().args(["check", "--profile"]).arg(&path).output().unwrap();
+    assert!(a.status.success(), "{}", String::from_utf8_lossy(&a.stderr));
+    let stdout = String::from_utf8_lossy(&a.stdout);
+    assert!(stdout.contains("tx DnsQuery"), "{stdout}");
+    assert!(stdout.contains("rx DnsResponse"), "{stdout}");
+    let fp_a = fingerprint_of(&a);
+    assert_eq!(fp_a.len(), 32, "fingerprint is 32 hex chars: {fp_a}");
+
+    let b = cli().args(["print", "--profile"]).arg(&path).output().unwrap();
+    assert!(b.status.success());
+    let printed = String::from_utf8_lossy(&b.stdout);
+    // The canonical profile text round-trips through the printout...
+    assert!(printed.contains("tx builtin:dns-query"), "{printed}");
+    assert!(printed.contains("rx builtin:dns-response"), "{printed}");
+    // ...and the summary carries the same fingerprint as `check`.
+    assert_eq!(fingerprint_of(&b), fp_a);
+
+    // A different key must print a different fingerprint.
+    let other = write_profile("fp2", &ASYM_PROFILE.replace("cli test secret", "other secret"));
+    let c = cli().args(["check", "--profile"]).arg(&other).output().unwrap();
+    assert!(c.status.success());
+    assert_ne!(fingerprint_of(&c), fp_a, "key change must change the fingerprint");
+}
+
+#[test]
+fn malformed_profile_reports_line_and_token() {
+    let path = write_profile("bad", "profile protoobf/1\nspec builtin:dns-query\nbogus 1\n");
+    let out = cli().args(["check", "--profile"]).arg(&path).output().unwrap();
+    assert_eq!(out.status.code(), Some(1), "a bad profile file is a data error, not usage");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("line 3"), "{stderr}");
+    assert!(stderr.contains("bogus"), "{stderr}");
+}
+
+/// Spec paths are taken verbatim on the command line: whitespace (legal
+/// in filenames, illegal only inside profile text sources) must work.
+#[test]
+fn spec_paths_with_spaces_keep_working() {
+    let path = std::env::temp_dir().join("protoobf cli test with spaces.pobf");
+    std::fs::write(&path, SPEC).unwrap();
+    let out = cli().arg("check").arg(&path).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("Cli: ok"));
+}
+
+/// Address flags validate shape only — an unresolvable hostname is a
+/// runtime failure (exit 1), never a usage error (exit 2), so transient
+/// DNS trouble cannot masquerade as a typo.
+#[test]
+fn hostnames_pass_flag_parsing_and_fail_at_runtime() {
+    let out = cli()
+        .args(["send", "builtin:dns-query", "--connect", "unresolvable.invalid:9", "--count", "1"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(!String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+/// The legacy --seed alias changes derivation semantics versus pre-profile
+/// releases; the CLI must say so out loud.
+#[test]
+fn seed_flag_warns_about_deprecation() {
+    let path = write_spec("seedwarn", SPEC);
+    let out = cli().arg("demo").arg(&path).args(["--seed", "7"]).output().unwrap();
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("deprecated"), "{stderr}");
+    // --key stays silent.
+    let out = cli().arg("demo").arg(&path).args(["--key", "7"]).output().unwrap();
+    assert!(out.status.success());
+    assert!(!String::from_utf8_lossy(&out.stderr).contains("deprecated"));
+}
+
+#[test]
+fn demo_accepts_profile_and_key() {
+    let path = write_profile("demo", ASYM_PROFILE);
+    let out = cli().args(["demo", "--profile"]).arg(&path).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("round-trip: ok"));
+
+    // Legacy spec form with --key: same derivation path, new secret flag.
+    let out = cli()
+        .args(["demo", "builtin:modbus-request", "--key", "demo secret", "--level", "2"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+}

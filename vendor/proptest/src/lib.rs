@@ -462,6 +462,28 @@ macro_rules! prop_assert_eq {
     }};
 }
 
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    }};
+}
+
 /// Rejects the current inputs, resampling without counting the case.
 #[macro_export]
 macro_rules! prop_assume {
@@ -479,7 +501,7 @@ pub mod prelude {
     pub use crate::collection;
     pub use crate::option;
     pub use crate::{any, Any, ArbitraryValue, ProptestConfig, Strategy, TestCaseError};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
 }
 
 #[cfg(test)]
