@@ -197,14 +197,100 @@ fn bench_service(c: &mut Criterion) {
         group.finish();
     }
     // Trajectory file for cross-run comparison of the serving layer
-    // (min/median/max + aggregate throughput per worker count).
+    // (min/median/max + aggregate throughput per worker count). Runs
+    // that filtered this group out write nothing (export_json skips
+    // empty prefixes), so CI can point PROTOOBF_BENCH_JSON at a
+    // different file per filtered invocation.
     let path =
         std::env::var("PROTOOBF_BENCH_JSON").unwrap_or_else(|_| "BENCH_service.json".to_string());
     match c.export_json(&path, "service/") {
-        Ok(()) => eprintln!("service trajectory written to {path}"),
+        Ok(true) => eprintln!("service trajectory written to {path}"),
+        Ok(false) => {}
         Err(e) => eprintln!("cannot write {path}: {e}"),
     }
 }
 
-criterion_group!(benches, bench_modbus, bench_http, bench_dns, bench_large, bench_service);
+/// Gateway relay scenario: the per-message transcode step on the 64 KiB
+/// bulk message — compiled copy program vs. the graph-walk reference it
+/// replaced — plus the **aggregate gateway round trip** (decode the
+/// clear frame, transcode, encode obfuscated; then the decode gateway's
+/// inverse back to clear), which is exactly the per-message work a
+/// `Relay` pair performs. Throughput is bytes of relayed payload per
+/// second; the round trip counts the payload once per gateway.
+fn bench_relay(c: &mut Criterion) {
+    let graph = bulk_graph();
+    let clear = Codec::identity(&graph);
+    let obf = codec_for(&graph, 2);
+    let msg = bulk_message(&clear);
+    let clear_wire = clear.serialize_seeded(&msg, 1).unwrap();
+    assert!(clear_wire.len() >= 64 * 1024, "bulk scenario must be ≥64 KiB");
+    {
+        let mut group = c.benchmark_group("relay");
+        group.sample_size(10);
+        group.throughput(Throughput::Bytes(clear_wire.len() as u64));
+
+        // The relay transcodes *parsed* messages; bench against one.
+        let mut parser = clear.parser();
+        parser.parse_in_place(&clear_wire).unwrap();
+        let src = parser.take_message();
+
+        let mut compiled_dst = obf.transcode_target(&clear).unwrap();
+        group.bench_with_input(BenchmarkId::new("transcode-compiled", "64KiB"), &0u32, |b, _| {
+            b.iter(|| src.transcode_into(&mut compiled_dst).unwrap())
+        });
+        let mut walk_dst = obf.message();
+        group.bench_with_input(BenchmarkId::new("transcode-walk", "64KiB"), &0u32, |b, _| {
+            b.iter(|| src.transcode_into_walk(&mut walk_dst).unwrap())
+        });
+
+        // Full gateway pair: encode side (clear in → obf out) and decode
+        // side (obf in → clear out), all sessions and targets long-lived.
+        let mut clear_parser = clear.parser();
+        let mut obf_parser = obf.parser();
+        let mut obf_serializer = obf.serializer();
+        let mut clear_serializer = clear.serializer();
+        let mut to_obf = obf.transcode_target(&clear).unwrap();
+        let mut to_clear = clear.transcode_target(&obf).unwrap();
+        let mut obf_wire = Vec::new();
+        let mut back_wire = Vec::new();
+        group.throughput(Throughput::Bytes(2 * clear_wire.len() as u64));
+        group.bench_with_input(BenchmarkId::new("gateway-roundtrip", "64KiB"), &0u32, |b, _| {
+            b.iter(|| {
+                let inbound = clear_parser.parse_in_place(&clear_wire).unwrap();
+                inbound.transcode_into(&mut to_obf).unwrap();
+                obf_serializer.serialize_into_seeded(&to_obf, &mut obf_wire, 1).unwrap();
+                let upstream = obf_parser.parse_in_place(&obf_wire).unwrap();
+                upstream.transcode_into(&mut to_clear).unwrap();
+                clear_serializer.serialize_into_seeded(&to_clear, &mut back_wire, 1).unwrap();
+            })
+        });
+        group.finish();
+    }
+    // Relay-throughput trajectory, tracked from this PR onward. Same env
+    // override as the service group; CI runs the two groups as separate
+    // filtered invocations so each writes its own file. In an
+    // *unfiltered* run both groups record results — honor the override
+    // only when the service group did not already claim it, so one run
+    // can never silently clobber the other group's trajectory.
+    let service_also_ran = c.results().iter().any(|r| r.name.starts_with("service/"));
+    let path = match std::env::var("PROTOOBF_BENCH_JSON") {
+        Ok(p) if !service_also_ran => p,
+        _ => "BENCH_relay.json".to_string(),
+    };
+    match c.export_json(&path, "relay/") {
+        Ok(true) => eprintln!("relay trajectory written to {path}"),
+        Ok(false) => {}
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_modbus,
+    bench_http,
+    bench_dns,
+    bench_large,
+    bench_service,
+    bench_relay
+);
 criterion_main!(benches);

@@ -5,14 +5,14 @@
 //! communicating peers construct the same codec from the same specification
 //! and seed, so they agree on every transformation parameter.
 
-use std::sync::OnceLock;
+use std::sync::{Arc, Mutex};
 
 use crate::error::{BuildError, ParseError};
 use crate::graph::FormatGraph;
 use crate::message::Message;
 use crate::obf::ObfGraph;
 use crate::parse::ParseSession;
-use crate::plan::CodecPlan;
+use crate::plan::{CodecPlan, CopyProgram};
 use crate::serialize::SerializeSession;
 use crate::transform::TransformRecord;
 
@@ -21,23 +21,29 @@ use crate::transform::TransformRecord;
 pub struct Codec {
     graph: ObfGraph,
     records: Vec<TransformRecord>,
-    /// Lazily compiled execution plan shared by every session.
-    plan: OnceLock<CodecPlan>,
+    /// Compiled transcode copy programs, keyed by the **source** graph's
+    /// uid: one program per (source codec, this codec) pairing, shared by
+    /// every relay target built from this codec
+    /// ([`Codec::transcode_target`]). A handful of pairings per process
+    /// (gateway legs), so a scanned `Vec` beats a hash map.
+    copy_programs: Mutex<Vec<(u64, Arc<CopyProgram>)>>,
 }
 
 impl Clone for Codec {
     fn clone(&self) -> Self {
-        let plan = OnceLock::new();
-        if let Some(p) = self.plan.get() {
-            let _ = plan.set(p.clone());
+        // The graph clone carries the cached plan; copy programs reference
+        // source graphs by uid and are re-derived on demand.
+        Codec {
+            graph: self.graph.clone(),
+            records: self.records.clone(),
+            copy_programs: Mutex::new(Vec::new()),
         }
-        Codec { graph: self.graph.clone(), records: self.records.clone(), plan }
     }
 }
 
 impl Codec {
     pub(crate) fn from_parts(graph: ObfGraph, records: Vec<TransformRecord>) -> Self {
-        Codec { graph, records, plan: OnceLock::new() }
+        Codec { graph, records, copy_programs: Mutex::new(Vec::new()) }
     }
 
     /// A codec with zero transformations: the plain (classic) protocol.
@@ -45,10 +51,62 @@ impl Codec {
         Codec::from_parts(ObfGraph::from_plain(plain), Vec::new())
     }
 
-    /// The compiled execution plan (built on first use, then cached). Both
-    /// the one-shot entry points and the session constructors share it.
+    /// The compiled execution plan (built on first use, then cached on the
+    /// graph). Both the one-shot entry points and the session
+    /// constructors share it.
     pub fn plan(&self) -> &CodecPlan {
-        self.plan.get_or_init(|| CodecPlan::compile(&self.graph))
+        self.graph.plan()
+    }
+
+    /// The compiled transcode copy program for messages of `src` being
+    /// copied into messages of this codec — compiled once per pairing and
+    /// cached, so every relay connection shares one program per
+    /// direction.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::GraphMismatch`] when the two codecs do not share a
+    /// structurally identical plain specification.
+    pub(crate) fn copy_program_from(&self, src: &Codec) -> Result<Arc<CopyProgram>, BuildError> {
+        let uid = src.graph.uid();
+        {
+            let cache = self.copy_programs.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some((_, prog)) = cache.iter().find(|(u, _)| *u == uid) {
+                return Ok(Arc::clone(prog));
+            }
+        }
+        // Compile outside the lock (it compiles both plans on first use);
+        // a racing duplicate insert is harmless — same program content.
+        let prog = CopyProgram::compile(&src.graph, &self.graph).ok_or_else(|| {
+            let (a, b) = (src.graph.plain(), self.graph.plain());
+            BuildError::GraphMismatch {
+                expected: format!("{} ({} nodes)", b.name(), b.len()),
+                found: format!("{} ({} nodes)", a.name(), a.len()),
+            }
+        })?;
+        let prog = Arc::new(prog);
+        let mut cache = self.copy_programs.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((_, cached)) = cache.iter().find(|(u, _)| *u == uid) {
+            return Ok(Arc::clone(cached));
+        }
+        cache.push((uid, Arc::clone(&prog)));
+        Ok(prog)
+    }
+
+    /// An empty message of this codec pre-armed as a transcode
+    /// destination for messages of `src`: the shared compiled
+    /// [`CopyProgram`] is attached up front, so the target's very first
+    /// [`Message::transcode_into`] already runs the compiled path without
+    /// a per-connection compile.
+    ///
+    /// # Errors
+    ///
+    /// See [`Codec::copy_program_from`].
+    pub fn transcode_target(&self, src: &Codec) -> Result<Message<'_>, BuildError> {
+        let prog = self.copy_program_from(src)?;
+        let mut msg = self.message();
+        msg.arm_transcode(src.graph.uid(), prog);
+        Ok(msg)
     }
 
     /// Starts a reusable serialization session over the compiled plan.
@@ -206,6 +264,33 @@ mod tests {
         let c2 = c.clone();
         assert_eq!(c2.plain().name(), "tiny");
         assert!(!format!("{c:?}").is_empty());
+    }
+
+    #[test]
+    fn transcode_targets_share_one_cached_program() {
+        let g = tiny();
+        let clear = Codec::identity(&g);
+        let obf = crate::engine::Obfuscator::new(&g).seed(3).max_per_node(2).obfuscate().unwrap();
+        let p1 = obf.copy_program_from(&clear).unwrap();
+        let p2 = obf.copy_program_from(&clear).unwrap();
+        assert!(std::sync::Arc::ptr_eq(&p1, &p2), "one compile per (src, dst) pairing");
+
+        // An armed target transcodes straight through the shared program.
+        let mut m = clear.message_seeded(1);
+        m.set_uint("a", 513).unwrap();
+        m.set_uint("b", 7).unwrap();
+        let mut dst = obf.transcode_target(&clear).unwrap();
+        m.transcode_into(&mut dst).unwrap();
+        assert_eq!(dst.get_uint("a").unwrap(), 513);
+        assert_eq!(dst.get_uint("b").unwrap(), 7);
+
+        // Foreign specs are rejected at target construction, before any
+        // traffic could flow through a mis-paired relay.
+        let mut other = GraphBuilder::new("other");
+        let root = other.root_sequence("m", Boundary::End);
+        other.uint_be(root, "x", 1);
+        let foreign = Codec::identity(&other.build().unwrap());
+        assert!(matches!(obf.transcode_target(&foreign), Err(BuildError::GraphMismatch { .. })));
     }
 
     #[test]

@@ -317,24 +317,38 @@ impl<'c, R: Read> FrameReader<'c, R> {
     }
 }
 
+/// Capacity (bytes) a long-lived [`FrameBuffer`] shrinks back to after an
+/// oversized backlog drains (see [`FrameBuffer::shrink_capacity`]).
+/// Large enough that typical bulk frames never trigger shrink/regrow
+/// churn, small enough that one peer trickling a single near-limit frame
+/// cannot pin megabytes per connection forever.
+pub const FRAME_BUFFER_RETAIN: usize = 256 * 1024;
+
 /// Incremental frame reassembly for event-driven code: feed arbitrary
 /// chunks, pop (or peek) complete frames.
 ///
 /// Consumed frames advance a read cursor instead of memmoving the whole
 /// buffer, so draining a burst of pipelined frames is linear in the bytes
 /// fed, not quadratic; the buffer compacts itself once the drained prefix
-/// dominates the live bytes.
+/// dominates the live bytes. Capacity is **bounded over time**: a peer
+/// that trickles one maximum-size frame grows the buffer to the frame
+/// limit, but once that backlog is consumed the buffer shrinks back to
+/// [`FRAME_BUFFER_RETAIN`] (tunable via [`FrameBuffer::shrink_capacity`])
+/// instead of holding the high-water allocation for the rest of a
+/// long-lived gateway connection.
 #[derive(Debug)]
 pub struct FrameBuffer {
     buf: Vec<u8>,
     /// Read cursor: bytes before it were consumed and await compaction.
     start: usize,
     max_frame: usize,
+    /// Capacity retained after draining an oversized backlog.
+    retain: usize,
 }
 
 impl Default for FrameBuffer {
     fn default() -> Self {
-        FrameBuffer { buf: Vec::new(), start: 0, max_frame: MAX_FRAME }
+        FrameBuffer { buf: Vec::new(), start: 0, max_frame: MAX_FRAME, retain: FRAME_BUFFER_RETAIN }
     }
 }
 
@@ -348,6 +362,21 @@ impl FrameBuffer {
     pub fn max_frame(mut self, limit: usize) -> Self {
         self.max_frame = limit;
         self
+    }
+
+    /// Sets the capacity the buffer shrinks back to after an oversized
+    /// backlog drains (default [`FRAME_BUFFER_RETAIN`]). Pick a value
+    /// comfortably above the connection's typical frame size — shrinking
+    /// below the steady-state working set would just realloc every
+    /// message.
+    pub fn shrink_capacity(mut self, cap: usize) -> Self {
+        self.retain = cap;
+        self
+    }
+
+    /// Bytes of backing capacity currently held (buffered + spare).
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
     }
 
     /// Appends received bytes.
@@ -400,7 +429,28 @@ impl FrameBuffer {
                 self.buf.clear();
                 self.start = 0;
             }
+            self.bound_capacity(4 + len);
         }
+    }
+
+    /// Returns an oversized backing allocation to the retained cap once
+    /// the traffic that grew it is gone, so a long-lived connection does
+    /// not keep paying for one historic burst. The shrink threshold
+    /// scales with the frame just consumed: steady traffic of any frame
+    /// size keeps its working set (no shrink/regrow churn per message);
+    /// only a buffer left several times larger than the current frames —
+    /// a drained backlog — is returned, at one realloc per episode.
+    fn bound_capacity(&mut self, consumed: usize) {
+        let threshold = self.retain.max(4 * consumed);
+        if self.buf.capacity() <= threshold || self.buf.len() - self.start > self.retain {
+            return;
+        }
+        if self.start > 0 {
+            self.buf.copy_within(self.start.., 0);
+            self.buf.truncate(self.buf.len() - self.start);
+            self.start = 0;
+        }
+        self.buf.shrink_to(self.retain);
     }
 
     /// Pops the next complete frame body, if one is buffered.
@@ -676,6 +726,57 @@ mod tests {
         fb.feed(&3u32.to_be_bytes());
         fb.feed(&[1, 2, 3]);
         assert!(matches!(fb.pop(), Err(FrameError::TooLarge { limit: 2, got: 3 })));
+    }
+
+    #[test]
+    fn frame_buffer_returns_oversized_capacity_after_trickled_giant_frame() {
+        // A peer trickles one near-limit frame a byte at a time: the
+        // buffer must grow to hold it, but once that backlog is consumed
+        // a long-lived gateway connection must not hold the high-water
+        // allocation forever — the next (small) frame returns it to the
+        // retained cap.
+        let big = vec![0x5A; 2 * 1024 * 1024];
+        let mut wire = (big.len() as u32).to_be_bytes().to_vec();
+        wire.extend_from_slice(&big);
+        let mut fb = FrameBuffer::new();
+        for b in &wire {
+            fb.feed(std::slice::from_ref(b));
+        }
+        assert!(fb.capacity() >= big.len(), "buffer grew to the backlog");
+        assert_eq!(fb.pop().unwrap(), Some(big));
+        // Many small frames afterwards: the first consume shrinks, and
+        // the capacity stays bounded while the frames stay intact.
+        for i in 0..1000u32 {
+            let body = i.to_be_bytes();
+            fb.feed(&(body.len() as u32).to_be_bytes());
+            fb.feed(&body);
+            assert_eq!(fb.pop().unwrap(), Some(body.to_vec()));
+            assert!(
+                fb.capacity() <= FRAME_BUFFER_RETAIN,
+                "capacity {} still above the retain cap after small frame {i}",
+                fb.capacity()
+            );
+        }
+        assert_eq!(fb.pending(), 0);
+    }
+
+    #[test]
+    fn frame_buffer_steady_large_frames_do_not_shrink_churn() {
+        // Frames consistently larger than the retain cap are the
+        // connection's real working set: consuming them must keep the
+        // capacity (the shrink threshold scales with the frame size), not
+        // realloc on every message.
+        let body = vec![7u8; FRAME_BUFFER_RETAIN + 1024];
+        let mut fb = FrameBuffer::new();
+        let mut high_water = 0;
+        for _ in 0..5 {
+            fb.feed(&(body.len() as u32).to_be_bytes());
+            fb.feed(&body);
+            assert_eq!(fb.pop().unwrap().as_deref(), Some(body.as_slice()));
+            high_water = high_water.max(fb.capacity());
+            assert!(fb.capacity() > FRAME_BUFFER_RETAIN, "working set kept");
+        }
+        assert_eq!(fb.capacity(), high_water, "no shrink/regrow churn");
     }
 
     #[test]

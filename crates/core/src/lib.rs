@@ -41,8 +41,10 @@
 //!    loop drives thousands of concurrent connections, and an obfuscating
 //!    gateway pair transcodes between clear and obfuscated codecs through
 //!    the shared plain specification ([`message::Message::transcode_into`],
-//!    backed by this crate's resumable [`framing::FrameReader`] and the
-//!    cursor-based [`framing::FrameBuffer`]);
+//!    running a compiled [`plan::CopyProgram`] per codec pairing so the
+//!    steady-state relay loop is allocation-free; backed by this crate's
+//!    resumable [`framing::FrameReader`] and the cursor-based,
+//!    capacity-bounded [`framing::FrameBuffer`]);
 //! 7. **Configure** — a [`profile::Profile`] bundles the whole endpoint
 //!    configuration into one serializable, shared-secret-keyed object:
 //!    spec sources (distinct per direction for asymmetric

@@ -20,6 +20,7 @@
 //! [`crate::parse::ParseSession`]) run without steady-state allocation.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -28,6 +29,9 @@ use crate::error::BuildError;
 use crate::graph::{AutoValue, Boundary, NodeId, NodeType, StopRule};
 use crate::obf::{ObfGraph, ObfId};
 use crate::path::{self, Path};
+use crate::plan::{
+    CodecPlan, CopyProgram, CopyStep, DistErr, DistEval, DistProg, RecEval, RecProg,
+};
 use crate::runtime::{self, Scope};
 use crate::value::{Endian, TerminalKind, Value};
 
@@ -98,20 +102,51 @@ impl WireStore {
     /// Inserts or replaces the value at `(slot, scope)`. Bytes are appended
     /// to the arena; a replaced value's old bytes are reclaimed on the next
     /// [`WireStore::clear`]. Entries stay sorted by scope — message walks
-    /// insert in order, so the common case is an O(1) push.
+    /// insert in order, so the common case is an O(1) tail push (checked
+    /// before falling back to a binary search).
     pub(crate) fn set(&mut self, slot: usize, scope: &[u32], bytes: &[u8]) {
         let start = self.data.len() as u32;
         self.data.extend_from_slice(bytes);
         let end = self.data.len() as u32;
         let key = ScopeKey::from_slice(scope);
         let entries = &mut self.per_slot[slot];
-        match entries.binary_search_by(|(k, _, _)| k.cmp(&key)) {
-            Ok(i) => {
-                entries[i].1 = start;
-                entries[i].2 = end;
+        match entries.last_mut() {
+            Some(last) if last.0 < key => entries.push((key, start, end)),
+            Some(last) if last.0 == key => {
+                last.1 = start;
+                last.2 = end;
             }
-            Err(i) => entries.insert(i, (key, start, end)),
+            None => entries.push((key, start, end)),
+            Some(_) => match entries.binary_search_by(|(k, _, _)| k.cmp(&key)) {
+                Ok(i) => {
+                    entries[i].1 = start;
+                    entries[i].2 = end;
+                }
+                Err(i) => entries.insert(i, (key, start, end)),
+            },
         }
+    }
+
+    /// [`WireStore::get`] with a **sequential cursor**: when the caller
+    /// visits a slot's instances in scope order (the transcode copy
+    /// programs do — plain pre-order is exactly the stores' sort order),
+    /// each lookup is one equality check instead of a binary search. A
+    /// cursor miss falls back to the search and re-synchronizes the
+    /// cursor, so out-of-order access is merely slower, never wrong.
+    pub(crate) fn get_seq(&self, slot: usize, scope: &[u32], cursor: &mut u32) -> Option<&[u8]> {
+        let key = ScopeKey::from_slice(scope);
+        let entries = self.per_slot.get(slot)?;
+        let c = *cursor as usize;
+        if let Some(&(k, start, end)) = entries.get(c) {
+            if k == key {
+                *cursor = (c + 1) as u32;
+                return Some(&self.data[start as usize..end as usize]);
+            }
+        }
+        let i = entries.binary_search_by(|(k, _, _)| k.cmp(&key)).ok()?;
+        *cursor = (i + 1) as u32;
+        let (_, start, end) = entries[i];
+        Some(&self.data[start as usize..end as usize])
     }
 
     /// The scopes at which `slot` holds a value.
@@ -162,9 +197,15 @@ impl<T: Copy> MetaStore<T> {
     pub(crate) fn set(&mut self, slot: usize, scope: &[u32], value: T) {
         let key = ScopeKey::from_slice(scope);
         let entries = &mut self.per_slot[slot];
-        match entries.binary_search_by(|(k, _)| k.cmp(&key)) {
-            Ok(i) => entries[i].1 = value,
-            Err(i) => entries.insert(i, (key, value)),
+        match entries.last_mut() {
+            // In-order inserts (message walks) are an O(1) tail push.
+            Some(last) if last.0 < key => entries.push((key, value)),
+            Some(last) if last.0 == key => last.1 = value,
+            None => entries.push((key, value)),
+            Some(_) => match entries.binary_search_by(|(k, _)| k.cmp(&key)) {
+                Ok(i) => entries[i].1 = value,
+                Err(i) => entries.insert(i, (key, value)),
+            },
         }
     }
 
@@ -200,6 +241,40 @@ pub struct Message<'c> {
     /// graph uids are process-unique and refreshed on mutation, so the
     /// cache cannot be fooled by allocator address reuse.
     validated_src: u64,
+    /// Compiled transcode state of a reusable relay target: the copy
+    /// program for the last source graph plus warmed recovery /
+    /// distribution scratch. `None` until the first
+    /// [`Message::transcode_into`] (or until armed by
+    /// [`crate::service::CodecService::transcode_target`]).
+    transcode: Option<TranscodeCache>,
+}
+
+/// The compiled-transcode state a destination [`Message`] caches across
+/// relayed messages: which source graph the program was compiled for
+/// (uid, refreshed on every graph mutation), the shared program, and the
+/// reusable evaluation scratch. Once warm, running the program allocates
+/// nothing.
+#[derive(Debug)]
+pub(crate) struct TranscodeCache {
+    src_uid: u64,
+    prog: Arc<CopyProgram>,
+    ev: RecEval,
+    dist: DistEval,
+    /// Per-source-slot sequential read cursors (see
+    /// [`WireStore::get_seq`]); reset per message, reused capacity.
+    cursors: Vec<u32>,
+}
+
+impl TranscodeCache {
+    fn new(src_uid: u64, prog: Arc<CopyProgram>) -> TranscodeCache {
+        TranscodeCache {
+            src_uid,
+            prog,
+            ev: RecEval::default(),
+            dist: DistEval::default(),
+            cursors: Vec::new(),
+        }
+    }
 }
 
 /// The lifetime-free owned state of a [`Message`]: its stores and RNG
@@ -211,6 +286,7 @@ pub(crate) struct MessageState {
     wires: WireStore,
     presence: MetaStore<bool>,
     counts: MetaStore<usize>,
+    transcode: Option<TranscodeCache>,
 }
 
 impl<'c> Message<'c> {
@@ -232,6 +308,7 @@ impl<'c> Message<'c> {
             counts: MetaStore::with_slots(n_plain),
             rng: StdRng::seed_from_u64(seed),
             validated_src: 0,
+            transcode: None,
         }
     }
 
@@ -263,15 +340,23 @@ impl<'c> Message<'c> {
             counts: state.counts,
             rng: StdRng::seed_from_u64(rand::random()),
             validated_src: 0,
+            transcode: state.transcode,
         };
         m.reset();
         m
     }
 
     /// Takes the owned state back out for pooling (the RNG is dropped —
-    /// see [`Message::from_state`]).
+    /// see [`Message::from_state`]). The compiled transcode cache travels
+    /// with the state: it is keyed on the source graph's uid, so a stale
+    /// pairing can never be replayed against the wrong graph.
     pub(crate) fn into_state(self) -> MessageState {
-        MessageState { wires: self.wires, presence: self.presence, counts: self.counts }
+        MessageState {
+            wires: self.wires,
+            presence: self.presence,
+            counts: self.counts,
+            transcode: self.transcode,
+        }
     }
 
     pub(crate) fn from_parts(
@@ -471,30 +556,111 @@ impl<'c> Message<'c> {
     /// obfuscated). Auto-computed fields are skipped; the destination codec
     /// rematerializes them at serialization time.
     ///
+    /// The copy runs a compiled [`CopyProgram`] — a flat slot-to-slot
+    /// mapping chaining the source plan's recovery programs into the
+    /// destination plan's distribution programs — compiled (with the
+    /// structural validation folded in) on the first use of a (source
+    /// graph, destination message) pairing and cached in `dst`. Once
+    /// warm, a reusable relay target transcodes with **zero heap
+    /// allocation**, byte-identically to the reference graph walk
+    /// ([`Message::transcode_into_walk`]).
+    ///
     /// # Errors
     ///
     /// [`BuildError::GraphMismatch`] when the two messages' plain
     /// specifications are not structurally identical.
     pub fn transcode_into(&self, dst: &mut Message<'_>) -> Result<(), BuildError> {
+        // Compilation (and the structural validation inside it) runs once
+        // per pairing; a reusable relay target then fast-paths on the
+        // source graph's uid — process-unique and refreshed on every
+        // rewrite — so the steady-state per-message cost starts at one
+        // integer compare, not a per-node revalidation.
+        let src_uid = self.graph.uid();
+        if dst.transcode.as_ref().is_none_or(|c| c.src_uid != src_uid) {
+            let prog = CopyProgram::compile(self.graph, dst.graph)
+                .ok_or_else(|| self.transcode_mismatch(dst))?;
+            dst.arm_transcode(src_uid, Arc::new(prog));
+        }
+        dst.reset();
+        // Take the cache out so its scratch can be borrowed mutably next
+        // to the destination stores; a plain move, no allocation.
+        let mut cache = dst.transcode.take().expect("armed above");
+        let r = self.run_copy(dst, &mut cache);
+        dst.transcode = Some(cache);
+        r
+    }
+
+    /// **Reference implementation** of [`Message::transcode_into`]: the
+    /// direct recursive walk over the shared plain specification, copying
+    /// one field at a time through the allocating graph-walk runtime
+    /// ([`runtime::recover`] / [`runtime::distribute`]). Kept as the
+    /// executable specification the compiled copy-program path is
+    /// differentially tested against (`tests/transcode_differential.rs`);
+    /// production relays use `transcode_into`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Message::transcode_into`].
+    pub fn transcode_into_walk(&self, dst: &mut Message<'_>) -> Result<(), BuildError> {
         let a = self.graph.plain();
-        let b = dst.graph.plain();
-        // The full structural walk runs once per (source graph,
-        // destination message) pairing; a reusable relay target then
-        // fast-paths on the source graph's uid — process-unique and
-        // refreshed on every rewrite — so the steady-state per-message
-        // cost is one integer compare, not a per-node revalidation.
         if dst.validated_src != self.graph.uid() {
-            if !plains_match(a, b) {
-                return Err(BuildError::GraphMismatch {
-                    expected: format!("{} ({} nodes)", b.name(), b.len()),
-                    found: format!("{} ({} nodes)", a.name(), a.len()),
-                });
+            if !runtime::plains_match(a, dst.graph.plain()) {
+                return Err(self.transcode_mismatch(dst));
             }
             dst.validated_src = self.graph.uid();
         }
         dst.reset();
         let mut scope = Vec::new();
         self.copy_subtree(dst, a.root(), &mut scope)
+    }
+
+    fn transcode_mismatch(&self, dst: &Message<'_>) -> BuildError {
+        let (a, b) = (self.graph.plain(), dst.graph.plain());
+        BuildError::GraphMismatch {
+            expected: format!("{} ({} nodes)", b.name(), b.len()),
+            found: format!("{} ({} nodes)", a.name(), a.len()),
+        }
+    }
+
+    /// Pre-arms this message as a transcode destination for sources bound
+    /// to the graph with uid `src_uid`, sharing an already-compiled copy
+    /// program (see [`crate::codec::Codec::copy_program_from`]). Existing
+    /// warmed scratch is kept.
+    pub(crate) fn arm_transcode(&mut self, src_uid: u64, prog: Arc<CopyProgram>) {
+        match &mut self.transcode {
+            Some(c) => {
+                c.src_uid = src_uid;
+                c.prog = prog;
+            }
+            None => self.transcode = Some(TranscodeCache::new(src_uid, prog)),
+        }
+    }
+
+    /// Executes the compiled copy program against `dst`'s stores.
+    fn run_copy(
+        &self,
+        dst: &mut Message<'_>,
+        cache: &mut TranscodeCache,
+    ) -> Result<(), BuildError> {
+        let TranscodeCache { prog, ev, dist, cursors, .. } = cache;
+        let sp = self.graph.plan();
+        cursors.clear();
+        cursors.resize(sp.slots(), 0);
+        let mut run = CopyRun {
+            src: self,
+            sp,
+            dp: dst.graph.plan(),
+            dst_graph: dst.graph,
+            wires: &mut dst.wires,
+            presence: &mut dst.presence,
+            counts: &mut dst.counts,
+            rng: &mut dst.rng,
+            ev,
+            dist,
+            cursors,
+            scope: [0; MAX_SCOPE],
+        };
+        run.exec(&prog.steps, 0)
     }
 
     /// Convenience form of [`Message::transcode_into`] that allocates a
@@ -732,24 +898,143 @@ impl<'c> Message<'c> {
     }
 }
 
-/// Structural identity of two plain specifications — the precondition of
-/// [`Message::transcode_into`], which copies values by raw node index. A
-/// name/size fingerprint alone would let two coincidentally same-sized
-/// specs silently mis-map fields, so every node is compared (name, type,
-/// boundary, auto rule, topology). Specs are small (tens of nodes), so
-/// the per-call cost is a short scan with early exit.
-fn plains_match(a: &crate::graph::FormatGraph, b: &crate::graph::FormatGraph) -> bool {
-    a.name() == b.name()
-        && a.len() == b.len()
-        && a.ids().all(|i| {
-            let (na, nb) = (a.node(i), b.node(i));
-            na.name() == nb.name()
-                && na.node_type() == nb.node_type()
-                && na.boundary() == nb.boundary()
-                && na.auto() == nb.auto()
-                && na.parent() == nb.parent()
-                && na.children() == nb.children()
-        })
+/// One execution of a compiled [`CopyProgram`]: the source message plus
+/// disjoint mutable borrows of the destination's stores, RNG and the
+/// cached evaluation scratch. The element scope lives in an inline array
+/// (containers deeper than [`MAX_SCOPE`] are rejected at validation), so
+/// steady-state execution performs no heap allocation at all.
+struct CopyRun<'a, 'c> {
+    src: &'a Message<'c>,
+    /// Source plan (recovery programs).
+    sp: &'a CodecPlan,
+    /// Destination plan (distribution programs).
+    dp: &'a CodecPlan,
+    /// Destination graph, for error naming only.
+    dst_graph: &'a ObfGraph,
+    wires: &'a mut WireStore,
+    presence: &'a mut MetaStore<bool>,
+    counts: &'a mut MetaStore<usize>,
+    rng: &'a mut StdRng,
+    ev: &'a mut RecEval,
+    dist: &'a mut DistEval,
+    /// Sequential read cursors, one per source slot.
+    cursors: &'a mut [u32],
+    scope: [u32; MAX_SCOPE],
+}
+
+impl CopyRun<'_, '_> {
+    /// Runs a step range at the given container depth. Loops recurse with
+    /// their body sub-slice; recursion depth is bounded by the validated
+    /// [`MAX_SCOPE`] nesting.
+    fn exec(&mut self, steps: &[CopyStep], depth: usize) -> Result<(), BuildError> {
+        let mut i = 0;
+        while i < steps.len() {
+            match steps[i] {
+                CopyStep::Value { rec, dist, .. } => {
+                    self.value(rec, dist, depth)?;
+                    i += 1;
+                }
+                CopyStep::ValueDirect { src_obf, src_ops, dist } => {
+                    self.value_direct(src_obf, src_ops, dist, depth)?;
+                    i += 1;
+                }
+                CopyStep::Optional { plain, skip } => {
+                    let sc = &self.scope[..depth];
+                    if self.src.presence.get(plain as usize, sc).unwrap_or(false) {
+                        self.presence.set(plain as usize, sc, true);
+                        i += 1;
+                    } else {
+                        i += 1 + skip as usize;
+                    }
+                }
+                CopyStep::Loop { plain, body } => {
+                    debug_assert!(depth < MAX_SCOPE, "validated nesting exceeded");
+                    let n = {
+                        let sc = &self.scope[..depth];
+                        let n = self.src.counts.get(plain as usize, sc).unwrap_or(0);
+                        self.counts.set(plain as usize, sc, n);
+                        n
+                    };
+                    let inner = &steps[i + 1..i + 1 + body as usize];
+                    for e in 0..n {
+                        self.scope[depth] = e as u32;
+                        self.exec(inner, depth + 1)?;
+                    }
+                    i += 1 + body as usize;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Copies one terminal instance: recover through the source plan's
+    /// program, distribute through the destination plan's program. A
+    /// value missing from the source (unset field) is skipped, exactly
+    /// like the reference walk.
+    fn value(&mut self, rec: RecProg, dprog: DistProg, depth: usize) -> Result<(), BuildError> {
+        let sc = &self.scope[..depth];
+        let src_wires = &self.src.wires;
+        let cursors = &mut *self.cursors;
+        let Some((s, l)) = self.ev.eval(self.sp, rec, sc, &mut |obf, scope, buf| match src_wires
+            .get_seq(obf as usize, scope, &mut cursors[obf as usize])
+        {
+            Some(b) => {
+                buf.extend_from_slice(b);
+                true
+            }
+            None => false,
+        }) else {
+            return Ok(());
+        };
+        let input = self.dist.input();
+        input.extend_from_slice(&self.ev.buf[s..s + l]);
+        self.distribute(dprog, depth)
+    }
+
+    /// The single-`Load` fast path: the source wire goes straight into
+    /// the distribution scratch (constant ops undone in place), skipping
+    /// the recovery stack machine and one byte copy.
+    fn value_direct(
+        &mut self,
+        src_obf: u32,
+        src_ops: (u32, u32),
+        dprog: DistProg,
+        depth: usize,
+    ) -> Result<(), BuildError> {
+        let sc = &self.scope[..depth];
+        let cursor = &mut self.cursors[src_obf as usize];
+        let Some(bytes) = self.src.wires.get_seq(src_obf as usize, sc, cursor) else {
+            return Ok(());
+        };
+        let input = self.dist.input();
+        input.extend_from_slice(bytes);
+        crate::plan::undo_ops_in_place(self.sp.ops(src_ops), input);
+        self.distribute(dprog, depth)
+    }
+
+    /// Runs the destination distribution program over the value already
+    /// written into the distribution scratch.
+    fn distribute(&mut self, dprog: DistProg, depth: usize) -> Result<(), BuildError> {
+        let sc = &self.scope[..depth];
+        let wires = &mut *self.wires;
+        self.dist
+            .eval(self.dp, dprog, &mut *self.rng, &mut |obf, bytes| {
+                wires.set(obf as usize, sc, bytes);
+            })
+            .map_err(|e| {
+                let name = |o: u32| self.dst_graph.node(ObfId(o)).name().to_string();
+                match e {
+                    DistErr::BadLen { obf, expected, found } => BuildError::BadValueLength {
+                        path: name(obf),
+                        expected: expected as usize,
+                        found: found as usize,
+                    },
+                    DistErr::Delim { obf } => {
+                        BuildError::ValueContainsDelimiter { path: name(obf) }
+                    }
+                }
+            })
+    }
 }
 
 #[cfg(test)]
@@ -940,6 +1225,32 @@ mod tests {
         b.transcode_into(&mut dst).unwrap();
         assert_eq!(dst.get("data").unwrap().as_bytes(), b"second");
         assert!(!dst.is_present("extra"));
+    }
+
+    #[test]
+    fn transcode_cache_rearms_when_the_source_graph_changes() {
+        let plain = sample_graph();
+        let clear = ObfGraph::from_plain(&plain);
+        let obf1 =
+            crate::engine::Obfuscator::new(&plain).seed(1).max_per_node(1).obfuscate().unwrap();
+        let mut dst = Message::with_seed(&clear, 9);
+
+        // Alternate two structurally identical but distinct source
+        // graphs into one reusable target: the per-message uid check
+        // must recompile (never replay the other pairing's program).
+        for round in 0..3u64 {
+            let mut a = Message::with_seed(&clear, round);
+            a.set("data", b"from clear".as_slice()).unwrap();
+            a.set_uint("flag", 0).unwrap();
+            a.transcode_into(&mut dst).unwrap();
+            assert_eq!(dst.get("data").unwrap().as_bytes(), b"from clear");
+
+            let mut b = Message::with_seed(obf1.obf_graph(), round);
+            b.set("data", b"from obf".as_slice()).unwrap();
+            b.set_uint("flag", 0).unwrap();
+            b.transcode_into(&mut dst).unwrap();
+            assert_eq!(dst.get("data").unwrap().as_bytes(), b"from obf");
+        }
     }
 
     #[test]

@@ -23,6 +23,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::OnceLock;
 
 use crate::graph::{AutoValue, Boundary, Condition, FormatGraph, NodeId, NodeType, StopRule};
 use crate::value::{ByteOp, Endian, SplitAt, TerminalKind};
@@ -313,6 +314,12 @@ pub struct ObfGraph {
     /// reuse. Clones keep the uid: a clone is structurally identical
     /// until its next mutation.
     uid: u64,
+    /// Lazily compiled execution plan (see [`crate::plan::CodecPlan`]),
+    /// shared by the codec, the sessions and the transcode copy programs.
+    /// Invalidated by [`ObfGraph::touch`] on every rewrite, so a cached
+    /// plan always describes the current graph. Cloning clones the cached
+    /// plan (a clone is structurally identical until its next mutation).
+    plan: OnceLock<crate::plan::CodecPlan>,
 }
 
 /// Source of [`ObfGraph::uid`] values; starts at 1 so 0 can mean "none".
@@ -327,6 +334,7 @@ impl ObfGraph {
             root: ObfId(0),
             holders: HashMap::new(),
             uid: NEXT_GRAPH_UID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            plan: OnceLock::new(),
         };
         let root = g.import(plain, plain.root(), None);
         g.root = root;
@@ -340,8 +348,18 @@ impl ObfGraph {
 
     /// Assigns a fresh structural version. Called by every rewrite so
     /// stale caches keyed on the old uid cannot match a changed graph.
+    /// Also drops the cached compiled plan — it described the old shape.
     pub(crate) fn touch(&mut self) {
         self.uid = NEXT_GRAPH_UID.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.plan = OnceLock::new();
+    }
+
+    /// The compiled execution plan of this graph, built on first use and
+    /// cached (every rewrite invalidates it via [`ObfGraph::touch`]). The
+    /// codec, the pooled sessions and the transcode copy programs all
+    /// share this one instance.
+    pub fn plan(&self) -> &crate::plan::CodecPlan {
+        self.plan.get_or_init(|| crate::plan::CodecPlan::compile(self))
     }
 
     fn import(&mut self, plain: &FormatGraph, id: NodeId, parent: Option<ObfId>) -> ObfId {

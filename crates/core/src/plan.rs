@@ -326,6 +326,153 @@ pub(crate) enum DistErr {
     },
 }
 
+/// One step of a compiled transcode **copy program** (see
+/// [`CopyProgram`]): a slot-to-slot mapping over the plain specification
+/// two codecs share. Steps run in plain pre-order against the source
+/// message's stores; loops and optionals carry relative jump widths so
+/// the whole program is one flat array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CopyStep {
+    /// Recover plain terminal `plain`'s value from the source message
+    /// through the **source** plan's recovery program, then distribute it
+    /// into the destination message through the **destination** plan's
+    /// distribution program. A value missing from the source (unset
+    /// field, absent optional) is skipped, exactly like the reference
+    /// walk.
+    Value {
+        /// Plain node index (shared by both specs).
+        plain: u32,
+        /// Recovery program in the source plan.
+        rec: RecProg,
+        /// Distribution program in the destination plan.
+        dist: DistProg,
+    },
+    /// [`CopyStep::Value`] specialized for the dominant case of an unsplit
+    /// source holder (the whole clear leg of a gateway, and every
+    /// terminal whose value channel no aggregation split touched): the
+    /// recovery program is a single `Load`, so the source wire is read
+    /// straight into the distribution scratch — no recovery stack, one
+    /// byte copy fewer per value.
+    ValueDirect {
+        /// Source wire slot.
+        src_obf: u32,
+        /// Source constant-op stack to undo (pool range in the source
+        /// plan).
+        src_ops: PoolRange,
+        /// Distribution program in the destination plan.
+        dist: DistProg,
+    },
+    /// Copy the presence flag of optional `plain`. When the source marks
+    /// it absent, the next `skip` steps (its subtree) are jumped over.
+    Optional {
+        /// Plain node index of the optional.
+        plain: u32,
+        /// Steps to skip when absent.
+        skip: u32,
+    },
+    /// Copy the element count of repetition/tabular `plain`, then run the
+    /// next `body` steps once per element with the element index appended
+    /// to the scope.
+    Loop {
+        /// Plain node index of the container.
+        plain: u32,
+        /// Steps forming one element's body.
+        body: u32,
+    },
+}
+
+/// A compiled transcode program for one ordered (source plan, destination
+/// plan) pair over a shared plain specification — the gateway relay's
+/// per-message step ([`crate::message::Message::transcode_into`]) lowered
+/// into flat slot-to-slot copies, the same way [`CodecPlan::compile`]
+/// lowered serialize/parse.
+///
+/// Structural validation of the two specifications is folded into
+/// [`CopyProgram::compile`]: a program only exists for matching specs, so
+/// executing it performs no per-message checks at all. The step indices
+/// reference the two plans it was compiled from; callers key cached
+/// programs on the graphs' uids (refreshed on every mutation), which
+/// makes a stale program unreachable.
+#[derive(Debug, Clone)]
+pub struct CopyProgram {
+    pub(crate) steps: Vec<CopyStep>,
+}
+
+impl CopyProgram {
+    /// Lowers the transcode walk for messages of `src` being copied into
+    /// messages of `dst`. Returns `None` when the two graphs' plain
+    /// specifications are not structurally identical — the compile-time
+    /// form of the reference walk's per-pairing validation.
+    pub fn compile(src: &ObfGraph, dst: &ObfGraph) -> Option<CopyProgram> {
+        if !runtime::plains_match(src.plain(), dst.plain()) {
+            return None;
+        }
+        let (sp, dp) = (src.plan(), dst.plan());
+        let mut steps = Vec::new();
+        lower_copy(src.plain(), src.plain().root(), sp, dp, &mut steps);
+        Some(CopyProgram { steps })
+    }
+
+    /// Number of compiled copy steps.
+    pub fn steps(&self) -> usize {
+        self.steps.len()
+    }
+}
+
+/// Emits the copy steps of the plain subtree rooted at `x` (pre-order,
+/// the traversal of the reference walk `Message::transcode_into_walk`).
+fn lower_copy(
+    plain: &crate::graph::FormatGraph,
+    x: NodeId,
+    sp: &CodecPlan,
+    dp: &CodecPlan,
+    out: &mut Vec<CopyStep>,
+) {
+    use crate::graph::NodeType;
+    let node = plain.node(x);
+    match node.node_type() {
+        NodeType::Terminal(_) => {
+            // Auto fields are rematerialized by the destination serializer;
+            // copying them would only re-assert what it recomputes anyway.
+            if node.auto().is_auto() {
+                return;
+            }
+            let rec = sp.rec[x.index()];
+            let holder = dp.holder[x.index()];
+            let dist = (holder != NONE).then(|| dp.dist[holder as usize]).flatten();
+            // Terminals without a value channel on either side carry
+            // nothing to copy (the walk skips them the same way).
+            if let (Some(rec), Some(dist)) = (rec, dist) {
+                out.push(match sp.rec_prog(rec) {
+                    [RecStep::Load { obf, ops }] => {
+                        CopyStep::ValueDirect { src_obf: *obf, src_ops: *ops, dist }
+                    }
+                    _ => CopyStep::Value { plain: x.0, rec, dist },
+                });
+            }
+        }
+        NodeType::Sequence => {
+            for &c in node.children() {
+                lower_copy(plain, c, sp, dp, out);
+            }
+        }
+        NodeType::Optional(_) => {
+            let at = out.len();
+            out.push(CopyStep::Optional { plain: x.0, skip: 0 });
+            lower_copy(plain, node.children()[0], sp, dp, out);
+            let skip = (out.len() - at - 1) as u32;
+            out[at] = CopyStep::Optional { plain: x.0, skip };
+        }
+        NodeType::Repetition(_) | NodeType::Tabular => {
+            let at = out.len();
+            out.push(CopyStep::Loop { plain: x.0, body: 0 });
+            lower_copy(plain, node.children()[0], sp, dp, out);
+            let body = (out.len() - at - 1) as u32;
+            out[at] = CopyStep::Loop { plain: x.0, body };
+        }
+    }
+}
+
 /// A compiled auto-field sanity check (run after parsing).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) enum AutoCheckKind {
@@ -466,7 +613,10 @@ impl CodecPlan {
     /// versions agree as long as the plan semantics agree.
     pub fn digest(&self) -> u64 {
         let mut h = StableHasher::new(0xcbf2_9ce4_8422_2325);
-        h.update(b"protoobf-plan-digest/1");
+        // /2: distribution programs now cover every holder root (the
+        // transcode copy-program stage), so identical specs compile more
+        // `dist`/`dist_steps` content than /1 plans did.
+        h.update(b"protoobf-plan-digest/2");
         self.digest_into(&mut h);
         h.finish()
     }
@@ -965,6 +1115,16 @@ impl<'g> Compiler<'g> {
             let id = ObfId(idx as u32);
             if self.live[idx] && self.materializable(id) {
                 self.plan.dist[idx] = self.compile_dist(id);
+            }
+        }
+        // Distribution programs for every remaining holder root: the
+        // transcode copy programs ([`CopyProgram`]) distribute recovered
+        // source values into *application-set* fields too, not just the
+        // auto/const/pad bases the serializer materializes itself.
+        for x in plain.ids() {
+            let h = self.plan.holder[x.index()];
+            if h != NONE && self.live[h as usize] && self.plan.dist[h as usize].is_none() {
+                self.plan.dist[h as usize] = self.compile_dist(ObfId(h));
             }
         }
         self.compile_autos();
@@ -1649,15 +1809,60 @@ mod tests {
     }
 
     #[test]
-    fn dist_programs_compiled_for_materializable_slots() {
+    fn dist_programs_compiled_for_every_holder_root() {
         let g = sample();
         let plan = CodecPlan::compile(&g);
         let len = g.plain().resolve_names(&["len"]).unwrap();
         let holder = g.holder_of(len).unwrap();
         assert!(plan.dist[holder.index()].is_some(), "auto len holder needs a program");
+        // Source fields are never materialized by the serializer, but the
+        // transcode copy programs distribute recovered values into them,
+        // so their holder roots compile programs too.
         let data = g.plain().resolve_names(&["data"]).unwrap();
         let dh = g.holder_of(data).unwrap();
-        assert!(plan.dist[dh.index()].is_none(), "source fields are never materialized");
+        assert!(plan.dist[dh.index()].is_some(), "copy programs need source-holder programs");
+    }
+
+    #[test]
+    fn copy_program_lowers_the_plain_tree() {
+        let g = sample();
+        let obf = {
+            let plain = g.plain().clone();
+            let mut t = ObfGraph::from_plain(&plain);
+            let mut rng = StdRng::seed_from_u64(4);
+            let data = plain.resolve_names(&["data"]).unwrap();
+            let h = t.holder_of(data).unwrap();
+            apply(&mut t, h, TransformKind::SplitXor, &mut rng).unwrap();
+            t
+        };
+        let prog = CopyProgram::compile(&g, &obf).expect("same plain spec");
+        // One value step per settable terminal, one Optional for
+        // `extra`; auto fields (len) never copy. The identity source
+        // side has single-Load recovery programs throughout, so every
+        // value step takes the direct form.
+        let values = prog
+            .steps
+            .iter()
+            .filter(|s| matches!(s, CopyStep::Value { .. } | CopyStep::ValueDirect { .. }))
+            .count();
+        assert_eq!(values, 3, "data, flag, extra.ev");
+        assert!(prog.steps.iter().all(|s| !matches!(s, CopyStep::Value { .. })));
+        assert!(prog.steps.iter().any(|s| matches!(s, CopyStep::Optional { .. })));
+        assert!(prog.steps() >= 4);
+        // The reverse direction recovers through the split: `data`'s
+        // program needs the full recovery machine.
+        let back = CopyProgram::compile(&obf, &g).expect("same plain spec");
+        assert!(back.steps.iter().any(|s| matches!(s, CopyStep::Value { .. })));
+    }
+
+    #[test]
+    fn copy_program_rejects_foreign_specs() {
+        let g = sample();
+        let mut b = GraphBuilder::new("other");
+        let root = b.root_sequence("m", Boundary::End);
+        b.uint_be(root, "x", 2);
+        let other = ObfGraph::from_plain(&b.build().unwrap());
+        assert!(CopyProgram::compile(&g, &other).is_none());
     }
 
     #[test]

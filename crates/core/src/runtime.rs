@@ -177,6 +177,28 @@ pub fn recover(
     }
 }
 
+/// Structural identity of two plain specifications — the precondition of
+/// [`crate::message::Message::transcode_into`] and of
+/// [`crate::plan::CopyProgram::compile`], both of which copy values by
+/// raw node index. A name/size fingerprint alone would let two
+/// coincidentally same-sized specs silently mis-map fields, so every node
+/// is compared (name, type, boundary, auto rule, topology). Specs are
+/// small (tens of nodes), so the per-call cost is a short scan with early
+/// exit — and both callers cache the verdict per graph pairing anyway.
+pub(crate) fn plains_match(a: &FormatGraph, b: &FormatGraph) -> bool {
+    a.name() == b.name()
+        && a.len() == b.len()
+        && a.ids().all(|i| {
+            let (na, nb) = (a.node(i), b.node(i));
+            na.name() == nb.name()
+                && na.node_type() == nb.node_type()
+                && na.boundary() == nb.boundary()
+                && na.auto() == nb.auto()
+                && na.parent() == nb.parent()
+                && na.children() == nb.children()
+        })
+}
+
 /// Byte-string containment used for delimiter validation.
 pub fn contains(haystack: &[u8], needle: &[u8]) -> bool {
     if needle.is_empty() || haystack.len() < needle.len() {

@@ -90,10 +90,14 @@ pub struct CodecService {
     pool_cap: usize,
     serialized: AtomicU64,
     parsed: AtomicU64,
-    /// `try_lock` misses across checkout/checkin shard scans — the
-    /// observable cost of pool contention (each miss is one extra shard
-    /// probed, never a blocked thread).
-    contended: AtomicU64,
+    /// `try_lock` misses in **checkout** shard scans (each miss is one
+    /// extra shard probed, never a blocked thread).
+    contended_checkout: AtomicU64,
+    /// `try_lock` misses in **checkin** shard scans. Split from checkout
+    /// misses so shard-count tuning can tell admission pressure (many
+    /// threads asking for sessions) from return pressure (many sessions
+    /// dropping at once).
+    contended_checkin: AtomicU64,
 }
 
 #[derive(Debug, Default)]
@@ -115,11 +119,23 @@ pub struct ServiceStats {
     pub pooled_serializers: usize,
     /// Parser scratch states currently parked in the pools.
     pub pooled_parsers: usize,
-    /// Cumulative `try_lock` misses during checkout/checkin shard scans.
-    /// A steadily climbing value under load means the pools are contended:
+    /// Cumulative `try_lock` misses during **checkout** shard scans. A
+    /// steadily climbing value under load means checkouts are contended:
     /// add shards ([`CodecService::with_shards`]) or hold sessions longer
     /// (e.g. one checkout per connection instead of per message).
     pub checkout_contention: u64,
+    /// Cumulative `try_lock` misses during **checkin** shard scans —
+    /// return-side pressure (many guards dropping at once). Before this
+    /// field existed, these misses were folded into
+    /// [`ServiceStats::checkout_contention`], misattributing checkin
+    /// pressure when tuning shard counts.
+    pub checkin_contention: u64,
+    /// Aggregate of both scan loops: `checkout_contention +
+    /// checkin_contention` — exactly the quantity the pre-split
+    /// `checkout_contention` field used to report. Consumers that
+    /// tracked the old aggregate semantics should read this field;
+    /// `checkout_contention` itself now carries only the checkout side.
+    pub pool_contention: u64,
 }
 
 impl CodecService {
@@ -143,7 +159,8 @@ impl CodecService {
             pool_cap: MAX_POOLED_PER_SHARD,
             serialized: AtomicU64::new(0),
             parsed: AtomicU64::new(0),
-            contended: AtomicU64::new(0),
+            contended_checkout: AtomicU64::new(0),
+            contended_checkin: AtomicU64::new(0),
         }
     }
 
@@ -201,6 +218,23 @@ impl CodecService {
             None => self.codec.parser(),
         };
         PooledParser { svc: self, home, session: Some(session) }
+    }
+
+    /// An empty message of this service's codec pre-armed as a reusable
+    /// transcode destination for messages parsed by `src` — the relay
+    /// target of an obfuscating gateway leg. The compiled copy program
+    /// for the (src, self) pairing is cached on the codec and shared by
+    /// every target (and thus every relay connection), so per-connection
+    /// setup is an `Arc` clone, and per-message transcoding runs the
+    /// allocation-free compiled path from the first frame on.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::GraphMismatch`] when the two services do not share a
+    /// structurally identical plain specification (a misconfigured
+    /// gateway pair — caught here, before any traffic flows).
+    pub fn transcode_target(&self, src: &CodecService) -> Result<Message<'_>, BuildError> {
+        self.codec.transcode_target(src.codec())
     }
 
     /// Serializes a batch of messages through one pooled session,
@@ -301,6 +335,8 @@ impl CodecService {
     /// Current counters and pool occupancy.
     pub fn stats(&self) -> ServiceStats {
         let count = |f: fn(&Shard) -> usize| self.shards.iter().map(f).sum();
+        let out = self.contended_checkout.load(Ordering::Relaxed);
+        let inn = self.contended_checkin.load(Ordering::Relaxed);
         ServiceStats {
             shards: self.shards.len(),
             serialized_messages: self.serialized.load(Ordering::Relaxed),
@@ -309,7 +345,9 @@ impl CodecService {
                 s.serializers.lock().unwrap_or_else(|e| e.into_inner()).len()
             }),
             pooled_parsers: count(|s| s.parsers.lock().unwrap_or_else(|e| e.into_inner()).len()),
-            checkout_contention: self.contended.load(Ordering::Relaxed),
+            checkout_contention: out,
+            checkin_contention: inn,
+            pool_contention: out + inn,
         }
     }
 
@@ -336,7 +374,7 @@ impl CodecService {
             }
         }
         if misses > 0 {
-            self.contended.fetch_add(misses, Ordering::Relaxed);
+            self.contended_checkout.fetch_add(misses, Ordering::Relaxed);
         }
         found
     }
@@ -352,12 +390,12 @@ impl CodecService {
                     pool.push(item);
                 }
                 if i > 0 {
-                    self.contended.fetch_add(i as u64, Ordering::Relaxed);
+                    self.contended_checkin.fetch_add(i as u64, Ordering::Relaxed);
                 }
                 return;
             }
         }
-        self.contended.fetch_add(n as u64, Ordering::Relaxed);
+        self.contended_checkin.fetch_add(n as u64, Ordering::Relaxed);
         let mut pool = pool_of(&self.shards[home]).lock().unwrap_or_else(|e| e.into_inner());
         if pool.len() < self.pool_cap {
             pool.push(item);
@@ -681,6 +719,42 @@ mod tests {
             "a checkout scanning a locked shard must record the miss"
         );
         drop(s);
+    }
+
+    #[test]
+    fn contention_split_attributes_checkin_misses() {
+        let svc = CodecService::with_shards(obfuscated_codec(), 2);
+        let s = svc.serializer(); // home shard 0, no contention yet
+        assert_eq!(svc.stats().checkout_contention, 0);
+        assert_eq!(svc.stats().checkin_contention, 0);
+        // Hold shard 0's pool while the guard drops: the checkin scan
+        // must skip to shard 1 and record the miss on the **checkin**
+        // counter, not the checkout one.
+        let guard = svc.shards[0].serializers.lock().unwrap();
+        drop(s);
+        drop(guard);
+        let stats = svc.stats();
+        assert_eq!(stats.checkout_contention, 0, "no checkout scanned a locked shard");
+        assert_eq!(stats.checkin_contention, 1, "the checkin skipped one locked shard");
+        assert_eq!(
+            stats.pool_contention,
+            stats.checkout_contention + stats.checkin_contention,
+            "legacy aggregate stays the sum"
+        );
+        assert_eq!(svc.stats().pooled_serializers, 1, "scratch landed in the open shard");
+    }
+
+    #[test]
+    fn transcode_target_runs_the_shared_program() {
+        let clear = CodecService::with_shards(Codec::identity(obfuscated_codec().plain()), 1);
+        let obf = CodecService::with_shards(obfuscated_codec(), 1);
+        let mut msg = clear.codec().message_seeded(1);
+        msg.set("data", b"via service".as_slice()).unwrap();
+        msg.set_uint("code", 4).unwrap();
+        let mut target = obf.transcode_target(&clear).unwrap();
+        msg.transcode_into(&mut target).unwrap();
+        assert_eq!(target.get("data").unwrap().as_bytes(), b"via service");
+        assert_eq!(target.get_uint("code").unwrap(), 4);
     }
 
     #[test]

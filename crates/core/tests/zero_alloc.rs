@@ -57,11 +57,10 @@ fn allocations() -> u64 {
     ALLOCATIONS.with(Cell::get)
 }
 
-#[test]
-fn steady_state_sessions_do_not_allocate() {
-    // A spec exercising every materialization path: auto length over a
-    // subtree, auto counter over a tabular, and (after obfuscation)
-    // splits, constant stacks, mirrors and pads on top.
+/// A spec exercising every materialization path: auto length over a
+/// subtree, auto counter over a tabular, and (after obfuscation) splits,
+/// constant stacks, mirrors and pads on top.
+fn audit_graph() -> protoobf_core::FormatGraph {
     let mut b = GraphBuilder::new("za");
     let root = b.root_sequence("m", Boundary::End);
     let len = b.uint_be(root, "len", 2);
@@ -73,7 +72,12 @@ fn steady_state_sessions_do_not_allocate() {
     let item = b.sequence(tab, "item", Boundary::Delegated);
     b.uint_be(item, "v", 2);
     b.uint_be(root, "code", 4);
-    let graph = b.build().unwrap();
+    b.build().unwrap()
+}
+
+#[test]
+fn steady_state_sessions_do_not_allocate() {
+    let graph = audit_graph();
 
     for (what, level) in [("identity", 0u32), ("obfuscated", 3)] {
         let codec = if level == 0 {
@@ -111,4 +115,61 @@ fn steady_state_sessions_do_not_allocate() {
         let after_parse = allocations();
         assert_eq!(after_parse - after_serialize, 0, "{what}: steady-state parsing allocated");
     }
+}
+
+/// The gateway relay hot path — decode, transcode through the compiled
+/// copy program, re-encode — pinned allocation-free in both directions
+/// (clear → obfuscated and back). This is the loop
+/// `protoobf-transport`'s `Relay` runs per message; before the copy
+/// programs it routed through the allocating graph-walk runtime.
+#[test]
+fn steady_state_relay_transcode_does_not_allocate() {
+    let graph = audit_graph();
+    let clear = protoobf_core::Codec::identity(&graph);
+    let obf = Obfuscator::new(&graph).seed(9).max_per_node(3).obfuscate().unwrap();
+
+    let mut msg = clear.message_seeded(1);
+    msg.set("data", b"steady state payload".as_slice()).unwrap();
+    for i in 0..4u64 {
+        msg.set_uint(&format!("items[{i}].v"), 40 + i).unwrap();
+    }
+    msg.set_uint("code", 7).unwrap();
+
+    // The relay's long-lived pieces: one parser per inbound leg, one
+    // serializer per outbound leg, one armed transcode target per
+    // direction (program compiled once per pairing, scratch reused).
+    let mut clear_parser = clear.parser();
+    let mut obf_parser = obf.parser();
+    let mut clear_serializer = clear.serializer();
+    let mut obf_serializer = obf.serializer();
+    let mut to_obf = obf.transcode_target(&clear).unwrap();
+    let mut to_clear = clear.transcode_target(&obf).unwrap();
+
+    let mut clear_wire = Vec::new();
+    let mut obf_wire = Vec::new();
+    let mut back_wire = Vec::new();
+    clear_serializer.serialize_into_seeded(&msg, &mut clear_wire, 1).unwrap();
+
+    macro_rules! round_trip {
+        ($seed:expr) => {{
+            let inbound = clear_parser.parse_in_place(&clear_wire).unwrap();
+            inbound.transcode_into(&mut to_obf).unwrap();
+            obf_serializer.serialize_into_seeded(&to_obf, &mut obf_wire, $seed).unwrap();
+            let upstream = obf_parser.parse_in_place(&obf_wire).unwrap();
+            upstream.transcode_into(&mut to_clear).unwrap();
+            clear_serializer.serialize_into_seeded(&to_clear, &mut back_wire, $seed).unwrap();
+        }};
+    }
+
+    // Warm-up: compile programs, grow every scratch to steady state.
+    for round in 0..5u64 {
+        round_trip!(round);
+    }
+    assert_eq!(back_wire, clear_wire, "relay round trip must be lossless");
+
+    let before = allocations();
+    for round in 0..50u64 {
+        round_trip!(round);
+    }
+    assert_eq!(allocations() - before, 0, "steady-state relay transcode allocated");
 }

@@ -252,13 +252,79 @@ fn configure(stream: &TcpStream) -> io::Result<()> {
 /// Idle strategy: stay hot for a few dozen scans (another thread likely
 /// holds the bytes we're waiting for), then sleep exponentially up to
 /// ~1.6 ms — long enough to be cheap, short enough that shutdown and new
-/// connections are picked up promptly.
+/// connections are picked up promptly. Naps (count and slept time) are
+/// recorded in [`Metrics`].
 fn backoff(idle_scans: u32, metrics: &Metrics) {
+    match backoff_duration(idle_scans) {
+        None => std::thread::yield_now(),
+        Some(nap) => {
+            Metrics::add(&metrics.idle_naps, 1);
+            Metrics::add(&metrics.idle_nap_micros, nap.as_micros() as u64);
+            std::thread::sleep(nap);
+        }
+    }
+}
+
+/// The backoff envelope, as a pure function of the idle-scan counter:
+/// `None` (spin-yield) for the first 32 scans, then 50 µs doubling every
+/// 32 further scans up to a hard 1.6 ms cap. The exponent is clamped
+/// **before** the shift (`min(5)`, so the shifted value is at most
+/// `50 << 5`), which makes the envelope safe for every `u32` input — an
+/// idle-scan counter that saturates at `u32::MAX` still naps 1.6 ms, it
+/// can never shift past the cap or overflow. Pinned by `backoff_envelope`
+/// below.
+fn backoff_duration(idle_scans: u32) -> Option<Duration> {
     if idle_scans < 32 {
-        std::thread::yield_now();
-    } else {
-        let exp = ((idle_scans - 32) / 32).min(5);
-        Metrics::add(&metrics.idle_naps, 1);
-        std::thread::sleep(Duration::from_micros(50u64 << exp));
+        return None;
+    }
+    let exp = ((idle_scans - 32) / 32).min(5);
+    Some(Duration::from_micros(50u64 << exp))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The 50 µs .. 1.6 ms envelope, pinned across the whole `u32` domain
+    /// (a counter overflow/saturation can never escape the cap).
+    #[test]
+    fn backoff_envelope() {
+        // Hot phase: pure yields, no naps.
+        for scans in 0..32 {
+            assert_eq!(backoff_duration(scans), None, "scan {scans} must spin");
+        }
+        // First nap tier and the doubling schedule.
+        assert_eq!(backoff_duration(32), Some(Duration::from_micros(50)));
+        assert_eq!(backoff_duration(63), Some(Duration::from_micros(50)));
+        assert_eq!(backoff_duration(64), Some(Duration::from_micros(100)));
+        assert_eq!(backoff_duration(96), Some(Duration::from_micros(200)));
+        assert_eq!(backoff_duration(128), Some(Duration::from_micros(400)));
+        assert_eq!(backoff_duration(160), Some(Duration::from_micros(800)));
+        // Cap tier: reached at 192 scans and held forever after.
+        assert_eq!(backoff_duration(192), Some(Duration::from_micros(1600)));
+        for scans in [193, 1 << 16, 1 << 24, u32::MAX - 1, u32::MAX] {
+            let nap = backoff_duration(scans).expect("idle workers nap");
+            assert_eq!(nap, Duration::from_micros(1600), "scan {scans} escaped the cap");
+        }
+        // Monotone within the envelope: longer idling never naps shorter.
+        let mut last = Duration::ZERO;
+        for scans in 32..512 {
+            let nap = backoff_duration(scans).unwrap();
+            assert!(nap >= last, "nap shrank at scan {scans}");
+            assert!((50..=1600).contains(&(nap.as_micros() as u64)));
+            last = nap;
+        }
+    }
+
+    /// Worker naps are visible in the metrics (count and slept micros).
+    #[test]
+    fn backoff_records_naps_in_metrics() {
+        let metrics = Metrics::new();
+        backoff(0, &metrics); // yield: not a nap
+        backoff(32, &metrics); // 50 µs
+        backoff(500, &metrics); // capped 1.6 ms
+        let snap = metrics.snapshot();
+        assert_eq!(snap.idle_naps, 2);
+        assert_eq!(snap.idle_nap_micros, 50 + 1600);
     }
 }

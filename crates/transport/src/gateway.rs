@@ -7,7 +7,10 @@
 //! gateway does the inverse in front of the real server. Response traffic
 //! flows back through the same pair in reverse. Both directions of both
 //! legs run over one shared compiled plan per codec ([`CodecService`]),
-//! with per-connection pooled sessions ([`Conn`]).
+//! with per-connection pooled sessions ([`Conn`]); the per-message
+//! transcode step runs a compiled plan-level copy program shared per leg
+//! pairing ([`CodecService::transcode_target`]), so the steady-state
+//! relay loop — decode, transcode, re-encode — allocates nothing.
 //!
 //! ```text
 //!        clear frames          obfuscated frames          clear frames
@@ -84,9 +87,12 @@ impl<'s> LegServices<'s> {
 /// Buffers and sessions are all reused across messages: decode borrows
 /// the parse session's message, transcode refills a long-lived
 /// destination message, encode appends to the outbound buffer. The
-/// transcode step itself still runs the graph-walk runtime (per-field
-/// value materialization allocates); compiling it into plan-level copy
-/// programs is a ROADMAP item.
+/// transcode step runs a compiled plan-level **copy program**
+/// ([`protoobf_core::plan::CopyProgram`], compiled once per (rx, tx)
+/// codec pairing and shared by every connection via
+/// [`CodecService::transcode_target`]), so the whole steady-state relay
+/// loop — decode, transcode, re-encode — performs zero per-message heap
+/// allocation.
 pub struct Relay<'s> {
     down: TcpStream,
     up: TcpStream,
@@ -107,27 +113,38 @@ impl<'s> Relay<'s> {
     /// services) and a dialed upstream socket (framed with `up`'s). The
     /// two legs may differ per direction (asymmetric request/response
     /// profiles); `down.rx` must share its plain spec with `up.tx`, and
-    /// `up.rx` with `down.tx` (the transcode path). Both sockets must
-    /// already be non-blocking.
+    /// `up.rx` with `down.tx` (the transcode path — validated here, at
+    /// connection setup, by compiling/sharing the copy programs, so no
+    /// structural check runs per message). Both sockets must already be
+    /// non-blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Build`]
+    /// ([`protoobf_core::BuildError::GraphMismatch`]) when a
+    /// leg pairing does not share its plain specification — a
+    /// misconfigured gateway, surfaced before any byte is relayed.
     pub fn new(
         down_stream: TcpStream,
         up_stream: TcpStream,
         down: LegServices<'s>,
         up: LegServices<'s>,
         metrics: &'s Metrics,
-    ) -> Relay<'s> {
-        Relay {
+    ) -> Result<Relay<'s>, TransportError> {
+        let to_up = up.tx.transcode_target(down.rx)?;
+        let to_down = down.tx.transcode_target(up.rx)?;
+        Ok(Relay {
             down: down_stream,
             up: up_stream,
             down_conn: Conn::new(down.rx, down.tx),
             up_conn: Conn::new(up.rx, up.tx),
-            to_up: up.tx.codec().message(),
-            to_down: down.tx.codec().message(),
+            to_up,
+            to_down,
             read_buf: vec![0u8; 16 * 1024],
             down_eof_relayed: false,
             up_eof_relayed: false,
             metrics,
-        }
+        })
     }
 }
 
@@ -236,11 +253,13 @@ fn pump_direction(
 ) -> Result<bool, TransportError> {
     let mut progress = read_into(src, src_conn, read_buf, metrics)?;
 
-    // Decode complete frames, transcode, re-encode onto the other leg.
+    // Decode complete frames, transcode (compiled copy program, shared
+    // per leg pairing), re-encode onto the other leg.
     while let Some(msg) = src_conn.poll_inbound()? {
-        msg.transcode_into(tmpl)?;
-        dst_conn.send(tmpl)?;
         Metrics::add(&metrics.messages_in, 1);
+        msg.transcode_into(tmpl)?;
+        Metrics::add(&metrics.transcodes, 1);
+        dst_conn.send(tmpl)?;
         Metrics::add(&metrics.messages_out, 1);
         progress = true;
     }
@@ -274,7 +293,9 @@ impl<'s> Echo<'s> {
         Echo {
             stream,
             conn: Conn::new(svc, svc),
-            reply: svc.codec().message(),
+            // A codec always structurally matches itself, so the armed
+            // self-pair target cannot fail to build.
+            reply: svc.transcode_target(svc).expect("self-pair transcode target"),
             read_buf: vec![0u8; 16 * 1024],
             metrics,
         }
@@ -290,8 +311,9 @@ impl Session for Echo<'_> {
         // so each message is first copied into the reusable reply (same
         // graph on both sides: transcoding is a plain structural copy).
         while let Some(msg) = self.conn.poll_inbound()? {
-            msg.transcode_into(&mut self.reply)?;
             Metrics::add(&self.metrics.messages_in, 1);
+            msg.transcode_into(&mut self.reply)?;
+            Metrics::add(&self.metrics.transcodes, 1);
             progress = true;
             self.conn.send(&self.reply)?;
             Metrics::add(&self.metrics.messages_out, 1);
@@ -349,7 +371,9 @@ impl Session for Responder<'_> {
             read_into(&mut self.stream, &mut self.conn, &mut self.read_buf, self.metrics)?;
         // The decoded request's content is not inspected — arrival of a
         // structurally valid message is the contract; the reply is
-        // sampled from the *other* direction's grammar.
+        // sampled from the *other* direction's grammar. Sampling builds
+        // a fresh message anyway, so (unlike the relay and echo paths)
+        // there is no reusable transcode target to route through here.
         while self.conn.poll_inbound()?.is_some() {
             Metrics::add(&self.metrics.messages_in, 1);
             let reply = random_message(self.reply_svc.codec(), &mut self.rng);
@@ -511,7 +535,7 @@ impl Gateway {
                 .map_err(TransportError::Io)?;
             up.set_nonblocking(true).map_err(TransportError::Io)?;
             let _ = up.set_nodelay(true);
-            Ok(Relay::new(down, up, self.down_services(), self.up_services(), &self.metrics))
+            Relay::new(down, up, self.down_services(), self.up_services(), &self.metrics)
         })
     }
 }

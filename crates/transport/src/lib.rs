@@ -30,7 +30,9 @@
 //! * [`gateway::Gateway`] — the obfuscating relay: the ingress side parses
 //!   obfuscated frames into clear messages, the egress side re-serializes
 //!   clear messages into obfuscated frames, transcoding through the shared
-//!   plain specification ([`protoobf_core::Message::transcode_into`]).
+//!   plain specification ([`protoobf_core::Message::transcode_into`],
+//!   which runs a compiled plan-level copy program shared per codec
+//!   pairing — the whole steady-state relay loop allocates nothing).
 //!
 //! [`metrics::Metrics`] instruments all of it; [`duplex`] provides the
 //! in-memory transport used by the differential tests.

@@ -22,6 +22,11 @@ pub struct Metrics {
     pub messages_in: AtomicU64,
     /// Messages re-encoded onto transport bytes (relay: after transcode).
     pub messages_out: AtomicU64,
+    /// Messages transcoded between codecs (compiled copy-program runs on
+    /// the gateway relay / echo hot path). For a healthy relay this
+    /// tracks `messages_in`; a lag means messages decoded but not yet
+    /// re-expressed.
+    pub transcodes: AtomicU64,
     /// Raw bytes read off sockets.
     pub bytes_in: AtomicU64,
     /// Raw bytes written to sockets.
@@ -30,6 +35,10 @@ pub struct Metrics {
     /// while traffic flows = workers starved of readiness, consider more
     /// workers; high while idle = normal).
     pub idle_naps: AtomicU64,
+    /// Cumulative microseconds spent in idle backoff sleeps — with
+    /// [`Metrics::idle_naps`], the full shape of the backoff envelope
+    /// (many short naps vs. few capped ones).
+    pub idle_nap_micros: AtomicU64,
 }
 
 impl Metrics {
@@ -51,9 +60,11 @@ impl Metrics {
             failed: self.failed.load(Ordering::Relaxed),
             messages_in: self.messages_in.load(Ordering::Relaxed),
             messages_out: self.messages_out.load(Ordering::Relaxed),
+            transcodes: self.transcodes.load(Ordering::Relaxed),
             bytes_in: self.bytes_in.load(Ordering::Relaxed),
             bytes_out: self.bytes_out.load(Ordering::Relaxed),
             idle_naps: self.idle_naps.load(Ordering::Relaxed),
+            idle_nap_micros: self.idle_nap_micros.load(Ordering::Relaxed),
         }
     }
 }
@@ -67,9 +78,11 @@ pub struct MetricsSnapshot {
     pub failed: u64,
     pub messages_in: u64,
     pub messages_out: u64,
+    pub transcodes: u64,
     pub bytes_in: u64,
     pub bytes_out: u64,
     pub idle_naps: u64,
+    pub idle_nap_micros: u64,
 }
 
 impl std::fmt::Display for MetricsSnapshot {
@@ -77,16 +90,19 @@ impl std::fmt::Display for MetricsSnapshot {
         write!(
             f,
             "conns {} accepted / {} closed / {} failed ({} accept errors); \
-             msgs {} in / {} out; bytes {} in / {} out; {} idle naps",
+             msgs {} in / {} transcoded / {} out; bytes {} in / {} out; \
+             {} idle naps ({} µs)",
             self.accepted,
             self.closed,
             self.failed,
             self.accept_errors,
             self.messages_in,
+            self.transcodes,
             self.messages_out,
             self.bytes_in,
             self.bytes_out,
-            self.idle_naps
+            self.idle_naps,
+            self.idle_nap_micros
         )
     }
 }

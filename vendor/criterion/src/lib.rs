@@ -176,25 +176,35 @@ impl<'c> BenchmarkGroup<'c> {
         self
     }
 
-    /// Runs one benchmark with an input value.
+    /// Runs one benchmark with an input value (skipped when the
+    /// command-line filter does not match its full name).
     pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {
+        let name = format!("{}/{}", self.name, id);
+        if !self.criterion.matches(&name) {
+            return self;
+        }
         let mut b = Bencher { stats: Stats::default() };
         f(&mut b, input);
-        self.criterion.record(format!("{}/{}", self.name, id), b.stats, self.throughput);
+        self.criterion.record(name, b.stats, self.throughput);
         self
     }
 
-    /// Runs one benchmark.
+    /// Runs one benchmark (skipped when the command-line filter does not
+    /// match its full name).
     pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
+        let name = format!("{}/{}", self.name, id);
+        if !self.criterion.matches(&name) {
+            return self;
+        }
         let mut b = Bencher { stats: Stats::default() };
         f(&mut b);
-        self.criterion.record(format!("{}/{}", self.name, id), b.stats, self.throughput);
+        self.criterion.record(name, b.stats, self.throughput);
         self
     }
 
@@ -203,9 +213,21 @@ impl<'c> BenchmarkGroup<'c> {
 }
 
 /// The benchmark harness entry point.
-#[derive(Default)]
 pub struct Criterion {
     results: Vec<BenchResult>,
+    /// Substring filter from the command line (`cargo bench -- <filter>`),
+    /// matching real criterion's behavior: only benchmarks whose full
+    /// name contains the filter run.
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // First non-flag argument, as real criterion does (cargo passes
+        // `--bench` and friends; everything after `--` is ours).
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { results: Vec::new(), filter }
+    }
 }
 
 impl Criterion {
@@ -214,11 +236,20 @@ impl Criterion {
         BenchmarkGroup { name: name.into(), throughput: None, criterion: self }
     }
 
+    /// True when `name` passes the command-line filter (always true
+    /// without one).
+    fn matches(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
     /// Runs one stand-alone benchmark.
     pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
+        if !self.matches(name) {
+            return self;
+        }
         let mut b = Bencher { stats: Stats::default() };
         f(&mut b);
         self.record(name.to_string(), b.stats, None);
@@ -240,10 +271,20 @@ impl Criterion {
     /// clock, appendable across runs by external tooling. Hand-rolled
     /// serialization — the environment is offline, so no serde.
     ///
+    /// When no recorded result matches `prefix` — typically because a
+    /// command-line filter excluded the whole group — nothing is written
+    /// and `Ok(false)` is returned: a filtered-out group must not clobber
+    /// another group's trajectory file with an empty one.
+    ///
     /// # Errors
     ///
     /// Propagates file-system errors.
-    pub fn export_json(&self, path: &str, prefix: &str) -> std::io::Result<()> {
+    pub fn export_json(&self, path: &str, prefix: &str) -> std::io::Result<bool> {
+        let matching: Vec<&BenchResult> =
+            self.results.iter().filter(|r| r.name.starts_with(prefix)).collect();
+        if matching.is_empty() {
+            return Ok(false);
+        }
         let unix_time = std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_secs())
@@ -253,8 +294,6 @@ impl Criterion {
         out.push_str(&format!("  \"prefix\": \"{}\",\n", escape(prefix)));
         out.push_str(&format!("  \"unix_time\": {unix_time},\n"));
         out.push_str("  \"results\": [\n");
-        let matching: Vec<&BenchResult> =
-            self.results.iter().filter(|r| r.name.starts_with(prefix)).collect();
         for (i, r) in matching.iter().enumerate() {
             let sep = if i + 1 == matching.len() { "" } else { "," };
             let mut fields = format!(
@@ -279,7 +318,8 @@ impl Criterion {
             out.push_str(&format!("    {{{fields}}}{sep}\n"));
         }
         out.push_str("  ]\n}\n");
-        std::fs::write(path, out)
+        std::fs::write(path, out)?;
+        Ok(true)
     }
 }
 
