@@ -110,6 +110,7 @@ pub mod obf;
 pub mod parse;
 pub mod path;
 pub mod plan;
+pub mod pool;
 pub mod profile;
 pub mod runtime;
 pub mod sample;

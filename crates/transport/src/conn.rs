@@ -19,6 +19,18 @@
 //!
 //! All failure paths are typed ([`TransportError`]); hostile bytes move
 //! the connection to [`ConnState::Failed`] and never panic.
+//!
+//! The outbound queue is **bounded** ([`Conn::outbound_cap`], default
+//! [`DEFAULT_OUTBOUND_CAP`]): once the queued bytes reach the cap,
+//! further [`Conn::send`]s are refused with
+//! [`TransportError::Backpressure`] instead of buffering without limit —
+//! a peer that stops reading can stall its own stream but can no longer
+//! balloon the process's memory. The cap is *soft*: it is checked before
+//! a message is encoded, so the queue can overshoot by at most one frame
+//! (bounded by the tx codec's frame limit). Cooperative producers check
+//! [`Conn::can_send`] first and pause their inbound side instead — the
+//! gateway relay does exactly that, turning a slow downstream into a
+//! closed TCP window for the upstream sender.
 
 use protoobf_core::framing::{FrameBuffer, FrameError};
 use protoobf_core::message::Message;
@@ -42,6 +54,11 @@ pub enum ConnState {
     Failed,
 }
 
+/// Default outbound queue cap in bytes ([`Conn::outbound_cap`]): large
+/// enough that a healthy socket never notices, small enough that one
+/// stalled peer holds a bounded amount of process memory.
+pub const DEFAULT_OUTBOUND_CAP: usize = 1 << 20;
+
 /// A sans-io framed-codec connection; see the [module docs](self).
 #[derive(Debug)]
 pub struct Conn<'s> {
@@ -50,6 +67,7 @@ pub struct Conn<'s> {
     inbuf: FrameBuffer,
     out: Vec<u8>,
     out_start: usize,
+    out_cap: usize,
     tx_max_frame: usize,
     state: ConnState,
     closing: bool,
@@ -70,6 +88,7 @@ impl<'s> Conn<'s> {
             inbuf: FrameBuffer::new().max_frame(rx.frame_limit()),
             out: Vec::new(),
             out_start: 0,
+            out_cap: DEFAULT_OUTBOUND_CAP,
             tx_max_frame: tx.frame_limit(),
             state: ConnState::Open,
             closing: false,
@@ -90,6 +109,34 @@ impl<'s> Conn<'s> {
     /// the same profile; the role picks the orientation.
     pub fn responder(endpoint: &'s Endpoint) -> Conn<'s> {
         Conn::new(endpoint.tx_service(), endpoint.rx_service())
+    }
+
+    /// Sets the outbound queue's byte cap (builder form; default
+    /// [`DEFAULT_OUTBOUND_CAP`]). Clamped to at least one byte so an
+    /// empty queue always admits the next frame — a zero cap would
+    /// deadlock every producer forever.
+    pub fn outbound_cap(mut self, cap: usize) -> Conn<'s> {
+        self.set_outbound_cap(cap);
+        self
+    }
+
+    /// In-place form of [`Conn::outbound_cap`].
+    pub fn set_outbound_cap(&mut self, cap: usize) {
+        self.out_cap = cap.max(1);
+    }
+
+    /// True when the outbound queue is below its cap, i.e. the next
+    /// [`Conn::send`] will not be refused with
+    /// [`TransportError::Backpressure`]. Cooperative producers (the
+    /// gateway relay) poll this before decoding more inbound work.
+    pub fn can_send(&self) -> bool {
+        self.outbound_len() < self.out_cap
+    }
+
+    /// Bytes currently queued outbound (not yet consumed by the
+    /// transport).
+    pub fn outbound_len(&self) -> usize {
+        self.out.len() - self.out_start
     }
 
     /// Current lifecycle state.
@@ -183,11 +230,19 @@ impl<'s> Conn<'s> {
     /// [`TransportError::Build`] when the message does not serialize (the
     /// connection stays usable — the fault is local, not the wire's),
     /// [`TransportError::Frame`] ([`FrameError::TooLarge`]) when the frame
-    /// exceeds the tx limit, [`TransportError::Closed`] after
-    /// [`Conn::close`] or on a terminal connection.
+    /// exceeds the tx limit, [`TransportError::Backpressure`] when the
+    /// outbound queue is at its cap (also non-fatal: drain and retry),
+    /// [`TransportError::Closed`] after [`Conn::close`] or on a terminal
+    /// connection.
     pub fn send(&mut self, msg: &Message<'_>) -> Result<(), TransportError> {
         if self.closing || matches!(self.state, ConnState::Failed | ConnState::Closed) {
             return Err(TransportError::Closed);
+        }
+        if !self.can_send() {
+            return Err(TransportError::Backpressure {
+                queued: self.outbound_len(),
+                cap: self.out_cap,
+            });
         }
         match protoobf_core::framing::append_frame(
             &mut self.serializer,

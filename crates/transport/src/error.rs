@@ -22,6 +22,19 @@ pub enum TransportError {
     /// The operation was attempted on a connection that is closed or has
     /// already failed.
     Closed,
+    /// The connection's outbound queue is at its configured byte cap
+    /// ([`crate::conn::Conn::outbound_cap`]): the peer (or the socket) is
+    /// not draining as fast as the caller produces. Not fatal — the
+    /// connection stays open; retry after the transport has flushed.
+    /// Cooperative callers (the gateway relay) avoid this error entirely
+    /// by checking [`crate::conn::Conn::can_send`] and pausing their
+    /// *inbound* side instead, propagating the pressure to the sender.
+    Backpressure {
+        /// Bytes currently queued outbound.
+        queued: usize,
+        /// The configured cap the queue is at or over.
+        cap: usize,
+    },
 }
 
 impl std::fmt::Display for TransportError {
@@ -31,6 +44,9 @@ impl std::fmt::Display for TransportError {
             TransportError::Frame(e) => write!(f, "framing error: {e}"),
             TransportError::Build(e) => write!(f, "relay serialization error: {e}"),
             TransportError::Closed => write!(f, "connection is closed"),
+            TransportError::Backpressure { queued, cap } => {
+                write!(f, "outbound queue at capacity ({queued} of {cap} bytes queued)")
+            }
         }
     }
 }
@@ -42,6 +58,7 @@ impl std::error::Error for TransportError {
             TransportError::Frame(e) => Some(e),
             TransportError::Build(e) => Some(e),
             TransportError::Closed => None,
+            TransportError::Backpressure { .. } => None,
         }
     }
 }

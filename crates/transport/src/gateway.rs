@@ -105,6 +105,12 @@ pub struct Relay<'s> {
     read_buf: Vec<u8>,
     down_eof_relayed: bool,
     up_eof_relayed: bool,
+    /// Whether each direction's last pump had its ingestion paused by
+    /// the other leg's outbound cap — edge-detects
+    /// [`Metrics::backpressure_events`] so a long stall counts once, not
+    /// once per drive.
+    down_gated: bool,
+    up_gated: bool,
     metrics: &'s Metrics,
 }
 
@@ -143,8 +149,21 @@ impl<'s> Relay<'s> {
             read_buf: vec![0u8; 16 * 1024],
             down_eof_relayed: false,
             up_eof_relayed: false,
+            down_gated: false,
+            up_gated: false,
             metrics,
         })
+    }
+
+    /// Caps both legs' outbound queues at `cap` bytes (builder; default
+    /// [`crate::conn::DEFAULT_OUTBOUND_CAP`]). When one leg's queue
+    /// reaches its cap the relay stops *reading* the opposite socket, so
+    /// a slow receiver surfaces to the original sender as a closed TCP
+    /// window rather than as unbounded gateway memory.
+    pub fn outbound_cap(mut self, cap: usize) -> Relay<'s> {
+        self.down_conn.set_outbound_cap(cap);
+        self.up_conn.set_outbound_cap(cap);
+        self
     }
 }
 
@@ -159,6 +178,7 @@ impl Session for Relay<'_> {
             &mut self.to_up,
             &mut self.read_buf,
             &mut self.down_eof_relayed,
+            &mut self.down_gated,
             self.metrics,
         )?;
         progress |= pump_direction(
@@ -169,12 +189,18 @@ impl Session for Relay<'_> {
             &mut self.to_down,
             &mut self.read_buf,
             &mut self.up_eof_relayed,
+            &mut self.up_gated,
             self.metrics,
         )?;
         if self.down_eof_relayed && self.up_eof_relayed {
             return Ok(Drive::Done);
         }
         Ok(if progress { Drive::Progress } else { Drive::Idle })
+    }
+
+    fn sockets<'a>(&'a self, out: &mut Vec<&'a TcpStream>) {
+        out.push(&self.down);
+        out.push(&self.up);
     }
 }
 
@@ -240,6 +266,19 @@ fn flush_from(
 /// Pumps one direction of a relay: `src` socket bytes → `src_conn` frames
 /// → decoded messages → transcode into `tmpl` → `dst_conn` frames → `dst`
 /// socket. Returns whether any byte or message moved.
+///
+/// Ingestion is **gated on the destination's outbound cap**
+/// ([`Conn::can_send`]): while `dst_conn`'s queue is at capacity this
+/// direction neither reads `src` nor decodes buffered frames, so
+/// [`TransportError::Backpressure`] is never hit on this path — the
+/// pressure propagates backwards as an unread socket (a closed TCP window
+/// to the sender) instead of killing the relay or growing its memory.
+/// This is safe under edge-triggered readiness: a pass whose queue stays
+/// at capacity past the flush has queued `dst` bytes behind a
+/// write-blocked socket, so the destination's next writability edge
+/// re-drives the session and reopens the gate. `gated` edge-detects
+/// passes where the cap paused ingestion (before the flush relieves it)
+/// for [`Metrics::backpressure_events`] — a long stall counts once.
 #[allow(clippy::too_many_arguments)]
 fn pump_direction(
     src: &mut TcpStream,
@@ -249,22 +288,37 @@ fn pump_direction(
     tmpl: &mut Message<'_>,
     read_buf: &mut [u8],
     eof_relayed: &mut bool,
+    gated: &mut bool,
     metrics: &Metrics,
 ) -> Result<bool, TransportError> {
-    let mut progress = read_into(src, src_conn, read_buf, metrics)?;
+    let mut progress = false;
+    let engaged;
+    if dst_conn.can_send() {
+        progress |= read_into(src, src_conn, read_buf, metrics)?;
 
-    // Decode complete frames, transcode (compiled copy program, shared
-    // per leg pairing), re-encode onto the other leg.
-    while let Some(msg) = src_conn.poll_inbound()? {
-        Metrics::add(&metrics.messages_in, 1);
-        msg.transcode_into(tmpl)?;
-        Metrics::add(&metrics.transcodes, 1);
-        dst_conn.send(tmpl)?;
-        Metrics::add(&metrics.messages_out, 1);
-        progress = true;
+        // Decode complete frames, transcode (compiled copy program,
+        // shared per leg pairing), re-encode onto the other leg — until
+        // the frames run out or the destination queue fills.
+        while dst_conn.can_send() {
+            let Some(msg) = src_conn.poll_inbound()? else { break };
+            Metrics::add(&metrics.messages_in, 1);
+            msg.transcode_into(tmpl)?;
+            Metrics::add(&metrics.transcodes, 1);
+            dst_conn.send(tmpl)?;
+            Metrics::add(&metrics.messages_out, 1);
+            progress = true;
+        }
+        engaged = !dst_conn.can_send();
+    } else {
+        engaged = true;
     }
 
     progress |= flush_from(dst, dst_conn, metrics)?;
+
+    if engaged && !*gated {
+        Metrics::add(&metrics.backpressure_events, 1);
+    }
+    *gated = engaged;
 
     // Propagate the half-close once everything in flight is delivered.
     if !*eof_relayed && src_conn.state() == ConnState::PeerClosed && !dst_conn.has_outbound() {
@@ -283,6 +337,9 @@ pub struct Echo<'s> {
     conn: Conn<'s>,
     reply: Message<'s>,
     read_buf: Vec<u8>,
+    /// Edge-detector for [`Metrics::backpressure_events`], as in
+    /// [`Relay`].
+    gated: bool,
     metrics: &'s Metrics,
 }
 
@@ -297,33 +354,63 @@ impl<'s> Echo<'s> {
             // self-pair target cannot fail to build.
             reply: svc.transcode_target(svc).expect("self-pair transcode target"),
             read_buf: vec![0u8; 16 * 1024],
+            gated: false,
             metrics,
         }
+    }
+
+    /// Caps the outbound queue at `cap` bytes (builder; default
+    /// [`crate::conn::DEFAULT_OUTBOUND_CAP`]). A full queue pauses reads
+    /// (the echo stops accepting requests it could not answer) instead of
+    /// buffering without bound.
+    pub fn outbound_cap(mut self, cap: usize) -> Echo<'s> {
+        self.conn.set_outbound_cap(cap);
+        self
     }
 }
 
 impl Session for Echo<'_> {
     fn drive(&mut self) -> Result<Drive, TransportError> {
-        let mut progress =
-            read_into(&mut self.stream, &mut self.conn, &mut self.read_buf, self.metrics)?;
-        // Decode, then echo. The reply cannot be sent while the decoded
-        // message is still borrowed from the connection's parse session,
-        // so each message is first copied into the reusable reply (same
-        // graph on both sides: transcoding is a plain structural copy).
-        while let Some(msg) = self.conn.poll_inbound()? {
-            Metrics::add(&self.metrics.messages_in, 1);
-            msg.transcode_into(&mut self.reply)?;
-            Metrics::add(&self.metrics.transcodes, 1);
-            progress = true;
-            self.conn.send(&self.reply)?;
-            Metrics::add(&self.metrics.messages_out, 1);
+        let mut progress = false;
+        let engaged;
+        // Ingestion gated on the outbound cap, as in `pump_direction`:
+        // a peer that sends requests faster than it reads replies stalls
+        // its own stream instead of growing the echo's queue.
+        if self.conn.can_send() {
+            progress |=
+                read_into(&mut self.stream, &mut self.conn, &mut self.read_buf, self.metrics)?;
+            // Decode, then echo. The reply cannot be sent while the
+            // decoded message is still borrowed from the connection's
+            // parse session, so each message is first copied into the
+            // reusable reply (same graph on both sides: transcoding is a
+            // plain structural copy).
+            while self.conn.can_send() {
+                let Some(msg) = self.conn.poll_inbound()? else { break };
+                Metrics::add(&self.metrics.messages_in, 1);
+                msg.transcode_into(&mut self.reply)?;
+                Metrics::add(&self.metrics.transcodes, 1);
+                progress = true;
+                self.conn.send(&self.reply)?;
+                Metrics::add(&self.metrics.messages_out, 1);
+            }
+            engaged = !self.conn.can_send();
+        } else {
+            engaged = true;
         }
         progress |= flush_from(&mut self.stream, &mut self.conn, self.metrics)?;
+        if engaged && !self.gated {
+            Metrics::add(&self.metrics.backpressure_events, 1);
+        }
+        self.gated = engaged;
         if self.conn.state() == ConnState::PeerClosed && !self.conn.has_outbound() {
             let _ = self.stream.shutdown(Shutdown::Write);
             return Ok(Drive::Done);
         }
         Ok(if progress { Drive::Progress } else { Drive::Idle })
+    }
+
+    fn sockets<'a>(&'a self, out: &mut Vec<&'a TcpStream>) {
+        out.push(&self.stream);
     }
 }
 
@@ -340,6 +427,9 @@ pub struct Responder<'s> {
     reply_svc: &'s CodecService,
     rng: StdRng,
     read_buf: Vec<u8>,
+    /// Edge-detector for [`Metrics::backpressure_events`], as in
+    /// [`Relay`].
+    gated: bool,
     metrics: &'s Metrics,
 }
 
@@ -360,33 +450,58 @@ impl<'s> Responder<'s> {
             reply_svc,
             rng: StdRng::seed_from_u64(seed),
             read_buf: vec![0u8; 16 * 1024],
+            gated: false,
             metrics,
         }
+    }
+
+    /// Caps the outbound queue at `cap` bytes (builder; default
+    /// [`crate::conn::DEFAULT_OUTBOUND_CAP`]); see [`Echo::outbound_cap`].
+    pub fn outbound_cap(mut self, cap: usize) -> Responder<'s> {
+        self.conn.set_outbound_cap(cap);
+        self
     }
 }
 
 impl Session for Responder<'_> {
     fn drive(&mut self) -> Result<Drive, TransportError> {
-        let mut progress =
-            read_into(&mut self.stream, &mut self.conn, &mut self.read_buf, self.metrics)?;
-        // The decoded request's content is not inspected — arrival of a
-        // structurally valid message is the contract; the reply is
-        // sampled from the *other* direction's grammar. Sampling builds
-        // a fresh message anyway, so (unlike the relay and echo paths)
-        // there is no reusable transcode target to route through here.
-        while self.conn.poll_inbound()?.is_some() {
-            Metrics::add(&self.metrics.messages_in, 1);
-            let reply = random_message(self.reply_svc.codec(), &mut self.rng);
-            self.conn.send(&reply)?;
-            Metrics::add(&self.metrics.messages_out, 1);
-            progress = true;
+        let mut progress = false;
+        let engaged;
+        // Ingestion gated on the outbound cap, as in `pump_direction`.
+        if self.conn.can_send() {
+            progress |=
+                read_into(&mut self.stream, &mut self.conn, &mut self.read_buf, self.metrics)?;
+            // The decoded request's content is not inspected — arrival of
+            // a structurally valid message is the contract; the reply is
+            // sampled from the *other* direction's grammar. Sampling
+            // builds a fresh message anyway, so (unlike the relay and
+            // echo paths) there is no reusable transcode target to route
+            // through here.
+            while self.conn.can_send() && self.conn.poll_inbound()?.is_some() {
+                Metrics::add(&self.metrics.messages_in, 1);
+                let reply = random_message(self.reply_svc.codec(), &mut self.rng);
+                self.conn.send(&reply)?;
+                Metrics::add(&self.metrics.messages_out, 1);
+                progress = true;
+            }
+            engaged = !self.conn.can_send();
+        } else {
+            engaged = true;
         }
         progress |= flush_from(&mut self.stream, &mut self.conn, self.metrics)?;
+        if engaged && !self.gated {
+            Metrics::add(&self.metrics.backpressure_events, 1);
+        }
+        self.gated = engaged;
         if self.conn.state() == ConnState::PeerClosed && !self.conn.has_outbound() {
             let _ = self.stream.shutdown(Shutdown::Write);
             return Ok(Drive::Done);
         }
         Ok(if progress { Drive::Progress } else { Drive::Idle })
+    }
+
+    fn sockets<'a>(&'a self, out: &mut Vec<&'a TcpStream>) {
+        out.push(&self.stream);
     }
 }
 
@@ -403,6 +518,9 @@ pub struct Gateway {
     mode: GatewayMode,
     upstream: SocketAddr,
     metrics: Metrics,
+    /// Per-connection outbound queue cap for both relay legs (`None` =
+    /// [`crate::conn::DEFAULT_OUTBOUND_CAP`]).
+    outbound_cap: Option<usize>,
     /// Derivation fingerprint when built from a profile endpoint.
     fingerprint: Option<Fingerprint>,
 }
@@ -438,6 +556,7 @@ impl Gateway {
             mode,
             upstream: resolve_upstream(upstream)?,
             metrics: Metrics::new(),
+            outbound_cap: None,
             fingerprint: None,
         })
     }
@@ -484,8 +603,18 @@ impl Gateway {
             mode,
             upstream: resolve_upstream(upstream)?,
             metrics: Metrics::new(),
+            outbound_cap: None,
             fingerprint: Some(endpoint.fingerprint()),
         })
+    }
+
+    /// Caps every relayed connection's outbound queues at `cap` bytes
+    /// (builder; default [`crate::conn::DEFAULT_OUTBOUND_CAP`]) — see
+    /// [`Relay::outbound_cap`] for the semantics. The `protoobf` binary
+    /// exposes this as `--backpressure BYTES`.
+    pub fn with_outbound_cap(mut self, cap: usize) -> Gateway {
+        self.outbound_cap = Some(cap);
+        self
     }
 
     /// The gateway's live counters.
@@ -535,7 +664,12 @@ impl Gateway {
                 .map_err(TransportError::Io)?;
             up.set_nonblocking(true).map_err(TransportError::Io)?;
             let _ = up.set_nodelay(true);
-            Relay::new(down, up, self.down_services(), self.up_services(), &self.metrics)
+            let relay =
+                Relay::new(down, up, self.down_services(), self.up_services(), &self.metrics)?;
+            Ok(match self.outbound_cap {
+                Some(cap) => relay.outbound_cap(cap),
+                None => relay,
+            })
         })
     }
 }

@@ -25,8 +25,16 @@
 //! * [`evloop`] — a **non-blocking event loop** over `std::net` sockets
 //!   (the build environment has no async runtime; none is needed):
 //!   thread-per-core workers each accept and drive their own set of
-//!   sessions with `try`-style readiness scanning and exponential idle
-//!   backoff.
+//!   sessions. On Linux the workers get true kernel readiness from
+//!   [`sys`] — a dependency-free raw-syscall epoll shim (edge-triggered,
+//!   O(1) idle wakes at any connection count); everywhere else, and
+//!   under `PROTOOBF_EVLOOP=scan`, they fall back to `try`-style
+//!   readiness scanning with exponential idle backoff. Accepts are
+//!   capped per wake ([`evloop::LoopConfig::accept_burst`]) so a
+//!   connect flood cannot starve established sessions, and every
+//!   session's outbound queue is capped
+//!   ([`conn::Conn::outbound_cap`]) so a slow reader stalls its own
+//!   stream instead of growing gateway memory.
 //! * [`gateway::Gateway`] — the obfuscating relay: the ingress side parses
 //!   obfuscated frames into clear messages, the egress side re-serializes
 //!   clear messages into obfuscated frames, transcoding through the shared
@@ -34,8 +42,11 @@
 //!   which runs a compiled plan-level copy program shared per codec
 //!   pairing — the whole steady-state relay loop allocates nothing).
 //!
-//! [`metrics::Metrics`] instruments all of it; [`duplex`] provides the
-//! in-memory transport used by the differential tests.
+//! [`metrics::Metrics`] instruments all of it — counters plus a
+//! lock-free log-bucketed wake-latency histogram
+//! ([`metrics::LatencyHistogram`], p50/p95/p99) and edge-detected
+//! backpressure stall counts; [`duplex`] provides the in-memory
+//! transport used by the differential tests.
 //!
 //! Deployments configure the whole stack through a
 //! [`protoobf_core::profile::Profile`]: [`gateway::Gateway::from_endpoint`]
@@ -52,6 +63,7 @@ pub mod error;
 pub mod evloop;
 pub mod gateway;
 pub mod metrics;
+pub mod sys;
 
 pub use conn::{Conn, ConnState};
 pub use error::TransportError;

@@ -80,7 +80,7 @@ fn run_chain(profile_text: &str) {
     assert_eq!(encode_gw.fingerprint(), decode_gw.fingerprint());
 
     let shutdown = AtomicBool::new(false);
-    let cfg = LoopConfig { workers: 2, accept_limit: None };
+    let cfg = LoopConfig { workers: 2, accept_limit: None, ..LoopConfig::default() };
 
     std::thread::scope(|scope| {
         let loops = [
@@ -223,7 +223,7 @@ fn obfuscated_leg_is_not_the_clear_grammar() {
         Gateway::from_endpoint(&ep, GatewayMode::Encode, sniff_l.local_addr().unwrap()).unwrap();
 
     let shutdown = AtomicBool::new(false);
-    let cfg = LoopConfig { workers: 1, accept_limit: Some(1) };
+    let cfg = LoopConfig { workers: 1, accept_limit: Some(1), ..LoopConfig::default() };
 
     std::thread::scope(|scope| {
         let gw_loop = scope.spawn(|| encode_gw.serve(encode_l, &cfg, &shutdown));

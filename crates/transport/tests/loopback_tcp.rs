@@ -50,7 +50,7 @@ fn with_gateway_chain(
     let server_metrics = Metrics::new();
 
     let shutdown = AtomicBool::new(false);
-    let cfg = LoopConfig { workers: 2, accept_limit: None };
+    let cfg = LoopConfig { workers: 2, accept_limit: None, ..LoopConfig::default() };
 
     std::thread::scope(|scope| {
         let loops = [

@@ -10,9 +10,11 @@
 //!                                            generate the C library + metrics
 //! protoobf demo <target> [--level N --key K] round-trip a random message
 //! protoobf gateway <target> --listen A --upstream B --mode encode|decode
-//!                  [--workers N --accept-limit N]
+//!                  [--workers N --accept-limit N --accept-burst N
+//!                   --backpressure BYTES]
 //!                                            run one obfuscation gateway
-//! protoobf recv <target> --listen A [--workers N --accept-limit N]
+//! protoobf recv <target> --listen A [--workers N --accept-limit N
+//!                  --accept-burst N --backpressure BYTES]
 //!                                            clear-framed echo/responder server
 //! protoobf send <target> --connect A [--count N]
 //!                                            clear-framed client, verifies echoes
@@ -80,7 +82,8 @@ fn usage(msg: &str) -> String {
          \x20      <spec-file|builtin:NAME> | --profile FILE\n\
          \x20      [--key STRING] [--seed N (deprecated alias for --key N)] [--level N]\n\
          \x20      [-o FILE] [--listen ADDR] [--upstream ADDR] [--connect ADDR]\n\
-         \x20      [--mode encode|decode] [--workers N] [--accept-limit N] [--count N]"
+         \x20      [--mode encode|decode] [--workers N] [--accept-limit N] [--count N]\n\
+         \x20      [--accept-burst N] [--backpressure BYTES]"
     )
 }
 
@@ -97,6 +100,8 @@ struct Options {
     mode: Option<String>,
     workers: Option<usize>,
     accept_limit: Option<u64>,
+    accept_burst: Option<usize>,
+    backpressure: Option<usize>,
     count: usize,
 }
 
@@ -114,6 +119,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         mode: None,
         workers: None,
         accept_limit: None,
+        accept_burst: None,
+        backpressure: None,
         count: 16,
     };
     let mut it = args.iter();
@@ -132,6 +139,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--workers" => opts.workers = Some(number("--workers", &value("--workers")?)?),
             "--accept-limit" => {
                 opts.accept_limit = Some(number("--accept-limit", &value("--accept-limit")?)?);
+            }
+            "--accept-burst" => {
+                opts.accept_burst = Some(number("--accept-burst", &value("--accept-burst")?)?);
+            }
+            "--backpressure" => {
+                opts.backpressure = Some(number("--backpressure", &value("--backpressure")?)?);
             }
             "--count" => opts.count = number("--count", &value("--count")?)?,
             other if other.starts_with('-') => return Err(format!("unknown flag {other:?}")),
@@ -349,8 +362,11 @@ fn run() -> Result<(), CliError> {
                 None => return Err(CliError::Usage("gateway needs --mode encode|decode".into())),
             };
             let endpoint = endpoint_for(&opts)?;
-            let gw =
+            let mut gw =
                 Gateway::from_endpoint(&endpoint, mode, upstream).map_err(|e| e.to_string())?;
+            if let Some(cap) = opts.backpressure {
+                gw = gw.with_outbound_cap(cap);
+            }
             let listener =
                 std::net::TcpListener::bind(listen).map_err(|e| format!("bind {listen}: {e}"))?;
             let cfg = loop_config(&opts);
@@ -380,7 +396,11 @@ fn run() -> Result<(), CliError> {
             if endpoint.is_symmetric() {
                 eprintln!("echo server on {listen} ({} workers)", cfg.workers);
                 evloop::serve(listener, &cfg, &shutdown, &metrics, |stream, _peer| {
-                    Ok(Echo::new(stream, request_svc, &metrics))
+                    let echo = Echo::new(stream, request_svc, &metrics);
+                    Ok(match opts.backpressure {
+                        Some(cap) => echo.outbound_cap(cap),
+                        None => echo,
+                    })
                 })
                 .map_err(|e| e.to_string())?;
             } else {
@@ -393,7 +413,11 @@ fn run() -> Result<(), CliError> {
                 let seed = std::sync::atomic::AtomicU64::new(1);
                 evloop::serve(listener, &cfg, &shutdown, &metrics, |stream, _peer| {
                     let s = seed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    Ok(Responder::new(stream, request_svc, reply_svc, s, &metrics))
+                    let responder = Responder::new(stream, request_svc, reply_svc, s, &metrics);
+                    Ok(match opts.backpressure {
+                        Some(cap) => responder.outbound_cap(cap),
+                        None => responder,
+                    })
                 })
                 .map_err(|e| e.to_string())?;
             }
@@ -463,6 +487,9 @@ fn loop_config(opts: &Options) -> LoopConfig {
         cfg.workers = w.max(1);
     }
     cfg.accept_limit = opts.accept_limit;
+    if let Some(burst) = opts.accept_burst {
+        cfg.accept_burst = burst.max(1);
+    }
     cfg
 }
 
