@@ -104,6 +104,7 @@ pub mod engine;
 pub mod error;
 pub mod extent;
 pub mod framing;
+pub mod fuzz;
 pub mod graph;
 pub mod message;
 pub mod obf;

@@ -160,7 +160,6 @@ impl WireStore {
     }
 
     /// All stored values, in slot order.
-    #[cfg(test)]
     pub(crate) fn iter(&self) -> impl Iterator<Item = (usize, &[u32], &[u8])> + '_ {
         self.per_slot.iter().enumerate().flat_map(move |(slot, entries)| {
             entries.iter().map(move |&(ref k, start, end)| {
@@ -381,6 +380,12 @@ impl<'c> Message<'c> {
     /// The obfuscation graph this message is bound to.
     pub fn graph(&self) -> &'c ObfGraph {
         self.graph
+    }
+
+    /// Every populated wire value: `(slot, scope, bytes)` in slot order.
+    /// Feeds the fuzzer's plan-slot coverage signatures ([`crate::fuzz`]).
+    pub(crate) fn populated_wires(&self) -> impl Iterator<Item = (usize, &[u32], &[u8])> + '_ {
+        self.wires.iter()
     }
 
     fn resolve(&self, path: &str) -> Result<(NodeId, Scope), BuildError> {

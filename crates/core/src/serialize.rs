@@ -43,6 +43,36 @@ use crate::value::{TerminalKind, Value};
 // plan interpreter
 // ---------------------------------------------------------------------------
 
+/// The byte range a plan slot produced during one traced serialization
+/// ([`SerializeSession::serialize_traced`]). Spans nest exactly like the
+/// plan tree does: a parent's range contains its children's, and `depth`
+/// is the repetition-scope depth at emit time. Inside a mirrored subtree
+/// the coordinates are **pre-reversal** — still a faithful boundary map
+/// for mutation purposes, just not display order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotSpan {
+    /// Plan slot (node index) that produced the bytes.
+    pub slot: u32,
+    /// Start offset into the output buffer, inclusive.
+    pub start: u32,
+    /// End offset, exclusive. `start == end` for empty productions.
+    pub end: u32,
+    /// Repetition-scope depth at the time of emission.
+    pub depth: u8,
+}
+
+impl SlotSpan {
+    /// Length of the span in bytes.
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// Whether this slot produced no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
 /// A reusable serialization session over a compiled codec plan.
 ///
 /// Obtain one from [`crate::codec::Codec::serializer`] and keep it for the
@@ -89,6 +119,10 @@ pub(crate) struct SerializeScratch {
     ev: RecEval,
     dist: DistEval,
     rng: StdRng,
+    /// Per-slot byte ranges recorded while `tracing` is set; stays empty
+    /// (and costs one branch per node) on the production path.
+    trace: Vec<SlotSpan>,
+    tracing: bool,
 }
 
 impl SerializeScratch {
@@ -99,6 +133,8 @@ impl SerializeScratch {
             ev: RecEval::default(),
             dist: DistEval::default(),
             rng: StdRng::seed_from_u64(rand::random()),
+            trace: Vec::new(),
+            tracing: false,
         }
     }
 }
@@ -176,6 +212,33 @@ impl<'c> SerializeSession<'c> {
         r
     }
 
+    /// Serializes `msg` into `out` (cleared first) while recording the
+    /// byte range every plan slot produced into `spans` (cleared first,
+    /// pre-order). This is the plan-introspection feed for grammar-aware
+    /// fuzzing ([`crate::fuzz`]): the spans mark exactly the field and
+    /// scope boundaries the compiled plan committed to, so mutations can
+    /// target them instead of random offsets.
+    ///
+    /// # Errors
+    ///
+    /// See [`SerializeSession::serialize_into`]. On error `spans` holds
+    /// the prefix traced before the failure.
+    pub fn serialize_traced(
+        &mut self,
+        msg: &Message<'_>,
+        out: &mut Vec<u8>,
+        spans: &mut Vec<SlotSpan>,
+    ) -> Result<(), BuildError> {
+        out.clear();
+        self.scratch.trace.clear();
+        self.scratch.tracing = true;
+        let r = self.serialize_append(msg, out);
+        self.scratch.tracing = false;
+        spans.clear();
+        spans.append(&mut self.scratch.trace);
+        r
+    }
+
     /// Serializes with a deterministic RNG seed for the serialization-time
     /// random material (pads, shares of auto-field splits).
     ///
@@ -201,6 +264,24 @@ impl<'c> SerializeSession<'c> {
     }
 
     fn emit(&mut self, idx: u32, msg: &Message<'_>, out: &mut Vec<u8>) -> Result<(), BuildError> {
+        if !self.scratch.tracing {
+            return self.emit_inner(idx, msg, out);
+        }
+        let at = self.scratch.trace.len();
+        let start = out.len() as u32;
+        let depth = self.scratch.scope.len() as u8;
+        self.scratch.trace.push(SlotSpan { slot: idx, start, end: start, depth });
+        let r = self.emit_inner(idx, msg, out);
+        self.scratch.trace[at].end = out.len() as u32;
+        r
+    }
+
+    fn emit_inner(
+        &mut self,
+        idx: u32,
+        msg: &Message<'_>,
+        out: &mut Vec<u8>,
+    ) -> Result<(), BuildError> {
         let plan = self.plan;
         let node = &plan.nodes[idx as usize];
         match &node.op {

@@ -27,9 +27,11 @@ pub mod align;
 pub mod cluster;
 pub mod entropy;
 pub mod infer;
+pub mod resilience;
 pub mod score;
 
 pub use align::{needleman_wunsch, similarity, similarity_matrix, Alignment, ScoreParams};
 pub use cluster::upgma;
 pub use infer::{multiple_alignment, InferredField, Profile};
+pub use resilience::{attack, AttackParams, AttackScore};
 pub use score::{adjusted_rand_index, purity};

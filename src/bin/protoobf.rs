@@ -18,6 +18,12 @@
 //!                                            clear-framed echo/responder server
 //! protoobf send <target> --connect A [--count N]
 //!                                            clear-framed client, verifies echoes
+//! protoobf fuzz <target> [--cases N] [--corpus DIR]
+//!                                            plan-aware differential fuzzing;
+//!                                            exits non-zero on any divergence
+//! protoobf resilience [--samples N] [--max-level N] [-o FILE]
+//!                                            PRE attack trajectory over the
+//!                                            builtin protocols × levels
 //! ```
 //!
 //! `<target>` is either a positional spec — a DSL file, or `builtin:NAME`
@@ -58,9 +64,11 @@ use std::sync::atomic::AtomicBool;
 
 use protoobf::codegen::{generate, measure};
 use protoobf::core::framing::{FrameReader, FrameWriter};
+use protoobf::core::fuzz::{fuzz_codec, FuzzConfig, Reproducer};
 use protoobf::core::sample::random_message;
+use protoobf::resilience;
 use protoobf::transport::{evloop, Echo, Gateway, GatewayMode, LoopConfig, Metrics, Responder};
-use protoobf::{Derivation, Endpoint, Profile, ProfileExt, SpecSource};
+use protoobf::{Derivation, Endpoint, ObfConfig, Profile, ProfileExt, SpecSource, TransformKind};
 
 /// A CLI failure: usage errors re-print the usage text naming the
 /// offending token (exit 2); run errors report and exit 1.
@@ -78,12 +86,13 @@ impl From<String> for CliError {
 fn usage(msg: &str) -> String {
     format!(
         "error: {msg}\n\
-         usage: protoobf <check|print|dot|gen|demo|gateway|recv|send>\n\
+         usage: protoobf <check|print|dot|gen|demo|gateway|recv|send|fuzz|resilience>\n\
          \x20      <spec-file|builtin:NAME> | --profile FILE\n\
          \x20      [--key STRING] [--seed N (deprecated alias for --key N)] [--level N]\n\
          \x20      [-o FILE] [--listen ADDR] [--upstream ADDR] [--connect ADDR]\n\
          \x20      [--mode encode|decode] [--workers N] [--accept-limit N] [--count N]\n\
-         \x20      [--accept-burst N] [--backpressure BYTES]"
+         \x20      [--accept-burst N] [--backpressure BYTES]\n\
+         \x20      [--cases N] [--corpus DIR] [--samples N] [--max-level N]"
     )
 }
 
@@ -103,9 +112,13 @@ struct Options {
     accept_burst: Option<usize>,
     backpressure: Option<usize>,
     count: usize,
+    cases: Option<u32>,
+    corpus: Option<String>,
+    samples: Option<usize>,
+    max_level: Option<u32>,
 }
 
-fn parse_options(args: &[String]) -> Result<Options, String> {
+fn parse_options(args: &[String], spec_required: bool) -> Result<Options, String> {
     let mut opts = Options {
         spec_path: None,
         profile: None,
@@ -122,6 +135,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         accept_burst: None,
         backpressure: None,
         count: 16,
+        cases: None,
+        corpus: None,
+        samples: None,
+        max_level: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -147,6 +164,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 opts.backpressure = Some(number("--backpressure", &value("--backpressure")?)?);
             }
             "--count" => opts.count = number("--count", &value("--count")?)?,
+            "--cases" => opts.cases = Some(number("--cases", &value("--cases")?)?),
+            "--corpus" => opts.corpus = Some(value("--corpus")?),
+            "--samples" => opts.samples = Some(number("--samples", &value("--samples")?)?),
+            "--max-level" => {
+                opts.max_level = Some(number("--max-level", &value("--max-level")?)?);
+            }
             other if other.starts_with('-') => return Err(format!("unknown flag {other:?}")),
             other if opts.spec_path.is_none() => opts.spec_path = Some(other.to_string()),
             other => return Err(format!("unexpected argument {other:?}")),
@@ -165,7 +188,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 return Err(format!("--profile excludes {flag} (set it in the profile file)"));
             }
         }
-    } else if opts.spec_path.is_none() {
+    } else if opts.spec_path.is_none() && spec_required {
         return Err("missing specification (give a spec file, builtin:NAME or --profile)".into());
     }
     Ok(opts)
@@ -238,7 +261,7 @@ fn run() -> Result<(), CliError> {
         Some((c, rest)) => (c.clone(), rest.to_vec()),
         None => return Err(CliError::Usage("missing command".into())),
     };
-    let opts = parse_options(&rest).map_err(CliError::Usage)?;
+    let opts = parse_options(&rest, command != "resilience").map_err(CliError::Usage)?;
 
     match command.as_str() {
         "check" => {
@@ -476,9 +499,122 @@ fn run() -> Result<(), CliError> {
                 if symmetric { "byte-identical" } else { "with parsed responses" }
             );
         }
+        "fuzz" => {
+            let profile = profile_for(&opts)?;
+            let derivation = derivation_for(&opts)?;
+            // One entry point for the fast PR gate and the long stress
+            // run: --cases wins, then PROTOOBF_FUZZ_CASES (the knob the
+            // CI stress matrix already sets), then a fast default.
+            let cases = opts
+                .cases
+                .or_else(|| std::env::var("PROTOOBF_FUZZ_CASES").ok().and_then(|v| v.parse().ok()))
+                .unwrap_or(256);
+            let corpus = opts.corpus.clone().unwrap_or_else(|| "tests/corpus".to_string());
+            let cfg = FuzzConfig {
+                cases,
+                seed: profile.obf().rng_seed() ^ 0x0BF5_CA7E,
+                ..FuzzConfig::default()
+            };
+            let mut legs = vec![("tx", &derivation.tx, profile.tx())];
+            if let Some(rx) = &derivation.rx {
+                legs.push(("rx", rx, profile.rx()));
+            }
+            let mut total = 0usize;
+            for (leg, codec, src) in legs {
+                let report = fuzz_codec(codec, &cfg);
+                eprintln!(
+                    "{leg} {}: {} executions ({} accepted, {} rejected), {} coverage \
+                     signatures, {} divergence(s)",
+                    codec.plain().name(),
+                    report.executions,
+                    report.accepted,
+                    report.rejected,
+                    report.signatures,
+                    report.divergences.len()
+                );
+                for rep in &report.divergences {
+                    let path = pin_reproducer(&corpus, src, profile.obf(), leg, rep)?;
+                    eprintln!(
+                        "  divergence ({} bytes, minimized from {}): {}\n  pinned {path}",
+                        rep.wire.len(),
+                        rep.original.len(),
+                        rep.detail.lines().next().unwrap_or("")
+                    );
+                }
+                total += report.divergences.len();
+            }
+            if total > 0 {
+                return Err(CliError::Run(format!(
+                    "{total} divergence(s) found — minimized reproducers pinned under {corpus}"
+                )));
+            }
+            println!("fuzz: ok — {cases} cases per leg, no divergence");
+        }
+        "resilience" => {
+            if let Some(spec) = &opts.spec_path {
+                return Err(CliError::Usage(format!(
+                    "resilience scores the builtin protocol suite and takes no \
+                     specification (got {spec:?})"
+                )));
+            }
+            let samples = opts.samples.unwrap_or(16);
+            let max_level = opts.max_level.unwrap_or(3);
+            let report = resilience::score_trajectory(max_level, samples, 0xD5C_0BF);
+            for cell in &report.levels {
+                eprintln!("{}", resilience::summarize(cell));
+            }
+            let json = resilience::export_json(&report);
+            match &opts.out {
+                Some(path) => {
+                    std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
+                    eprintln!("wrote {path}");
+                }
+                None => print!("{json}"),
+            }
+        }
         other => return Err(CliError::Usage(format!("unknown command {other:?}"))),
     }
     Ok(())
+}
+
+/// Writes a minimized reproducer into the corpus directory. When the
+/// fuzzed leg is a builtin spec obfuscated with the full transformation
+/// set, the file uses the regression-corpus name format
+/// (`<proto>-l<level>-p<seed>-<desc>.bin`) so `tests/fuzz_differential.rs`
+/// and `tests/transcode_differential.rs` replay it on every run; other
+/// configurations (DSL files, restricted `allow` lists) can't be
+/// reconstructed from the name alone and are pinned as `.repro` files
+/// the harnesses ignore.
+fn pin_reproducer(
+    dir: &str,
+    src: &SpecSource,
+    obf: &ObfConfig,
+    leg: &str,
+    rep: &Reproducer,
+) -> Result<String, CliError> {
+    std::fs::create_dir_all(dir).map_err(|e| CliError::Run(format!("cannot create {dir}: {e}")))?;
+    let tag = match src {
+        SpecSource::Builtin(name) => match name.as_str() {
+            "dns-query" => Some("dnsq"),
+            "dns-response" => Some("dnsr"),
+            "http-request" => Some("httpq"),
+            "http-response" => Some("httpr"),
+            "modbus-request" => Some("modq"),
+            "modbus-response" => Some("modr"),
+            _ => None,
+        },
+        SpecSource::File(_) => None,
+    };
+    let name = match tag {
+        Some(tag) if obf.allowed == TransformKind::ALL => {
+            format!("{tag}-l{}-p{}-fuzz{:08x}.bin", obf.level, obf.rng_seed(), rep.signature as u32)
+        }
+        _ => format!("fuzz-{leg}-{:08x}.repro", rep.signature as u32),
+    };
+    let path = format!("{dir}/{name}");
+    std::fs::write(&path, &rep.wire)
+        .map_err(|e| CliError::Run(format!("cannot write {path}: {e}")))?;
+    Ok(path)
 }
 
 fn loop_config(opts: &Options) -> LoopConfig {

@@ -81,6 +81,8 @@ pub use protoobf_protocols as protocols;
 pub use protoobf_spec as spec;
 pub use protoobf_transport as transport;
 
+pub mod resilience;
+
 /// The standard [`SpecResolver`]: `builtin:NAME` maps to the bundled
 /// experiment protocols, anything else is read as a specification DSL
 /// file. This is what [`ProfileExt::build`] and the `protoobf` CLI use.

@@ -275,3 +275,82 @@ fn demo_accepts_profile_and_key() {
         .unwrap();
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
 }
+
+// ---------------------------------------------------------------------------
+// fuzz / resilience
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fuzz_runs_clean_on_a_builtin_spec() {
+    let corpus = std::env::temp_dir().join("protoobf-cli-test-fuzz-corpus");
+    let out = cli()
+        .args(["fuzz", "builtin:modbus-request", "--level", "2", "--key", "fuzz secret"])
+        .args(["--cases", "8", "--corpus"])
+        .arg(&corpus)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("fuzz: ok"), "{stdout}");
+    assert!(stdout.contains("8 cases"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("0 divergence(s)"), "{stderr}");
+    // A clean run must not grow the corpus directory.
+    assert!(!corpus.exists() || std::fs::read_dir(&corpus).unwrap().next().is_none());
+}
+
+/// The case budget: `--cases` wins over `PROTOOBF_FUZZ_CASES`, which
+/// wins over the default — the same knob the CI stress matrix sets.
+#[test]
+fn fuzz_case_budget_resolves_flag_over_env() {
+    let base = ["fuzz", "builtin:modbus-request", "--key", "budget"];
+    let out = cli().args(base).env("PROTOOBF_FUZZ_CASES", "5").output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("5 cases per leg"));
+
+    let out =
+        cli().args(base).args(["--cases", "7"]).env("PROTOOBF_FUZZ_CASES", "5").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("7 cases per leg"));
+}
+
+/// A profile with asymmetric rx/tx fuzzes both gateway legs.
+#[test]
+fn fuzz_profile_covers_both_gateway_legs() {
+    let path = write_profile("fuzz", ASYM_PROFILE);
+    let out = cli().args(["fuzz", "--profile"]).arg(&path).args(["--cases", "5"]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("tx DnsQuery"), "{stderr}");
+    assert!(stderr.contains("rx DnsResponse"), "{stderr}");
+}
+
+#[test]
+fn resilience_exports_the_trajectory_json() {
+    let out_path = std::env::temp_dir().join("protoobf-cli-test-resilience.json");
+    let out = cli()
+        .args(["resilience", "--samples", "4", "--max-level", "1", "-o"])
+        .arg(&out_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("level 0:"), "{stderr}");
+    assert!(stderr.contains("level 1:"), "{stderr}");
+    assert!(stderr.contains("wrote"), "{stderr}");
+    let json = std::fs::read_to_string(&out_path).unwrap();
+    assert!(json.contains("\"prefix\": \"resilience\""));
+    assert!(json.contains("resilience/level-1"));
+
+    // Without -o the JSON lands on stdout.
+    let out = cli().args(["resilience", "--samples", "4", "--max-level", "0"]).output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("resilience/level-0"));
+}
+
+#[test]
+fn resilience_rejects_a_spec_argument() {
+    let out = cli().args(["resilience", "builtin:dns-query"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}

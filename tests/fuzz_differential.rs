@@ -152,6 +152,46 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// plan-aware engine (`core::fuzz`)
+// ---------------------------------------------------------------------------
+
+use protoobf::core::fuzz::{fuzz_codec, FuzzConfig};
+
+/// The grammar-aware engine behind `protoobf fuzz`: mutations are aimed
+/// at the slot boundaries of traced serializations instead of uniform
+/// byte positions, and every input additionally runs the transcode
+/// differential (compiled copy programs vs reference walk). Shares the
+/// `PROTOOBF_FUZZ_CASES` budget with the proptest harness above so the
+/// CI stress matrix drives both from one knob.
+#[test]
+fn plan_aware_engine_agrees_across_the_builtin_corpus() {
+    let per_config = fuzz_cases().div_ceil(8).max(8);
+    for (pi, proto) in PROTOS.iter().enumerate() {
+        for level in [0u32, 2] {
+            let graph = graph_of(proto);
+            let codec = codec_for(&graph, level, pi as u64);
+            let cfg = FuzzConfig {
+                cases: per_config,
+                seed: 0xD1FF ^ ((pi as u64) << 8) ^ u64::from(level),
+                ..FuzzConfig::default()
+            };
+            let report = fuzz_codec(&codec, &cfg);
+            assert!(
+                report.divergences.is_empty(),
+                "{proto} l{level}: {} divergence(s), first: {}",
+                report.divergences.len(),
+                report.divergences[0].detail
+            );
+            assert!(report.accepted > 0, "{proto} l{level}: pristine wires must parse");
+            assert!(
+                report.signatures > 1,
+                "{proto} l{level}: mutation corpus collapsed to one coverage signature"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // regression corpus
 // ---------------------------------------------------------------------------
 

@@ -1,0 +1,72 @@
+//! The tentpole claim of the resilience trajectory (paper §VII-D),
+//! pinned as a test: the PRE inference attack must succeed against
+//! plaintext traffic of the builtin protocols and must score measurably
+//! worse once spec-level obfuscation is applied.
+//!
+//! Sample counts are kept small here so the test stays in tier-1 time
+//! budgets; `protoobf resilience` (and the CI resilience job) run the
+//! same pipeline at full size and export `BENCH_resilience.json`.
+
+use protoobf::resilience::{export_json, score_level, score_trajectory, summarize};
+
+const SEED: u64 = 0xD5C_0BF;
+
+#[test]
+fn obfuscation_degrades_the_inference_attack() {
+    let plain = score_level(0, 8, SEED);
+    let obfuscated = score_level(2, 8, SEED);
+
+    // Level 0: repeated application traffic re-serializes byte-identically,
+    // so alignment clusters it and recovers mostly static formats.
+    assert!(
+        plain.attack.score > 0.5,
+        "attack must succeed on plaintext traffic (score = {:.3})",
+        plain.attack.score
+    );
+    assert!(plain.attack.ari > 0.0, "plaintext clustering must beat chance");
+
+    // Level 2: pads and random shares are re-drawn per message, so the
+    // same application traffic stops aligning.
+    assert!(
+        obfuscated.attack.score < plain.attack.score - 0.1,
+        "obfuscation must measurably degrade the attacker: level 0 scored {:.3}, \
+         level 2 scored {:.3}",
+        plain.attack.score,
+        obfuscated.attack.score
+    );
+}
+
+#[test]
+fn trajectory_is_complete_and_bounded() {
+    let report = score_trajectory(2, 6, SEED);
+    assert_eq!(report.samples_per_protocol, 6);
+    assert_eq!(report.levels.len(), 3);
+    for (i, cell) in report.levels.iter().enumerate() {
+        assert_eq!(cell.level, i as u32);
+        let a = &cell.attack;
+        assert_eq!(a.messages, 6 * 6, "six builtin protocols × six samples");
+        assert_eq!(a.types, 6);
+        assert!((0.0..=1.0).contains(&a.score), "score out of range: {}", a.score);
+        assert!((0.0..=1.0).contains(&a.purity));
+        assert!((0.0..=1.0).contains(&a.static_fraction));
+        assert!((0.0..=1.0).contains(&a.random_fraction));
+        assert!((0.0..=8.0).contains(&a.mean_entropy));
+        assert!(!summarize(cell).is_empty());
+    }
+}
+
+#[test]
+fn exported_json_carries_every_cell() {
+    let report = score_trajectory(1, 4, SEED);
+    let json = export_json(&report);
+    assert!(json.contains("\"prefix\": \"resilience\""));
+    assert!(json.contains("\"samples_per_protocol\": 4"));
+    assert!(json.contains("\"name\": \"resilience/level-0\""));
+    assert!(json.contains("\"name\": \"resilience/level-1\""));
+    for key in ["score", "ari", "purity", "static_fraction", "mean_entropy", "random_fraction"] {
+        assert!(json.contains(&format!("\"{key}\"")), "missing {key} in export");
+    }
+    // Structural sanity: braces balance, one result line per cell.
+    assert_eq!(json.matches("\"name\"").count(), 2);
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+}
