@@ -18,6 +18,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use protoobf_core::graph::{AutoValue, Boundary, GraphBuilder};
+use protoobf_core::telemetry::Metrics;
 use protoobf_core::value::TerminalKind;
 use protoobf_core::{parse as parse_mod, serialize as serialize_mod};
 use protoobf_core::{Codec, CodecService, FormatGraph, Message, Obfuscator};
@@ -194,7 +195,64 @@ fn bench_service(c: &mut Criterion) {
                 },
             );
         }
+
+        // The same 8-worker round trip with the full telemetry plane
+        // wired in exactly as the transport relay wires it: stage
+        // timers, frame-shape histograms and message counters per
+        // message. Benched next to the plain run so the overhead guard
+        // below compares medians from the *same* host and load.
+        let metrics = Metrics::new();
+        group.throughput(Throughput::Bytes(wire.len() as u64 * 8 * PER_WORKER));
+        group.bench_with_input(
+            BenchmarkId::new("roundtrip-64KiB-telemetry", 8),
+            &8usize,
+            |b, &w| {
+                b.iter(|| {
+                    std::thread::scope(|scope| {
+                        for _ in 0..w {
+                            scope.spawn(|| {
+                                let mut serializer = service.serializer();
+                                let mut parser = service.parser();
+                                let mut out = Vec::new();
+                                for _ in 0..PER_WORKER {
+                                    let serialize_t = metrics.stages.serialize.start();
+                                    serializer.serialize_into_seeded(&msg, &mut out, 1).unwrap();
+                                    metrics.stages.serialize.finish(serialize_t);
+                                    metrics.frame_bytes_out.record(out.len() as u64);
+                                    Metrics::add(&metrics.messages_out, 1);
+                                    let parse_t = metrics.stages.parse.start();
+                                    parser.parse_in_place(&out).unwrap();
+                                    metrics.stages.parse.finish(parse_t);
+                                    metrics.frame_bytes_in.record(out.len() as u64);
+                                    Metrics::add(&metrics.messages_in, 1);
+                                }
+                            });
+                        }
+                    })
+                })
+            },
+        );
         group.finish();
+    }
+    // Telemetry-overhead guard: the instrumented 8-worker run must stay
+    // within noise of the plain one (relaxed atomics and 1-in-32
+    // sampled timers on 64 KiB messages are sub-percent work; 1.5x is a
+    // generous noise floor for a loaded CI host). A regression here
+    // means instrumentation crept onto the hot path — a lock, an
+    // allocation, an unsampled syscall.
+    let median = |suffix: &str| {
+        c.results().iter().find(|r| r.name.contains(suffix)).map(|r| r.stats.median_ns)
+    };
+    if let (Some(plain), Some(instrumented)) =
+        (median("roundtrip-64KiB/8"), median("roundtrip-64KiB-telemetry/8"))
+    {
+        let ratio = instrumented / plain.max(f64::MIN_POSITIVE);
+        eprintln!("telemetry overhead on the 8-worker service roundtrip: {ratio:.2}x");
+        assert!(
+            ratio < 1.5,
+            "telemetry instrumentation must be within noise of the plain hot path \
+             (plain {plain:.0} ns vs instrumented {instrumented:.0} ns, ratio {ratio:.2}x)"
+        );
     }
     // The sharded pools are lock-free Treiber stacks: even the 8-worker
     // run above must observe zero pool contention. Asserting it here

@@ -117,6 +117,7 @@ pub mod runtime;
 pub mod sample;
 pub mod serialize;
 pub mod service;
+pub mod telemetry;
 pub mod transform;
 pub mod value;
 
@@ -130,5 +131,6 @@ pub use profile::{
     Derivation, Endpoint, Fingerprint, ObfConfig, Profile, ProfileError, SpecResolver, SpecSource,
 };
 pub use service::CodecService;
+pub use telemetry::{FlightRecorder, LatencyHistogram, Metrics, MetricsSnapshot, Telemetry};
 pub use transform::TransformKind;
 pub use value::{ByteOp, Endian, TerminalKind, Value};

@@ -65,6 +65,10 @@ pub struct FreeList<T> {
     /// Approximate number of parked items (stats only — updated after
     /// the fact, so a concurrent reader can be off by in-flight ops).
     len: AtomicUsize,
+    /// High-water mark of `len` — the occupancy gauge telemetry scrapes
+    /// to size pools: a peak pinned at capacity means sessions are
+    /// being dropped instead of parked. Approximate like `len`.
+    high_water: AtomicUsize,
 }
 
 // SAFETY: the UnsafeCell item slots are accessed only by the unique
@@ -93,6 +97,7 @@ impl<T> FreeList<T> {
             live: AtomicU64::new(pack(NIL, 0)),
             spare: AtomicU64::new(pack(if capacity > 0 { 0 } else { NIL }, 0)),
             len: AtomicUsize::new(0),
+            high_water: AtomicUsize::new(0),
         }
     }
 
@@ -109,6 +114,12 @@ impl<T> FreeList<T> {
     /// True when no items are parked (approximate, like [`FreeList::len`]).
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Peak number of items ever parked at once (approximate, like
+    /// [`FreeList::len`]) — the occupancy gauge for pool sizing.
+    pub fn high_water(&self) -> usize {
+        self.high_water.load(Ordering::Relaxed)
     }
 
     /// Pops a node off the stack at `head`, returning its slab index with
@@ -179,7 +190,20 @@ impl<T> FreeList<T> {
             *self.slab[index].item.get() = Some(item);
         }
         self.push_node(&self.live, index);
-        self.len.fetch_add(1, Ordering::Relaxed);
+        let now = self.len.fetch_add(1, Ordering::Relaxed) + 1;
+        // Relaxed max: a racing lower value only under-reports a gauge.
+        let mut peak = self.high_water.load(Ordering::Relaxed);
+        while now > peak {
+            match self.high_water.compare_exchange_weak(
+                peak,
+                now,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(observed) => peak = observed,
+            }
+        }
         Ok(())
     }
 }

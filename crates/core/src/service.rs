@@ -129,6 +129,12 @@ pub struct ServiceStats {
     pub pooled_serializers: usize,
     /// Parser scratch states currently parked in the pools.
     pub pooled_parsers: usize,
+    /// Peak serializer pool occupancy across all shards (sum of each
+    /// shard's high-water mark) — the gauge that tells whether
+    /// `MAX_POOLED_PER_SHARD` is sized right for the offered load.
+    pub pooled_serializer_peak: usize,
+    /// Peak parser pool occupancy, as above.
+    pub pooled_parser_peak: usize,
     /// Checkout-side pool contention. Historically this counted
     /// `try_lock` misses while scanning the old `Mutex<Vec<_>>` shards;
     /// the shards are now lock-free Treiber stacks
@@ -353,6 +359,8 @@ impl CodecService {
             parsed_messages: self.parsed.load(Ordering::Relaxed),
             pooled_serializers: count(|s| s.serializers.len()),
             pooled_parsers: count(|s| s.parsers.len()),
+            pooled_serializer_peak: count(|s| s.serializers.high_water()),
+            pooled_parser_peak: count(|s| s.parsers.high_water()),
             checkout_contention: out,
             checkin_contention: inn,
             pool_contention: out + inn,

@@ -17,6 +17,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 
 use protoobf_core::graph::{AutoValue, Boundary, GraphBuilder};
+use protoobf_core::telemetry::{EventKind, Metrics};
 use protoobf_core::value::TerminalKind;
 use protoobf_core::Obfuscator;
 
@@ -150,14 +151,32 @@ fn steady_state_relay_transcode_does_not_allocate() {
     let mut back_wire = Vec::new();
     clear_serializer.serialize_into_seeded(&msg, &mut clear_wire, 1).unwrap();
 
+    // The full telemetry plane rides along exactly as the transport
+    // relay wires it: stage timers, frame-shape histograms, counters
+    // and a flight-recorder event per round. All of it must stay inside
+    // the zero-allocation envelope (the constraint that shaped it:
+    // relaxed atomics and pre-allocated rings only).
+    let metrics = Metrics::new();
+
     macro_rules! round_trip {
         ($seed:expr) => {{
+            let parse_t = metrics.stages.parse.start();
             let inbound = clear_parser.parse_in_place(&clear_wire).unwrap();
+            metrics.stages.parse.finish(parse_t);
+            Metrics::add(&metrics.messages_in, 1);
+            metrics.frame_bytes_in.record(clear_wire.len() as u64);
+            let transcode_t = metrics.stages.transcode.start();
             inbound.transcode_into(&mut to_obf).unwrap();
+            metrics.stages.transcode.finish(transcode_t);
+            let serialize_t = metrics.stages.serialize.start();
             obf_serializer.serialize_into_seeded(&to_obf, &mut obf_wire, $seed).unwrap();
+            metrics.stages.serialize.finish(serialize_t);
+            Metrics::add(&metrics.messages_out, 1);
+            metrics.frame_bytes_out.record(obf_wire.len() as u64);
             let upstream = obf_parser.parse_in_place(&obf_wire).unwrap();
             upstream.transcode_into(&mut to_clear).unwrap();
             clear_serializer.serialize_into_seeded(&to_clear, &mut back_wire, $seed).unwrap();
+            metrics.recorder.record(EventKind::Backpressure, $seed, back_wire.len() as u64);
         }};
     }
 
@@ -172,4 +191,38 @@ fn steady_state_relay_transcode_does_not_allocate() {
         round_trip!(round);
     }
     assert_eq!(allocations() - before, 0, "steady-state relay transcode allocated");
+}
+
+/// Every telemetry primitive on its own, driven far enough to hit the
+/// paths a short relay loop might miss: the stage-timer sampling branch
+/// (period 32), histogram clamp buckets, and the flight-recorder ring
+/// wrapping past its capacity. None of it may allocate after
+/// construction.
+#[test]
+fn telemetry_primitives_do_not_allocate() {
+    let metrics = Metrics::new();
+
+    let before = allocations();
+    for i in 0..4096u64 {
+        Metrics::add(&metrics.messages_in, 1);
+        Metrics::add(&metrics.bytes_in, 64);
+        metrics.wake_latency.record(i);
+        metrics.frame_bytes_in.record(i.wrapping_mul(0x9E37_79B9));
+        metrics.frame_bytes_out.record(u64::MAX - i);
+        let t = metrics.stages.serialize.start();
+        metrics.stages.serialize.finish(t);
+        let t = metrics.stages.parse.start();
+        metrics.stages.parse.finish(t);
+        metrics.recorder.record(EventKind::Accept, 0x7f00_0001_0000 | i, 0);
+    }
+    assert_eq!(allocations() - before, 0, "telemetry instrumentation allocated");
+
+    // Sanity outside the measured window: everything actually moved.
+    let snap = metrics.snapshot();
+    assert_eq!(snap.messages_in, 4096);
+    assert_eq!(snap.wake_latency.count(), 4096);
+    assert_eq!(snap.stages.serialize.calls, 4096);
+    assert!(snap.stages.serialize.latency.count() >= 4096 / 32, "sampling branch never fired");
+    assert_eq!(metrics.recorder.recorded(), 4096, "ring must have wrapped");
+    assert!(metrics.recorder.dump().len() <= metrics.recorder.capacity());
 }

@@ -73,6 +73,8 @@ pub struct Conn<'s> {
     closing: bool,
     msgs_in: u64,
     msgs_out: u64,
+    last_rx_frame: usize,
+    last_tx_frame: usize,
 }
 
 impl<'s> Conn<'s> {
@@ -94,6 +96,8 @@ impl<'s> Conn<'s> {
             closing: false,
             msgs_in: 0,
             msgs_out: 0,
+            last_rx_frame: 0,
+            last_tx_frame: 0,
         }
     }
 
@@ -154,6 +158,21 @@ impl<'s> Conn<'s> {
         self.msgs_out
     }
 
+    /// Payload length in bytes of the most recent frame decoded by
+    /// [`Conn::poll_inbound`] (0 before the first). Telemetry reads this
+    /// right after a successful poll to feed the inbound frame-size
+    /// histogram without re-deriving framing state.
+    pub fn last_inbound_frame_len(&self) -> usize {
+        self.last_rx_frame
+    }
+
+    /// Encoded wire length in bytes (length prefix included) of the most
+    /// recent frame queued by [`Conn::send`] (0 before the first) — the
+    /// outbound mirror of [`Conn::last_inbound_frame_len`].
+    pub fn last_outbound_frame_len(&self) -> usize {
+        self.last_tx_frame
+    }
+
     /// Buffers raw transport bytes for decoding. Cheap: frames are only
     /// parsed when [`Conn::poll_inbound`] is called.
     ///
@@ -209,10 +228,12 @@ impl<'s> Conn<'s> {
                 return Err(TransportError::Frame(e));
             }
         };
+        let frame_len = frame.len();
         match self.parser.parse_in_place(frame) {
             Ok(_) => {
                 self.inbuf.consume();
                 self.msgs_in += 1;
+                self.last_rx_frame = frame_len;
                 Ok(Some(self.parser.message()))
             }
             Err(e) => {
@@ -244,6 +265,7 @@ impl<'s> Conn<'s> {
                 cap: self.out_cap,
             });
         }
+        let before = self.out.len();
         match protoobf_core::framing::append_frame(
             &mut self.serializer,
             msg,
@@ -252,6 +274,7 @@ impl<'s> Conn<'s> {
         ) {
             Ok(()) => {
                 self.msgs_out += 1;
+                self.last_tx_frame = self.out.len() - before;
                 Ok(())
             }
             // A build failure is the local caller's fault, not the wire's:

@@ -87,4 +87,19 @@ impl TransportError {
     pub fn is_would_block(&self) -> bool {
         matches!(self, TransportError::Io(e) if e.kind() == io::ErrorKind::WouldBlock)
     }
+
+    /// A stable numeric code per variant, carried as the `detail` of a
+    /// flight-recorder [`protoobf_core::telemetry::EventKind::Fail`]
+    /// event (events store only integers so recording stays
+    /// allocation-free): 1 io, 2 frame, 3 build, 4 closed,
+    /// 5 backpressure.
+    pub fn code(&self) -> u64 {
+        match self {
+            TransportError::Io(_) => 1,
+            TransportError::Frame(_) => 2,
+            TransportError::Build(_) => 3,
+            TransportError::Closed => 4,
+            TransportError::Backpressure { .. } => 5,
+        }
+    }
 }

@@ -43,7 +43,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Duration;
 
 use crate::error::TransportError;
-use crate::metrics::Metrics;
+use crate::metrics::{peer_token, EventKind, Metrics};
 use crate::sys;
 
 /// What one [`Session::drive`] call accomplished.
@@ -78,6 +78,14 @@ pub trait Session {
     /// scan semantics for that one session.
     fn sockets<'a>(&'a self, out: &mut Vec<&'a TcpStream>) {
         let _ = out;
+    }
+
+    /// An opaque identity for this session's flight-recorder events —
+    /// conventionally [`peer_token`] of the accepted peer, so `/events`
+    /// lines correlate with client addresses. The default (0) renders as
+    /// an anonymous token; lifecycle events are still recorded.
+    fn token(&self) -> u64 {
+        0
     }
 }
 
@@ -268,9 +276,17 @@ where
                 {
                     Ok(session) => {
                         Metrics::add(&metrics.accepted, 1);
+                        metrics.recorder.record(EventKind::Accept, session.token(), 0);
                         sink(session);
                     }
-                    Err(_) => Metrics::add(&metrics.accept_errors, 1),
+                    Err(e) => {
+                        Metrics::add(&metrics.accept_errors, 1);
+                        metrics.recorder.record(
+                            EventKind::AcceptError,
+                            peer_token(&peer),
+                            e.code(),
+                        );
+                    }
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -284,6 +300,7 @@ where
             Err(_) => {
                 release();
                 Metrics::add(&metrics.accept_errors, 1);
+                metrics.recorder.record(EventKind::AcceptError, 0, 0);
                 break;
             }
         }
@@ -368,7 +385,8 @@ where
             // use `accept_limit` instead.
             Metrics::add(&metrics.closed, live as u64);
             for slot in 0..slots.len() {
-                if slots[slot].is_some() {
+                if let Some(session) = slots[slot].as_ref() {
+                    metrics.recorder.record(EventKind::Shutdown, session.token(), 0);
                     retire(
                         slot,
                         &mut slots,
@@ -477,6 +495,7 @@ where
                     Ok(Drive::Idle) => is_ready[slot] = false,
                     Ok(Drive::Done) => {
                         Metrics::add(&metrics.closed, 1);
+                        metrics.recorder.record(EventKind::Close, session.token(), 0);
                         retire(
                             slot,
                             &mut slots,
@@ -487,8 +506,9 @@ where
                         );
                         live -= 1;
                     }
-                    Err(_) => {
+                    Err(e) => {
                         Metrics::add(&metrics.failed, 1);
+                        metrics.recorder.record(EventKind::Fail, session.token(), e.code());
                         retire(
                             slot,
                             &mut slots,
@@ -545,6 +565,9 @@ fn scan_worker<S, F>(
             // serve() from ever returning. Bounded runs that want a
             // graceful drain use `accept_limit` instead.
             Metrics::add(&metrics.closed, sessions.len() as u64);
+            for session in &sessions {
+                metrics.recorder.record(EventKind::Shutdown, session.token(), 0);
+            }
             sessions.clear();
         }
         let limited = limit_reached(cfg, counters);
@@ -570,11 +593,13 @@ fn scan_worker<S, F>(
             Ok(Drive::Done) => {
                 progress = true;
                 Metrics::add(&metrics.closed, 1);
+                metrics.recorder.record(EventKind::Close, session.token(), 0);
                 false
             }
-            Err(_) => {
+            Err(e) => {
                 progress = true;
                 Metrics::add(&metrics.failed, 1);
+                metrics.recorder.record(EventKind::Fail, session.token(), e.code());
                 false
             }
         });

@@ -43,7 +43,7 @@ use rand::SeedableRng;
 use crate::conn::{Conn, ConnState};
 use crate::error::TransportError;
 use crate::evloop::{self, Drive, LoopConfig, Session};
-use crate::metrics::Metrics;
+use crate::metrics::{peer_token, EventKind, Metrics, Telemetry};
 
 /// Bound on the per-connection upstream dial. The dial happens on the
 /// accepting worker's thread, so an unreachable upstream must stall that
@@ -112,6 +112,7 @@ pub struct Relay<'s> {
     down_gated: bool,
     up_gated: bool,
     metrics: &'s Metrics,
+    token: u64,
 }
 
 impl<'s> Relay<'s> {
@@ -152,7 +153,15 @@ impl<'s> Relay<'s> {
             down_gated: false,
             up_gated: false,
             metrics,
+            token: 0,
         })
+    }
+
+    /// Sets the flight-recorder token for this relay's lifecycle events
+    /// (builder; conventionally [`peer_token`] of the accepted peer).
+    pub fn with_token(mut self, token: u64) -> Relay<'s> {
+        self.token = token;
+        self
     }
 
     /// Caps both legs' outbound queues at `cap` bytes (builder; default
@@ -180,6 +189,7 @@ impl Session for Relay<'_> {
             &mut self.down_eof_relayed,
             &mut self.down_gated,
             self.metrics,
+            self.token,
         )?;
         progress |= pump_direction(
             &mut self.up,
@@ -191,6 +201,7 @@ impl Session for Relay<'_> {
             &mut self.up_eof_relayed,
             &mut self.up_gated,
             self.metrics,
+            self.token,
         )?;
         if self.down_eof_relayed && self.up_eof_relayed {
             return Ok(Drive::Done);
@@ -201,6 +212,10 @@ impl Session for Relay<'_> {
     fn sockets<'a>(&'a self, out: &mut Vec<&'a TcpStream>) {
         out.push(&self.down);
         out.push(&self.up);
+    }
+
+    fn token(&self) -> u64 {
+        self.token
     }
 }
 
@@ -290,6 +305,7 @@ fn pump_direction(
     eof_relayed: &mut bool,
     gated: &mut bool,
     metrics: &Metrics,
+    token: u64,
 ) -> Result<bool, TransportError> {
     let mut progress = false;
     let engaged;
@@ -298,14 +314,28 @@ fn pump_direction(
 
         // Decode complete frames, transcode (compiled copy program,
         // shared per leg pairing), re-encode onto the other leg — until
-        // the frames run out or the destination queue fills.
+        // the frames run out or the destination queue fills. Each stage
+        // runs under a sampled timer (an armed sample on an empty poll
+        // is dropped — under-sampling, never skew), and frame sizes
+        // feed the traffic-shape histograms; all of it relaxed atomics,
+        // nothing on the allocation-free path changes.
         while dst_conn.can_send() {
+            let parse_t = metrics.stages.parse.start();
             let Some(msg) = src_conn.poll_inbound()? else { break };
+            metrics.stages.parse.finish(parse_t);
             Metrics::add(&metrics.messages_in, 1);
+            let transcode_t = metrics.stages.transcode.start();
             msg.transcode_into(tmpl)?;
+            metrics.stages.transcode.finish(transcode_t);
             Metrics::add(&metrics.transcodes, 1);
+            // Recorded after the transcode releases the decoded
+            // message's borrow of the connection.
+            metrics.frame_bytes_in.record(src_conn.last_inbound_frame_len() as u64);
+            let serialize_t = metrics.stages.serialize.start();
             dst_conn.send(tmpl)?;
+            metrics.stages.serialize.finish(serialize_t);
             Metrics::add(&metrics.messages_out, 1);
+            metrics.frame_bytes_out.record(dst_conn.last_outbound_frame_len() as u64);
             progress = true;
         }
         engaged = !dst_conn.can_send();
@@ -317,6 +347,7 @@ fn pump_direction(
 
     if engaged && !*gated {
         Metrics::add(&metrics.backpressure_events, 1);
+        metrics.recorder.record(EventKind::Backpressure, token, dst_conn.outbound_len() as u64);
     }
     *gated = engaged;
 
@@ -341,6 +372,7 @@ pub struct Echo<'s> {
     /// [`Relay`].
     gated: bool,
     metrics: &'s Metrics,
+    token: u64,
 }
 
 impl<'s> Echo<'s> {
@@ -356,6 +388,7 @@ impl<'s> Echo<'s> {
             read_buf: vec![0u8; 16 * 1024],
             gated: false,
             metrics,
+            token: 0,
         }
     }
 
@@ -365,6 +398,13 @@ impl<'s> Echo<'s> {
     /// buffering without bound.
     pub fn outbound_cap(mut self, cap: usize) -> Echo<'s> {
         self.conn.set_outbound_cap(cap);
+        self
+    }
+
+    /// Sets the flight-recorder token (builder); see
+    /// [`Relay::with_token`].
+    pub fn with_token(mut self, token: u64) -> Echo<'s> {
+        self.token = token;
         self
     }
 }
@@ -385,13 +425,23 @@ impl Session for Echo<'_> {
             // reusable reply (same graph on both sides: transcoding is a
             // plain structural copy).
             while self.conn.can_send() {
+                let parse_t = self.metrics.stages.parse.start();
                 let Some(msg) = self.conn.poll_inbound()? else { break };
+                self.metrics.stages.parse.finish(parse_t);
                 Metrics::add(&self.metrics.messages_in, 1);
+                let transcode_t = self.metrics.stages.transcode.start();
                 msg.transcode_into(&mut self.reply)?;
+                self.metrics.stages.transcode.finish(transcode_t);
                 Metrics::add(&self.metrics.transcodes, 1);
+                // After the transcode releases the decoded message's
+                // borrow of the connection.
+                self.metrics.frame_bytes_in.record(self.conn.last_inbound_frame_len() as u64);
                 progress = true;
+                let serialize_t = self.metrics.stages.serialize.start();
                 self.conn.send(&self.reply)?;
+                self.metrics.stages.serialize.finish(serialize_t);
                 Metrics::add(&self.metrics.messages_out, 1);
+                self.metrics.frame_bytes_out.record(self.conn.last_outbound_frame_len() as u64);
             }
             engaged = !self.conn.can_send();
         } else {
@@ -400,6 +450,11 @@ impl Session for Echo<'_> {
         progress |= flush_from(&mut self.stream, &mut self.conn, self.metrics)?;
         if engaged && !self.gated {
             Metrics::add(&self.metrics.backpressure_events, 1);
+            self.metrics.recorder.record(
+                EventKind::Backpressure,
+                self.token,
+                self.conn.outbound_len() as u64,
+            );
         }
         self.gated = engaged;
         if self.conn.state() == ConnState::PeerClosed && !self.conn.has_outbound() {
@@ -411,6 +466,10 @@ impl Session for Echo<'_> {
 
     fn sockets<'a>(&'a self, out: &mut Vec<&'a TcpStream>) {
         out.push(&self.stream);
+    }
+
+    fn token(&self) -> u64 {
+        self.token
     }
 }
 
@@ -431,6 +490,7 @@ pub struct Responder<'s> {
     /// [`Relay`].
     gated: bool,
     metrics: &'s Metrics,
+    token: u64,
 }
 
 impl<'s> Responder<'s> {
@@ -452,6 +512,7 @@ impl<'s> Responder<'s> {
             read_buf: vec![0u8; 16 * 1024],
             gated: false,
             metrics,
+            token: 0,
         }
     }
 
@@ -459,6 +520,13 @@ impl<'s> Responder<'s> {
     /// [`crate::conn::DEFAULT_OUTBOUND_CAP`]); see [`Echo::outbound_cap`].
     pub fn outbound_cap(mut self, cap: usize) -> Responder<'s> {
         self.conn.set_outbound_cap(cap);
+        self
+    }
+
+    /// Sets the flight-recorder token (builder); see
+    /// [`Relay::with_token`].
+    pub fn with_token(mut self, token: u64) -> Responder<'s> {
+        self.token = token;
         self
     }
 }
@@ -477,11 +545,23 @@ impl Session for Responder<'_> {
             // builds a fresh message anyway, so (unlike the relay and
             // echo paths) there is no reusable transcode target to route
             // through here.
-            while self.conn.can_send() && self.conn.poll_inbound()?.is_some() {
+            loop {
+                if !self.conn.can_send() {
+                    break;
+                }
+                let parse_t = self.metrics.stages.parse.start();
+                if self.conn.poll_inbound()?.is_none() {
+                    break;
+                }
+                self.metrics.stages.parse.finish(parse_t);
                 Metrics::add(&self.metrics.messages_in, 1);
+                self.metrics.frame_bytes_in.record(self.conn.last_inbound_frame_len() as u64);
                 let reply = random_message(self.reply_svc.codec(), &mut self.rng);
+                let serialize_t = self.metrics.stages.serialize.start();
                 self.conn.send(&reply)?;
+                self.metrics.stages.serialize.finish(serialize_t);
                 Metrics::add(&self.metrics.messages_out, 1);
+                self.metrics.frame_bytes_out.record(self.conn.last_outbound_frame_len() as u64);
                 progress = true;
             }
             engaged = !self.conn.can_send();
@@ -491,6 +571,11 @@ impl Session for Responder<'_> {
         progress |= flush_from(&mut self.stream, &mut self.conn, self.metrics)?;
         if engaged && !self.gated {
             Metrics::add(&self.metrics.backpressure_events, 1);
+            self.metrics.recorder.record(
+                EventKind::Backpressure,
+                self.token,
+                self.conn.outbound_len() as u64,
+            );
         }
         self.gated = engaged;
         if self.conn.state() == ConnState::PeerClosed && !self.conn.has_outbound() {
@@ -502,6 +587,10 @@ impl Session for Responder<'_> {
 
     fn sockets<'a>(&'a self, out: &mut Vec<&'a TcpStream>) {
         out.push(&self.stream);
+    }
+
+    fn token(&self) -> u64 {
+        self.token
     }
 }
 
@@ -517,7 +606,7 @@ pub struct Gateway {
     up_tx: Arc<CodecService>,
     mode: GatewayMode,
     upstream: SocketAddr,
-    metrics: Metrics,
+    metrics: Arc<Metrics>,
     /// Per-connection outbound queue cap for both relay legs (`None` =
     /// [`crate::conn::DEFAULT_OUTBOUND_CAP`]).
     outbound_cap: Option<usize>,
@@ -555,7 +644,7 @@ impl Gateway {
             up_tx: Arc::clone(up),
             mode,
             upstream: resolve_upstream(upstream)?,
-            metrics: Metrics::new(),
+            metrics: Arc::new(Metrics::new()),
             outbound_cap: None,
             fingerprint: None,
         })
@@ -602,7 +691,7 @@ impl Gateway {
             up_tx: Arc::clone(up_tx),
             mode,
             upstream: resolve_upstream(upstream)?,
-            metrics: Metrics::new(),
+            metrics: Arc::new(Metrics::new()),
             outbound_cap: None,
             fingerprint: Some(endpoint.fingerprint()),
         })
@@ -619,7 +708,22 @@ impl Gateway {
 
     /// The gateway's live counters.
     pub fn metrics(&self) -> &Metrics {
-        &self.metrics
+        self.metrics.as_ref()
+    }
+
+    /// The gateway's whole observable state as a [`Telemetry`] registry:
+    /// the shared metrics block plus every distinct codec service of the
+    /// two relay legs (symmetric gateways collapse to their two unique
+    /// services via the registry's `Arc`-identity dedup). This is what
+    /// the admin endpoint serves; it stays live while the gateway runs —
+    /// scrapes see current counters, not a snapshot.
+    pub fn telemetry(&self) -> Telemetry {
+        let mut t = Telemetry::new(Arc::clone(&self.metrics));
+        t.register_service("down_rx", &self.down_rx);
+        t.register_service("down_tx", &self.down_tx);
+        t.register_service("up_rx", &self.up_rx);
+        t.register_service("up_tx", &self.up_tx);
+        t
     }
 
     /// Which side of the obfuscated wire this gateway faces.
@@ -659,13 +763,14 @@ impl Gateway {
         cfg: &LoopConfig,
         shutdown: &AtomicBool,
     ) -> io::Result<()> {
-        evloop::serve(listener, cfg, shutdown, &self.metrics, |down, _peer| {
+        evloop::serve(listener, cfg, shutdown, self.metrics.as_ref(), |down, peer| {
             let up = TcpStream::connect_timeout(&self.upstream, UPSTREAM_DIAL_TIMEOUT)
                 .map_err(TransportError::Io)?;
             up.set_nonblocking(true).map_err(TransportError::Io)?;
             let _ = up.set_nodelay(true);
             let relay =
-                Relay::new(down, up, self.down_services(), self.up_services(), &self.metrics)?;
+                Relay::new(down, up, self.down_services(), self.up_services(), &self.metrics)?
+                    .with_token(peer_token(&peer));
             Ok(match self.outbound_cap {
                 Some(cap) => relay.outbound_cap(cap),
                 None => relay,

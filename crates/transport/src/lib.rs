@@ -57,6 +57,7 @@
 //! one profile file and verify their derivations agree by comparing
 //! fingerprints before sending traffic.
 
+pub mod admin;
 pub mod conn;
 pub mod duplex;
 pub mod error;
@@ -65,8 +66,9 @@ pub mod gateway;
 pub mod metrics;
 pub mod sys;
 
+pub use admin::{serve_admin, AdminConn};
 pub use conn::{Conn, ConnState};
 pub use error::TransportError;
 pub use evloop::{serve, Drive, LoopConfig, Session};
 pub use gateway::{Echo, Gateway, GatewayMode, LegServices, Relay, Responder};
-pub use metrics::{Metrics, MetricsSnapshot};
+pub use metrics::{peer_token, Metrics, MetricsSnapshot, Telemetry};

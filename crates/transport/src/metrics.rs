@@ -1,320 +1,15 @@
-//! Transport observability: lock-free counters and latency histograms
-//! shared by every worker thread of an event loop / gateway, snapshotted
-//! for tuning.
+//! Transport observability — now a re-export of the unified
+//! [`protoobf_core::telemetry`] module.
+//!
+//! The counters and histograms started life here, private to the
+//! transport crate. The telemetry plane hoisted them into core so one
+//! [`Telemetry`] registry can aggregate transport [`Metrics`] and
+//! [`protoobf_core::service::ServiceStats`] without a dependency
+//! cycle; this module keeps every existing `crate::metrics::*` path
+//! compiling unchanged.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
-/// Log-bucketed bucket count of [`LatencyHistogram`]: bucket `i` holds
-/// values whose bit length is `i` (bucket 0 is exactly zero, bucket 1 is
-/// 1, bucket 2 is 2–3, ... bucket 39 is everything ≥ 2³⁸ µs ≈ 76 h).
-/// Forty buckets span nanoscale to absurd with ~2× resolution — plenty
-/// for p50/p95/p99 tuning.
-pub const HISTOGRAM_BUCKETS: usize = 40;
-
-/// A lock-free log₂-bucketed latency histogram. Recording is one relaxed
-/// `fetch_add` — cheap enough for the event loop's per-wake hot path —
-/// and percentiles are computed from a snapshot, so readers never block
-/// writers.
-#[derive(Debug)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> LatencyHistogram {
-        LatencyHistogram { buckets: std::array::from_fn(|_| AtomicU64::new(0)) }
-    }
-}
-
-impl LatencyHistogram {
-    /// Creates an empty histogram.
-    pub fn new() -> LatencyHistogram {
-        LatencyHistogram::default()
-    }
-
-    /// The bucket index a value lands in: its bit length, clamped to the
-    /// last bucket.
-    pub fn bucket_of(value: u64) -> usize {
-        ((u64::BITS - value.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
-    }
-
-    /// The largest value bucket `i` can hold (the value percentiles
-    /// report): `0` for bucket 0, `2^i - 1` for the rest, `u64::MAX` for
-    /// the clamp bucket.
-    pub fn bucket_ceiling(i: usize) -> u64 {
-        if i >= HISTOGRAM_BUCKETS - 1 {
-            u64::MAX
-        } else {
-            (1u64 << i) - 1
-        }
-    }
-
-    /// Records one value (relaxed; never blocks, never allocates).
-    pub fn record(&self, value: u64) {
-        self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// A point-in-time copy of the bucket counts.
-    pub fn snapshot(&self) -> HistogramSnapshot {
-        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
-        for (out, bucket) in buckets.iter_mut().zip(&self.buckets) {
-            *out = bucket.load(Ordering::Relaxed);
-        }
-        HistogramSnapshot { buckets }
-    }
-}
-
-/// A frozen [`LatencyHistogram`], from [`LatencyHistogram::snapshot`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct HistogramSnapshot {
-    /// Raw per-bucket counts; see [`LatencyHistogram::bucket_of`] for the
-    /// boundaries.
-    pub buckets: [u64; HISTOGRAM_BUCKETS],
-}
-
-impl Default for HistogramSnapshot {
-    fn default() -> HistogramSnapshot {
-        HistogramSnapshot { buckets: [0; HISTOGRAM_BUCKETS] }
-    }
-}
-
-impl HistogramSnapshot {
-    /// Total number of recorded values.
-    pub fn count(&self) -> u64 {
-        self.buckets.iter().sum()
-    }
-
-    /// The value at percentile `p` (0–100): the ceiling of the first
-    /// bucket whose cumulative count reaches `p`% of the total, i.e. an
-    /// upper bound within one 2× bucket of the true percentile. Zero on
-    /// an empty histogram.
-    pub fn percentile(&self, p: u8) -> u64 {
-        let total = self.count();
-        if total == 0 {
-            return 0;
-        }
-        // ceil(total * p / 100), saturating: the rank of the percentile.
-        // At least 1 so p0 reports the smallest recorded value's bucket,
-        // not an empty leading bucket.
-        let rank = total.saturating_mul(u64::from(p.min(100))).div_ceil(100).max(1);
-        let mut cumulative = 0u64;
-        for (i, &n) in self.buckets.iter().enumerate() {
-            cumulative += n;
-            if cumulative >= rank {
-                return LatencyHistogram::bucket_ceiling(i);
-            }
-        }
-        LatencyHistogram::bucket_ceiling(HISTOGRAM_BUCKETS - 1)
-    }
-
-    /// Median upper bound, `percentile(50)`.
-    pub fn p50(&self) -> u64 {
-        self.percentile(50)
-    }
-
-    /// `percentile(95)`.
-    pub fn p95(&self) -> u64 {
-        self.percentile(95)
-    }
-
-    /// `percentile(99)`.
-    pub fn p99(&self) -> u64 {
-        self.percentile(99)
-    }
-}
-
-/// Cumulative transport counters. All fields are relaxed atomics — cheap
-/// enough for per-chunk increments on the hot path. Share by reference
-/// (the event loop takes `&Metrics`) or wrap in an `Arc` for reporting
-/// threads.
-#[derive(Debug, Default)]
-pub struct Metrics {
-    /// Connections accepted by the event loop.
-    pub accepted: AtomicU64,
-    /// Accept-time failures (socket setup, upstream dial, handshake).
-    pub accept_errors: AtomicU64,
-    /// Sessions that finished cleanly.
-    pub closed: AtomicU64,
-    /// Sessions torn down by a typed transport error (hostile frames,
-    /// socket failures).
-    pub failed: AtomicU64,
-    /// Messages decoded from transport bytes.
-    pub messages_in: AtomicU64,
-    /// Messages re-encoded onto transport bytes (relay: after transcode).
-    pub messages_out: AtomicU64,
-    /// Messages transcoded between codecs (compiled copy-program runs on
-    /// the gateway relay / echo hot path). For a healthy relay this
-    /// tracks `messages_in`; a lag means messages decoded but not yet
-    /// re-expressed.
-    pub transcodes: AtomicU64,
-    /// Raw bytes read off sockets.
-    pub bytes_in: AtomicU64,
-    /// Raw bytes written to sockets.
-    pub bytes_out: AtomicU64,
-    /// Idle backoff naps taken by event-loop workers on the readiness-
-    /// scan fallback path (the epoll path sleeps in the kernel instead
-    /// and never naps). High and climbing while traffic flows = workers
-    /// starved of readiness, consider more workers; high while idle =
-    /// normal.
-    pub idle_naps: AtomicU64,
-    /// Cumulative microseconds spent in idle backoff sleeps — with
-    /// [`Metrics::idle_naps`], the full shape of the backoff envelope
-    /// (many short naps vs. few capped ones).
-    pub idle_nap_micros: AtomicU64,
-    /// Wake-servicing latency in microseconds: for every event-loop wake
-    /// that found work, the time from discovering readiness to having
-    /// driven every ready session back to idle. The percentiles bound
-    /// how long a ready connection waits for its worker — the C10K
-    /// health metric (an O(n) readiness scan shows up here long before
-    /// throughput collapses).
-    pub wake_latency: LatencyHistogram,
-    /// Stalls where a session's outbound cap paused its ingestion (the
-    /// relay/echo read gate closed mid-pass; see
-    /// [`crate::error::TransportError::Backpressure`]). Edge-detected: a
-    /// stall spanning many drives counts once.
-    pub backpressure_events: AtomicU64,
-}
-
-impl Metrics {
-    /// Creates zeroed counters.
-    pub fn new() -> Metrics {
-        Metrics::default()
-    }
-
-    pub(crate) fn add(field: &AtomicU64, n: u64) {
-        field.fetch_add(n, Ordering::Relaxed);
-    }
-
-    /// A point-in-time copy of every counter.
-    pub fn snapshot(&self) -> MetricsSnapshot {
-        MetricsSnapshot {
-            accepted: self.accepted.load(Ordering::Relaxed),
-            accept_errors: self.accept_errors.load(Ordering::Relaxed),
-            closed: self.closed.load(Ordering::Relaxed),
-            failed: self.failed.load(Ordering::Relaxed),
-            messages_in: self.messages_in.load(Ordering::Relaxed),
-            messages_out: self.messages_out.load(Ordering::Relaxed),
-            transcodes: self.transcodes.load(Ordering::Relaxed),
-            bytes_in: self.bytes_in.load(Ordering::Relaxed),
-            bytes_out: self.bytes_out.load(Ordering::Relaxed),
-            idle_naps: self.idle_naps.load(Ordering::Relaxed),
-            idle_nap_micros: self.idle_nap_micros.load(Ordering::Relaxed),
-            wake_latency: self.wake_latency.snapshot(),
-            backpressure_events: self.backpressure_events.load(Ordering::Relaxed),
-        }
-    }
-}
-
-/// A frozen copy of [`Metrics`], from [`Metrics::snapshot`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct MetricsSnapshot {
-    pub accepted: u64,
-    pub accept_errors: u64,
-    pub closed: u64,
-    pub failed: u64,
-    pub messages_in: u64,
-    pub messages_out: u64,
-    pub transcodes: u64,
-    pub bytes_in: u64,
-    pub bytes_out: u64,
-    pub idle_naps: u64,
-    pub idle_nap_micros: u64,
-    /// Wake-servicing latency distribution (µs); see
-    /// [`Metrics::wake_latency`].
-    pub wake_latency: HistogramSnapshot,
-    pub backpressure_events: u64,
-}
-
-impl std::fmt::Display for MetricsSnapshot {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "conns {} accepted / {} closed / {} failed ({} accept errors); \
-             msgs {} in / {} transcoded / {} out; bytes {} in / {} out; \
-             {} idle naps ({} µs); {} backpressure events; \
-             wake latency p50/p95/p99 {}/{}/{} µs over {} wakes",
-            self.accepted,
-            self.closed,
-            self.failed,
-            self.accept_errors,
-            self.messages_in,
-            self.transcodes,
-            self.messages_out,
-            self.bytes_in,
-            self.bytes_out,
-            self.idle_naps,
-            self.idle_nap_micros,
-            self.backpressure_events,
-            self.wake_latency.p50(),
-            self.wake_latency.p95(),
-            self.wake_latency.p99(),
-            self.wake_latency.count(),
-        )
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    /// The documented bucket boundaries, pinned: bucket 0 is exactly 0,
-    /// bucket i covers [2^(i-1), 2^i - 1], and everything ≥ 2^38 lands in
-    /// the clamp bucket.
-    #[test]
-    fn histogram_bucket_boundaries() {
-        assert_eq!(LatencyHistogram::bucket_of(0), 0);
-        assert_eq!(LatencyHistogram::bucket_of(1), 1);
-        assert_eq!(LatencyHistogram::bucket_of(2), 2);
-        assert_eq!(LatencyHistogram::bucket_of(3), 2);
-        assert_eq!(LatencyHistogram::bucket_of(4), 3);
-        for i in 1..HISTOGRAM_BUCKETS - 1 {
-            let lo = 1u64 << (i - 1);
-            let hi = (1u64 << i) - 1;
-            assert_eq!(LatencyHistogram::bucket_of(lo), i, "lower edge of bucket {i}");
-            assert_eq!(LatencyHistogram::bucket_of(hi), i, "upper edge of bucket {i}");
-            assert_eq!(LatencyHistogram::bucket_ceiling(i), hi);
-        }
-        assert_eq!(LatencyHistogram::bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
-        assert_eq!(LatencyHistogram::bucket_ceiling(HISTOGRAM_BUCKETS - 1), u64::MAX);
-        // Every representable value has a bucket and its ceiling bounds it.
-        for v in [0u64, 1, 2, 5, 50, 1600, 123_456, 1 << 37, 1 << 38, u64::MAX] {
-            let b = LatencyHistogram::bucket_of(v);
-            assert!(v <= LatencyHistogram::bucket_ceiling(b), "value {v} above its ceiling");
-        }
-    }
-
-    #[test]
-    fn histogram_percentiles_report_bucket_ceilings() {
-        let h = LatencyHistogram::new();
-        for _ in 0..90 {
-            h.record(40); // bucket 6 (32..63), ceiling 63
-        }
-        for _ in 0..10 {
-            h.record(5000); // bucket 13 (4096..8191), ceiling 8191
-        }
-        let snap = h.snapshot();
-        assert_eq!(snap.count(), 100);
-        assert_eq!(snap.p50(), 63);
-        assert_eq!(snap.percentile(90), 63);
-        assert_eq!(snap.p95(), 8191);
-        assert_eq!(snap.p99(), 8191);
-        assert_eq!(snap.percentile(0), 63, "p0 reports the first non-empty bucket");
-    }
-
-    #[test]
-    fn empty_histogram_reports_zero() {
-        let snap = LatencyHistogram::new().snapshot();
-        assert_eq!(snap.count(), 0);
-        assert_eq!(snap.p50(), 0);
-        assert_eq!(snap.p99(), 0);
-    }
-
-    #[test]
-    fn display_includes_percentiles() {
-        let m = Metrics::new();
-        m.wake_latency.record(100);
-        let rendered = m.snapshot().to_string();
-        assert!(rendered.contains("wake latency"), "{rendered}");
-        assert!(rendered.contains("over 1 wakes"), "{rendered}");
-    }
-}
+pub use protoobf_core::telemetry::{
+    format_token, peer_token, EventKind, FlightEvent, FlightRecorder, HistogramSnapshot,
+    LatencyHistogram, Metrics, MetricsSnapshot, StageSnapshot, StageTimer, StageTimers,
+    StagesSnapshot, Telemetry, FLIGHT_RECORDER_CAPACITY, HISTOGRAM_BUCKETS, STAGE_SAMPLE_PERIOD,
+};

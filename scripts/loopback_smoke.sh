@@ -122,4 +122,59 @@ timeout "$CLIENT_TIMEOUT" "$BIN" send --profile "$profile" \
 for pid in "$recv_pid" "$dec_pid" "$enc_pid"; do wait "$pid"; done
 echo "[smoke] asymmetric profile chain: $COUNT query/response rounds relayed"
 
+# The telemetry plane: an encode gateway serving --admin is scraped
+# mid-run, between two client runs, with nothing but bash /dev/tcp —
+# the same dependency-free access pattern a Prometheus scraper uses.
+scrape() { # <port> <path>
+    exec 3<>"/dev/tcp/127.0.0.1/$1"
+    printf 'GET %s HTTP/1.0\r\n\r\n' "$2" >&3
+    cat <&3
+    exec 3<&-
+}
+
+spec=dns-query
+p_client=$PORT p_obf=$((PORT + 1)) p_server=$((PORT + 2)) p_admin=$((PORT + 3))
+PORT=$((PORT + 4))
+
+"$BIN" recv "builtin:$spec" --listen "127.0.0.1:$p_server" --accept-limit 2 \
+    2>"$logdir/telemetry-recv.log" &
+recv_pid=$!
+"$BIN" gateway "builtin:$spec" --mode decode --seed $SEED --level $LEVEL \
+    --listen "127.0.0.1:$p_obf" --upstream "127.0.0.1:$p_server" --accept-limit 2 \
+    2>"$logdir/telemetry-decode.log" &
+dec_pid=$!
+"$BIN" gateway "builtin:$spec" --mode encode --seed $SEED --level $LEVEL \
+    --listen "127.0.0.1:$p_client" --upstream "127.0.0.1:$p_obf" --accept-limit 2 \
+    --admin "127.0.0.1:$p_admin" 2>"$logdir/telemetry-encode.log" &
+enc_pid=$!
+pids+=("$recv_pid" "$dec_pid" "$enc_pid")
+
+wait_ready "echo server on" "$logdir/telemetry-recv.log"
+wait_ready "gateway on" "$logdir/telemetry-decode.log"
+wait_ready "admin endpoint on" "$logdir/telemetry-encode.log"
+
+scrape "$p_admin" /health | grep -q '^ok' \
+    || { echo "[smoke] /health did not answer ok" >&2; exit 1; }
+
+timeout "$CLIENT_TIMEOUT" "$BIN" send "builtin:$spec" \
+    --connect "127.0.0.1:$p_client" --count "$COUNT" --seed 3 --quiet
+
+# The encode gateway decodes every client request AND every upstream
+# echo: the live counter must read exactly 2×COUNT after run one.
+msgs=$(scrape "$p_admin" /metrics \
+    | awk '$1 == "protoobf_messages_in_total" {print $2}')
+expected=$((COUNT * 2))
+if [ "$msgs" != "$expected" ]; then
+    echo "[smoke] mid-run /metrics: protoobf_messages_in_total=$msgs, expected $expected" >&2
+    exit 1
+fi
+scrape "$p_admin" /events | grep -q 'accept' \
+    || { echo "[smoke] /events shows no accept event" >&2; exit 1; }
+
+timeout "$CLIENT_TIMEOUT" "$BIN" send "builtin:$spec" \
+    --connect "127.0.0.1:$p_client" --count "$COUNT" --seed 4
+
+for pid in "$recv_pid" "$dec_pid" "$enc_pid"; do wait "$pid"; done
+echo "[smoke] telemetry plane: live scrape saw $msgs relayed messages"
+
 echo "[smoke] all protocols passed"

@@ -11,12 +11,13 @@
 //! protoobf demo <target> [--level N --key K] round-trip a random message
 //! protoobf gateway <target> --listen A --upstream B --mode encode|decode
 //!                  [--workers N --accept-limit N --accept-burst N
-//!                   --backpressure BYTES]
+//!                   --backpressure BYTES --admin HOST:PORT --quiet]
 //!                                            run one obfuscation gateway
 //! protoobf recv <target> --listen A [--workers N --accept-limit N
-//!                  --accept-burst N --backpressure BYTES]
+//!                  --accept-burst N --backpressure BYTES
+//!                  --admin HOST:PORT --quiet]
 //!                                            clear-framed echo/responder server
-//! protoobf send <target> --connect A [--count N]
+//! protoobf send <target> --connect A [--count N --admin HOST:PORT --quiet]
 //!                                            clear-framed client, verifies echoes
 //! protoobf fuzz <target> [--cases N] [--corpus DIR]
 //!                                            plan-aware differential fuzzing;
@@ -58,16 +59,25 @@
 //!
 //! Both gateways print the same `fingerprint` line when (and only when)
 //! their profiles agree — compare them before sending traffic.
+//!
+//! Every networked subcommand takes `--admin HOST:PORT` to serve a live
+//! scrape plane next to the data plane (`/metrics` in Prometheus text
+//! format, `/events` for the connection flight recorder, `/health`),
+//! and prints one unified telemetry summary at exit unless `--quiet`.
 
 use std::process::ExitCode;
-use std::sync::atomic::AtomicBool;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use protoobf::codegen::{generate, measure};
 use protoobf::core::framing::{FrameReader, FrameWriter};
 use protoobf::core::fuzz::{fuzz_codec, FuzzConfig, Reproducer};
 use protoobf::core::sample::random_message;
 use protoobf::resilience;
-use protoobf::transport::{evloop, Echo, Gateway, GatewayMode, LoopConfig, Metrics, Responder};
+use protoobf::transport::{
+    evloop, peer_token, serve_admin, Echo, Gateway, GatewayMode, LoopConfig, Metrics, Responder,
+    Telemetry,
+};
 use protoobf::{Derivation, Endpoint, ObfConfig, Profile, ProfileExt, SpecSource, TransformKind};
 
 /// A CLI failure: usage errors re-print the usage text naming the
@@ -92,6 +102,7 @@ fn usage(msg: &str) -> String {
          \x20      [-o FILE] [--listen ADDR] [--upstream ADDR] [--connect ADDR]\n\
          \x20      [--mode encode|decode] [--workers N] [--accept-limit N] [--count N]\n\
          \x20      [--accept-burst N] [--backpressure BYTES]\n\
+         \x20      [--admin HOST:PORT] [--quiet]\n\
          \x20      [--cases N] [--corpus DIR] [--samples N] [--max-level N]"
     )
 }
@@ -111,6 +122,8 @@ struct Options {
     accept_limit: Option<u64>,
     accept_burst: Option<usize>,
     backpressure: Option<usize>,
+    admin: Option<String>,
+    quiet: bool,
     count: usize,
     cases: Option<u32>,
     corpus: Option<String>,
@@ -134,6 +147,8 @@ fn parse_options(args: &[String], spec_required: bool) -> Result<Options, String
         accept_limit: None,
         accept_burst: None,
         backpressure: None,
+        admin: None,
+        quiet: false,
         count: 16,
         cases: None,
         corpus: None,
@@ -163,6 +178,8 @@ fn parse_options(args: &[String], spec_required: bool) -> Result<Options, String
             "--backpressure" => {
                 opts.backpressure = Some(number("--backpressure", &value("--backpressure")?)?);
             }
+            "--admin" => opts.admin = Some(addr("--admin", &value("--admin")?)?),
+            "--quiet" => opts.quiet = true,
             "--count" => opts.count = number("--count", &value("--count")?)?,
             "--cases" => opts.cases = Some(number("--cases", &value("--cases")?)?),
             "--corpus" => opts.corpus = Some(value("--corpus")?),
@@ -398,9 +415,11 @@ fn run() -> Result<(), CliError> {
                 cfg.workers,
                 endpoint.fingerprint()
             );
-            let shutdown = AtomicBool::new(false);
-            gw.serve(listener, &cfg, &shutdown).map_err(|e| e.to_string())?;
-            eprintln!("gateway done: {}", gw.metrics().snapshot());
+            let telemetry = Arc::new(gw.telemetry());
+            with_admin(opts.admin.as_deref(), &telemetry, |shutdown| {
+                gw.serve(listener, &cfg, shutdown).map_err(|e| CliError::Run(e.to_string()))
+            })?;
+            print_summary("gateway done", &telemetry, opts.quiet);
         }
         "recv" => {
             let listen =
@@ -411,21 +430,27 @@ fn run() -> Result<(), CliError> {
             // decode gateway faces the obfuscated wire for us).
             let request_svc = endpoint.clear_tx_service();
             let reply_svc = endpoint.clear_rx_service();
-            let metrics = Metrics::new();
+            let metrics = Arc::new(Metrics::new());
+            let mut registry = Telemetry::new(Arc::clone(&metrics));
+            registry.register_service("request", request_svc);
+            registry.register_service("reply", reply_svc);
+            let telemetry = Arc::new(registry);
             let listener =
                 std::net::TcpListener::bind(listen).map_err(|e| format!("bind {listen}: {e}"))?;
             let cfg = loop_config(&opts);
-            let shutdown = AtomicBool::new(false);
             if endpoint.is_symmetric() {
                 eprintln!("echo server on {listen} ({} workers)", cfg.workers);
-                evloop::serve(listener, &cfg, &shutdown, &metrics, |stream, _peer| {
-                    let echo = Echo::new(stream, request_svc, &metrics);
-                    Ok(match opts.backpressure {
-                        Some(cap) => echo.outbound_cap(cap),
-                        None => echo,
+                with_admin(opts.admin.as_deref(), &telemetry, |shutdown| {
+                    evloop::serve(listener, &cfg, shutdown, &metrics, |stream, peer| {
+                        let echo =
+                            Echo::new(stream, request_svc, &metrics).with_token(peer_token(&peer));
+                        Ok(match opts.backpressure {
+                            Some(cap) => echo.outbound_cap(cap),
+                            None => echo,
+                        })
                     })
-                })
-                .map_err(|e| e.to_string())?;
+                    .map_err(|e| CliError::Run(e.to_string()))
+                })?;
             } else {
                 eprintln!(
                     "responder on {listen} ({} workers): {} in, {} out",
@@ -434,17 +459,20 @@ fn run() -> Result<(), CliError> {
                     endpoint.profile().rx()
                 );
                 let seed = std::sync::atomic::AtomicU64::new(1);
-                evloop::serve(listener, &cfg, &shutdown, &metrics, |stream, _peer| {
-                    let s = seed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    let responder = Responder::new(stream, request_svc, reply_svc, s, &metrics);
-                    Ok(match opts.backpressure {
-                        Some(cap) => responder.outbound_cap(cap),
-                        None => responder,
+                with_admin(opts.admin.as_deref(), &telemetry, |shutdown| {
+                    evloop::serve(listener, &cfg, shutdown, &metrics, |stream, peer| {
+                        let s = seed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let responder = Responder::new(stream, request_svc, reply_svc, s, &metrics)
+                            .with_token(peer_token(&peer));
+                        Ok(match opts.backpressure {
+                            Some(cap) => responder.outbound_cap(cap),
+                            None => responder,
+                        })
                     })
-                })
-                .map_err(|e| e.to_string())?;
+                    .map_err(|e| CliError::Run(e.to_string()))
+                })?;
             }
-            eprintln!("server done: {}", metrics.snapshot());
+            print_summary("server done", &telemetry, opts.quiet);
         }
         "send" => {
             let connect = opts
@@ -452,8 +480,15 @@ fn run() -> Result<(), CliError> {
                 .as_deref()
                 .ok_or(CliError::Usage("send needs --connect ADDR".into()))?;
             let endpoint = endpoint_for(&opts)?;
-            let tx_clear = endpoint.clear_tx_service().codec();
-            let rx_clear = endpoint.clear_rx_service().codec();
+            let tx_svc = endpoint.clear_tx_service();
+            let rx_svc = endpoint.clear_rx_service();
+            let tx_clear = tx_svc.codec();
+            let rx_clear = rx_svc.codec();
+            let metrics = Arc::new(Metrics::new());
+            let mut registry = Telemetry::new(Arc::clone(&metrics));
+            registry.register_service("tx_clear", tx_svc);
+            registry.register_service("rx_clear", rx_svc);
+            let telemetry = Arc::new(registry);
             let stream = std::net::TcpStream::connect(connect)
                 .map_err(|e| format!("connect {connect}: {e}"))?;
             stream
@@ -466,38 +501,52 @@ fn run() -> Result<(), CliError> {
             let symmetric = endpoint.is_symmetric();
             let mut bytes = 0usize;
             eprintln!("fingerprint {}", endpoint.fingerprint());
-            for i in 0..opts.count {
-                let msg = random_message(tx_clear, &mut rng);
-                // Identity serialization is deterministic: the bytes sent
-                // are the reference a symmetric echo must match
-                // byte-for-byte.
-                let reference = tx_clear.serialize(&msg).map_err(|e| e.to_string())?;
-                writer.send_raw(&reference).map_err(|e| e.to_string())?;
-                let echoed = reader
-                    .recv_raw()
-                    .map_err(|e| e.to_string())?
-                    .ok_or_else(|| format!("stream ended after {i} messages"))?;
-                if symmetric {
-                    if echoed != reference {
-                        return Err(CliError::Run(format!(
-                            "message {i}: echoed wire differs from reference"
-                        )));
+            with_admin(opts.admin.as_deref(), &telemetry, |_shutdown| {
+                for i in 0..opts.count {
+                    let msg = random_message(tx_clear, &mut rng);
+                    // Identity serialization is deterministic: the bytes
+                    // sent are the reference a symmetric echo must match
+                    // byte-for-byte.
+                    let serialize_t = metrics.stages.serialize.start();
+                    let reference = tx_clear.serialize(&msg).map_err(|e| e.to_string())?;
+                    metrics.stages.serialize.finish(serialize_t);
+                    writer.send_raw(&reference).map_err(|e| e.to_string())?;
+                    Metrics::add(&metrics.messages_out, 1);
+                    Metrics::add(&metrics.bytes_out, (reference.len() + 4) as u64);
+                    metrics.frame_bytes_out.record((reference.len() + 4) as u64);
+                    let echoed = reader
+                        .recv_raw()
+                        .map_err(|e| e.to_string())?
+                        .ok_or_else(|| format!("stream ended after {i} messages"))?;
+                    Metrics::add(&metrics.messages_in, 1);
+                    Metrics::add(&metrics.bytes_in, (echoed.len() + 4) as u64);
+                    metrics.frame_bytes_in.record(echoed.len() as u64);
+                    if symmetric {
+                        if echoed != reference {
+                            return Err(CliError::Run(format!(
+                                "message {i}: echoed wire differs from reference"
+                            )));
+                        }
+                    } else {
+                        // Asymmetric chains answer in the rx grammar:
+                        // verify the response parses as such.
+                        let parse_t = metrics.stages.parse.start();
+                        rx_clear
+                            .parse(&echoed)
+                            .map_err(|e| format!("message {i}: response does not parse: {e}"))?;
+                        metrics.stages.parse.finish(parse_t);
                     }
-                } else {
-                    // Asymmetric chains answer in the rx grammar: verify
-                    // the response parses as such.
-                    rx_clear
-                        .parse(&echoed)
-                        .map_err(|e| format!("message {i}: response does not parse: {e}"))?;
+                    bytes += reference.len() + 4;
                 }
-                bytes += reference.len() + 4;
-            }
+                Ok(())
+            })?;
             println!(
                 "{} messages ({} bytes framed) round-tripped {} through {connect}",
                 opts.count,
                 bytes,
                 if symmetric { "byte-identical" } else { "with parsed responses" }
             );
+            print_summary("client done", &telemetry, opts.quiet);
         }
         "fuzz" => {
             let profile = profile_for(&opts)?;
@@ -615,6 +664,51 @@ fn pin_reproducer(
     std::fs::write(&path, &rep.wire)
         .map_err(|e| CliError::Run(format!("cannot write {path}: {e}")))?;
     Ok(path)
+}
+
+/// Runs `body` with the optional admin scrape plane live next to it:
+/// the listener is bound eagerly (a bad `--admin` address fails before
+/// any traffic flows), [`serve_admin`] runs on a scoped thread over the
+/// shared registry, and the shared shutdown flag is raised as soon as
+/// the body returns so the scraper thread winds down with the data
+/// plane.
+fn with_admin<T>(
+    admin: Option<&str>,
+    telemetry: &Arc<Telemetry>,
+    body: impl FnOnce(&AtomicBool) -> Result<T, CliError>,
+) -> Result<T, CliError> {
+    let listener = match admin {
+        Some(a) => {
+            let l = std::net::TcpListener::bind(a)
+                .map_err(|e| CliError::Run(format!("bind admin {a}: {e}")))?;
+            eprintln!("admin endpoint on {a} (/metrics /events /health)");
+            Some(l)
+        }
+        None => None,
+    };
+    let shutdown = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        if let Some(listener) = listener {
+            let tel = Arc::clone(telemetry);
+            let sd = &shutdown;
+            scope.spawn(move || {
+                if let Err(e) = serve_admin(listener, tel, sd) {
+                    eprintln!("admin endpoint failed: {e}");
+                }
+            });
+        }
+        let result = body(&shutdown);
+        shutdown.store(true, Ordering::Release);
+        result
+    })
+}
+
+/// The end-of-run telemetry report every networked subcommand prints
+/// (unless `--quiet`).
+fn print_summary(label: &str, telemetry: &Telemetry, quiet: bool) {
+    if !quiet {
+        eprintln!("{label}: {}", telemetry.summary());
+    }
 }
 
 fn loop_config(opts: &Options) -> LoopConfig {

@@ -126,6 +126,8 @@ fn unknown_flags_and_malformed_values_route_through_usage() {
         (&["gateway", "--listen", "not@an:addr"], "not@an:addr"),
         (&["send", "--connect", "12345"], "12345"),
         (&["recv", "--workers", "two"], "two"),
+        (&["recv", "--admin", "nohostport"], "nohostport"),
+        (&["gateway", "--admin", ":9"], ":9"),
     ];
     for (args, needle) in cases {
         let out = cli().args(*args).arg(&path).output().unwrap();
@@ -231,6 +233,58 @@ fn spec_paths_with_spaces_keep_working() {
     let out = cli().arg("check").arg(&path).output().unwrap();
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     assert!(String::from_utf8_lossy(&out.stdout).contains("Cli: ok"));
+}
+
+/// The telemetry summary every networked subcommand prints at exit, and
+/// the `--quiet` flag that suppresses it: a real echo chain over
+/// loopback, one client run with the summary and one without.
+#[test]
+fn telemetry_summary_prints_at_exit_and_quiet_suppresses_it() {
+    // Reserve a loopback port the OS considers free, then hand it to
+    // recv. The probe loop below absorbs the (unlikely) bind race.
+    let listen = {
+        let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        probe.local_addr().unwrap().to_string()
+    };
+    // Budget: one readiness probe + two client runs.
+    let recv = cli()
+        .args(["recv", "builtin:dns-query", "--listen", &listen, "--accept-limit", "3"])
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    for attempt in 0.. {
+        match std::net::TcpStream::connect(&listen) {
+            Ok(_) => break, // dropped: consumes one accept, answers EOF
+            Err(e) if attempt > 100 => panic!("recv never became reachable: {e}"),
+            Err(_) => std::thread::sleep(std::time::Duration::from_millis(50)),
+        }
+    }
+
+    let loud = cli()
+        .args(["send", "builtin:dns-query", "--connect", &listen, "--count", "2"])
+        .output()
+        .unwrap();
+    assert!(loud.status.success(), "{}", String::from_utf8_lossy(&loud.stderr));
+    let stderr = String::from_utf8_lossy(&loud.stderr);
+    assert!(stderr.contains("client done:"), "summary must print by default: {stderr}");
+    assert!(stderr.contains("frames:"), "{stderr}");
+
+    let quiet = cli()
+        .args(["send", "builtin:dns-query", "--connect", &listen, "--count", "2", "--quiet"])
+        .output()
+        .unwrap();
+    assert!(quiet.status.success(), "{}", String::from_utf8_lossy(&quiet.stderr));
+    let stderr = String::from_utf8_lossy(&quiet.stderr);
+    assert!(!stderr.contains("client done:"), "--quiet must suppress the summary: {stderr}");
+
+    // The server prints its own unified summary once the accept budget
+    // drains, flight-recorder line included.
+    let out = recv.wait_with_output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("server done:"), "{stderr}");
+    assert!(stderr.contains("flight recorder:"), "{stderr}");
+    assert!(stderr.contains("stages:"), "{stderr}");
 }
 
 /// Address flags validate shape only — an unresolvable hostname is a
