@@ -446,6 +446,89 @@ fn bench_evloop(c: &mut Criterion) {
     }
 }
 
+/// Covert-tunnel cost metrics: **goodput** (payload bytes per second
+/// through the full encode → serialize → parse → decode covert path) and
+/// **overhead ratio** (cover wire bytes per payload byte) for every
+/// builtin protocol at obfuscation levels 0–3.
+///
+/// The ratio is a deterministic property of (protocol, level, seed) —
+/// the encoder's cover sampling is seeded — so it is computed once in
+/// setup and folded into the benchmark *name* (`-ovhN.NN`), which is how
+/// it reaches `BENCH_tunnel.json` (the trajectory format only carries
+/// timing stats and declared throughput).
+fn bench_tunnel(c: &mut Criterion) {
+    use protoobf_core::tunnel::{encode_stream, TunnelDecoder};
+    use protoobf_protocols::{dns, http, modbus};
+
+    // Deterministic 4 KiB payload: enough to span many cover messages on
+    // every builtin without dominating CI wall-clock.
+    let payload: Vec<u8> = (0..4096usize).map(|i| (i.wrapping_mul(31) >> 3) as u8).collect();
+    let builtins: [(&str, FormatGraph); 6] = [
+        ("dns-query", dns::query_graph()),
+        ("dns-response", dns::response_graph()),
+        ("http-request", http::request_graph()),
+        ("http-response", http::response_graph()),
+        ("modbus-request", modbus::request_graph()),
+        ("modbus-response", modbus::response_graph()),
+    ];
+    {
+        let mut group = c.benchmark_group("tunnel");
+        group.sample_size(10);
+        for (name, graph) in &builtins {
+            for level in [0u32, 1, 2, 3] {
+                let codec = codec_for(graph, level);
+                // Overhead in setup: serialized cover bytes per payload
+                // byte at this (protocol, level), seed fixed.
+                let msgs = encode_stream(&codec, &payload, 7).unwrap();
+                let wire_bytes: usize =
+                    msgs.iter().map(|m| codec.serialize_seeded(m, 1).unwrap().len()).sum();
+                let ratio = wire_bytes as f64 / payload.len() as f64;
+                group.throughput(Throughput::Bytes(payload.len() as u64));
+                group.bench_with_input(
+                    BenchmarkId::new(format!("goodput-{name}-ovh{ratio:.2}"), level),
+                    &level,
+                    |b, _| {
+                        b.iter(|| {
+                            let msgs = encode_stream(&codec, &payload, 7).unwrap();
+                            let mut serializer = codec.serializer();
+                            let mut parser = codec.parser();
+                            let mut dec = TunnelDecoder::new(&codec).unwrap();
+                            let mut wire = Vec::new();
+                            let mut out = Vec::with_capacity(payload.len());
+                            for m in &msgs {
+                                serializer.serialize_into_seeded(m, &mut wire, 1).unwrap();
+                                dec.accept(parser.parse_in_place(&wire).unwrap()).unwrap();
+                                dec.take_ready(&mut out);
+                            }
+                            assert!(dec.is_complete());
+                            assert_eq!(out.len(), payload.len());
+                            out
+                        })
+                    },
+                );
+            }
+        }
+        group.finish();
+    }
+    // Tunnel-goodput trajectory, same claim chain as the earlier groups:
+    // honor PROTOOBF_BENCH_JSON only when no earlier group in this run
+    // already wrote to it.
+    let earlier_claimed = c.results().iter().any(|r| {
+        r.name.starts_with("service/")
+            || r.name.starts_with("relay/")
+            || r.name.starts_with("evloop/")
+    });
+    let path = match std::env::var("PROTOOBF_BENCH_JSON") {
+        Ok(p) if !earlier_claimed => p,
+        _ => "BENCH_tunnel.json".to_string(),
+    };
+    match c.export_json(&path, "tunnel/") {
+        Ok(true) => eprintln!("tunnel trajectory written to {path}"),
+        Ok(false) => {}
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+}
+
 criterion_group!(
     benches,
     bench_modbus,
@@ -454,6 +537,7 @@ criterion_group!(
     bench_large,
     bench_service,
     bench_relay,
-    bench_evloop
+    bench_evloop,
+    bench_tunnel
 );
 criterion_main!(benches);

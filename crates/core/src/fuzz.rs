@@ -379,8 +379,23 @@ fn fuzz_with_oracle(codec: &Codec, oracle: &DiffOracle<'_>, cfg: &FuzzConfig) ->
         }
     };
 
-    for _ in 0..cfg.cases {
-        let msg = random_message(codec, &mut rng);
+    // Covert-tunnel corpus: when the spec has carrier slots, every fourth
+    // seed case is a cover message whose carriers hold a live tunnel
+    // frame (header + payload chunk), so the plan-aware boundary
+    // mutations exercise the spans a [`crate::tunnel::ChannelMap`]
+    // writes through — not just sampler-shaped values.
+    let mut tunnel_enc = crate::tunnel::TunnelEncoder::new(codec, cfg.seed ^ 0x7u64).ok();
+
+    for case in 0..cfg.cases {
+        let mut msg = None;
+        if case % 4 == 3 {
+            if let Some(enc) = &mut tunnel_enc {
+                let chunk: Vec<u8> = (0..rng.gen_range(1usize..48)).map(|_| rng.gen()).collect();
+                enc.push(&chunk);
+                msg = enc.next_cover().ok().flatten().map(|f| f.message);
+            }
+        }
+        let msg = msg.unwrap_or_else(|| random_message(codec, &mut rng));
         session.reseed(rng.gen());
         if session.serialize_traced(&msg, &mut wire, &mut spans).is_err() {
             // Sampled messages serialize for all builtin specs; a failure

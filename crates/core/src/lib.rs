@@ -119,6 +119,7 @@ pub mod serialize;
 pub mod service;
 pub mod telemetry;
 pub mod transform;
+pub mod tunnel;
 pub mod value;
 
 pub use codec::Codec;
@@ -133,4 +134,5 @@ pub use profile::{
 pub use service::CodecService;
 pub use telemetry::{FlightRecorder, LatencyHistogram, Metrics, MetricsSnapshot, Telemetry};
 pub use transform::TransformKind;
+pub use tunnel::{ChannelMap, TunnelDecoder, TunnelEncoder, TunnelError};
 pub use value::{ByteOp, Endian, TerminalKind, Value};

@@ -569,6 +569,17 @@ impl CodecPlan {
         self.rec_steps.len()
     }
 
+    /// Wire slot holding the value channel of the plain terminal `plain`,
+    /// or `None` when the node carries no value channel in this plan
+    /// (const-folded, container, or pad). The covert tunnel's capacity
+    /// analysis ([`crate::tunnel::ChannelMap`]) uses this to verify that a
+    /// candidate carrier's bytes actually survive the compiled round-trip
+    /// before committing payload to them.
+    pub fn holder_slot(&self, plain: NodeId) -> Option<u32> {
+        let h = *self.holder.get(plain.index())?;
+        (h != NONE).then_some(h)
+    }
+
     /// Borrow a pooled op range.
     pub(crate) fn ops(&self, r: PoolRange) -> &[ConstOp] {
         &self.ops[r.0 as usize..(r.0 + r.1) as usize]

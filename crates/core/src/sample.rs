@@ -23,11 +23,53 @@ use crate::value::{TerminalKind, Value};
 /// * repetitions/tabulars get 0–3 elements, with user-set counter fields
 ///   kept consistent.
 pub fn random_message<'c, R: Rng + ?Sized>(codec: &'c Codec, rng: &mut R) -> Message<'c> {
+    random_message_pinned(codec, rng, &[])
+}
+
+/// Like [`random_message`], but every terminal listed in `pins` receives
+/// the given value (in every concrete instance) instead of a sampled one.
+///
+/// Because optional presence follows the subject's already-set value,
+/// pinning an optional's condition subject to an enabling constant forces
+/// that branch present — the covert tunnel ([`crate::tunnel`]) uses this
+/// to steer sampling toward carrier-bearing message shapes without ever
+/// leaving the grammar. Pinned values must satisfy the field's own
+/// constraints (width for integers, delimiter-freedom for delimited
+/// text); values lifted from the grammar's own predicate constants do by
+/// construction. Pins on auto or user-set counter fields are ignored —
+/// consistency wins over steering.
+pub fn random_message_pinned<'c, R: Rng + ?Sized>(
+    codec: &'c Codec,
+    rng: &mut R,
+    pins: &[(NodeId, Value)],
+) -> Message<'c> {
     let mut msg = codec.message_seeded(rng.gen());
+    sample_into(codec, &mut msg, rng, pins);
+    msg
+}
+
+/// Refills a long-lived message with a fresh random sample, keeping its
+/// allocated stores ([`Message::clear`] semantics) — the pooled analogue
+/// of [`random_message_pinned`] for callers that sample per event on a
+/// hot path (the transport responder's per-request replies). `msg` must
+/// have been created from `codec`.
+///
+/// Note what this does and does not save: the message's wire/presence/
+/// count stores are reused, but sampled *values* still allocate (each
+/// bytes/text value is built as a fresh `Vec`/`String`, and instance
+/// paths are formatted per field) because the sampled structure varies
+/// draw to draw. Pooling removes the per-message store churn; the
+/// per-value churn is inherent to structure-varying sampling.
+pub fn sample_into<R: Rng + ?Sized>(
+    codec: &Codec,
+    msg: &mut Message<'_>,
+    rng: &mut R,
+    pins: &[(NodeId, Value)],
+) {
+    msg.clear();
     let plain = codec.plain();
     let mut set_paths = std::collections::HashMap::new();
-    fill(plain, plain.root(), &mut msg, String::new(), rng, &mut set_paths);
-    msg
+    fill(plain, plain.root(), msg, String::new(), rng, &mut set_paths, pins);
 }
 
 fn join(prefix: &str, name: &str) -> String {
@@ -45,6 +87,7 @@ fn fill<R: Rng + ?Sized>(
     path: String,
     rng: &mut R,
     set_paths: &mut std::collections::HashMap<NodeId, String>,
+    pins: &[(NodeId, Value)],
 ) {
     let node = plain.node(id);
     match node.node_type() {
@@ -57,14 +100,18 @@ fn fill<R: Rng + ?Sized>(
             if msg.get(&path).is_ok() {
                 return;
             }
-            let value = random_value(plain, id, kind, rng);
+            let value = pins
+                .iter()
+                .find(|(p, _)| *p == id)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_else(|| random_value(plain, id, kind, rng));
             msg.set(&path, value).expect("generated value satisfies the field constraints");
             set_paths.insert(id, path);
         }
         NodeType::Sequence => {
             for &c in node.children() {
                 let p = join(&path, plain.node(c).name());
-                fill(plain, c, msg, p, rng, set_paths);
+                fill(plain, c, msg, p, rng, set_paths, pins);
             }
         }
         NodeType::Optional(cond) => {
@@ -80,7 +127,7 @@ fn fill<R: Rng + ?Sized>(
                 let child = node.children()[0];
                 msg.mark_present(&path).expect("optional path resolves");
                 let p = join(&path, plain.node(child).name());
-                fill(plain, child, msg, p, rng, set_paths);
+                fill(plain, child, msg, p, rng, set_paths, pins);
             }
         }
         NodeType::Repetition(_) | NodeType::Tabular => {
@@ -104,7 +151,7 @@ fn fill<R: Rng + ?Sized>(
             let child = node.children()[0];
             for i in 0..count {
                 let p = format!("{path}[{i}].{}", plain.node(child).name());
-                fill(plain, child, msg, p, rng, set_paths);
+                fill(plain, child, msg, p, rng, set_paths, pins);
             }
         }
     }
@@ -250,6 +297,21 @@ mod tests {
             codec.serialize_seeded(&msg, 1).unwrap();
         }
         assert!(seen_present && seen_absent, "both branches exercised");
+    }
+
+    #[test]
+    fn pinned_subject_forces_optional_branch() {
+        let g = rich();
+        let codec = Codec::identity(&g);
+        let flag = g.ids().find(|&n| g.node(n).name() == "flag").unwrap();
+        let pins = vec![(flag, Value::from_bytes(vec![3]))];
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..20 {
+            let msg = random_message_pinned(&codec, &mut rng, &pins);
+            assert_eq!(msg.get_uint("flag").unwrap(), 3);
+            assert!(msg.is_present("extra"), "enabling pin forces the branch");
+            codec.serialize_seeded(&msg, 1).unwrap();
+        }
     }
 
     #[test]

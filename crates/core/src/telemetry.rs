@@ -547,6 +547,14 @@ pub struct Metrics {
     /// `TransportError::Backpressure`). Edge-detected: a stall spanning
     /// many drives counts once.
     pub backpressure_events: AtomicU64,
+    /// Covert-tunnel payload bytes recovered from inbound cover messages
+    /// and handed to the local sink — tunnel *goodput*, as opposed to
+    /// [`Metrics::bytes_in`] which counts the (much larger) cover wire.
+    pub payload_bytes_in: AtomicU64,
+    /// Covert-tunnel payload bytes consumed from the local source and
+    /// folded into outbound cover messages. `bytes_out /
+    /// payload_bytes_out` is the live overhead ratio.
+    pub payload_bytes_out: AtomicU64,
     /// Distribution of decoded inbound frame lengths (payload bytes).
     /// With [`Metrics::frame_bytes_out`], the traffic-shape series the
     /// ScrambleSuit-style morphing roadmap item consumes.
@@ -587,6 +595,8 @@ impl Metrics {
             idle_nap_micros: self.idle_nap_micros.load(Ordering::Relaxed),
             wake_latency: self.wake_latency.snapshot(),
             backpressure_events: self.backpressure_events.load(Ordering::Relaxed),
+            payload_bytes_in: self.payload_bytes_in.load(Ordering::Relaxed),
+            payload_bytes_out: self.payload_bytes_out.load(Ordering::Relaxed),
             frame_bytes_in: self.frame_bytes_in.snapshot(),
             frame_bytes_out: self.frame_bytes_out.snapshot(),
             stages: self.stages.snapshot(),
@@ -613,6 +623,10 @@ pub struct MetricsSnapshot {
     /// [`Metrics::wake_latency`].
     pub wake_latency: HistogramSnapshot,
     pub backpressure_events: u64,
+    /// Tunnel payload goodput delivered to the local sink (bytes).
+    pub payload_bytes_in: u64,
+    /// Tunnel payload goodput taken from the local source (bytes).
+    pub payload_bytes_out: u64,
     /// Inbound frame-length distribution (bytes).
     pub frame_bytes_in: HistogramSnapshot,
     /// Outbound frame-length distribution (bytes).
@@ -627,6 +641,7 @@ impl std::fmt::Display for MetricsSnapshot {
             f,
             "conns {} accepted / {} closed / {} failed ({} accept errors); \
              msgs {} in / {} transcoded / {} out; bytes {} in / {} out; \
+             payload {} in / {} out; \
              {} idle naps ({} µs); {} backpressure events; \
              wake latency p50/p95/p99 {}/{}/{} µs over {} wakes",
             self.accepted,
@@ -638,6 +653,8 @@ impl std::fmt::Display for MetricsSnapshot {
             self.messages_out,
             self.bytes_in,
             self.bytes_out,
+            self.payload_bytes_in,
+            self.payload_bytes_out,
             self.idle_naps,
             self.idle_nap_micros,
             self.backpressure_events,
@@ -710,7 +727,7 @@ impl Telemetry {
         };
 
         let mut out = String::with_capacity(4096);
-        let counters: [(&str, &str, u64); 12] = [
+        let counters: [(&str, &str, u64); 14] = [
             ("accepted", "Connections accepted by the event loop", snap.accepted),
             ("accept_errors", "Accept-time failures", snap.accept_errors),
             ("closed", "Sessions finished cleanly", snap.closed),
@@ -720,6 +737,16 @@ impl Telemetry {
             ("transcodes", "Messages transcoded between codecs", snap.transcodes),
             ("bytes_in", "Raw bytes read off sockets", snap.bytes_in),
             ("bytes_out", "Raw bytes written to sockets", snap.bytes_out),
+            (
+                "payload_bytes_in",
+                "Tunnel payload goodput delivered to the local sink",
+                snap.payload_bytes_in,
+            ),
+            (
+                "payload_bytes_out",
+                "Tunnel payload goodput taken from the local source",
+                snap.payload_bytes_out,
+            ),
             ("idle_naps", "Idle backoff naps (scan backend)", snap.idle_naps),
             ("idle_nap_micros", "Microseconds slept in idle backoff", snap.idle_nap_micros),
             (

@@ -193,6 +193,52 @@ fn steady_state_relay_transcode_does_not_allocate() {
     assert_eq!(allocations() - before, 0, "steady-state relay transcode allocated");
 }
 
+/// The transport responder's per-reply path: sampling into a pooled
+/// message ([`protoobf_core::sample::sample_into`]) reuses the message's
+/// wire/presence/count stores, so a warmed refill loop must allocate
+/// strictly less than building a fresh message per draw. Full zero
+/// allocation is deliberately *not* the pin here — the sampler's values
+/// (fresh byte vectors, formatted instance paths) are inherent to
+/// structure-varying sampling and documented as such on `sample_into`;
+/// what this test forbids is regressing the pooled stores back to
+/// per-reply message construction.
+#[test]
+fn pooled_reply_sampling_beats_fresh_messages() {
+    use protoobf_core::sample::{random_message_pinned, sample_into};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let graph = audit_graph();
+    let codec = protoobf_core::Codec::identity(&graph);
+    const DRAWS: u64 = 50;
+
+    // Fresh-message baseline: what the responder used to do per reply.
+    let mut rng = StdRng::seed_from_u64(11);
+    let before = allocations();
+    for _ in 0..DRAWS {
+        let _ = random_message_pinned(&codec, &mut rng, &[]);
+    }
+    let fresh = allocations() - before;
+
+    // Pooled refill over the same rng stream, stores warmed first.
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut reply = codec.message_seeded(1);
+    for _ in 0..5 {
+        sample_into(&codec, &mut reply, &mut rng, &[]);
+    }
+    let before = allocations();
+    for _ in 0..DRAWS {
+        sample_into(&codec, &mut reply, &mut rng, &[]);
+    }
+    let pooled = allocations() - before;
+
+    assert!(
+        pooled < fresh,
+        "pooled reply refill must allocate less than fresh sampling \
+         (pooled {pooled} vs fresh {fresh} allocations over {DRAWS} draws)"
+    );
+}
+
 /// Every telemetry primitive on its own, driven far enough to hit the
 /// paths a short relay loop might miss: the stage-timer sampling branch
 /// (period 32), histogram clamp buckets, and the flight-recorder ring

@@ -4,6 +4,7 @@
 use std::io;
 
 use protoobf_core::framing::FrameError;
+use protoobf_core::tunnel::TunnelError;
 use protoobf_core::BuildError;
 
 /// Errors surfaced by connections, relays and the event loop. Hostile
@@ -35,6 +36,12 @@ pub enum TransportError {
         /// The configured cap the queue is at or over.
         cap: usize,
     },
+    /// The covert payload channel failed: corrupt tunnel frames, a
+    /// truncated stream, or a carrier-free specification (see
+    /// [`protoobf_core::tunnel::TunnelError`]). Closes the session — a
+    /// tunnel that cannot deliver its payload byte-identically must not
+    /// keep pumping.
+    Tunnel(TunnelError),
 }
 
 impl std::fmt::Display for TransportError {
@@ -47,6 +54,7 @@ impl std::fmt::Display for TransportError {
             TransportError::Backpressure { queued, cap } => {
                 write!(f, "outbound queue at capacity ({queued} of {cap} bytes queued)")
             }
+            TransportError::Tunnel(e) => write!(f, "covert tunnel error: {e}"),
         }
     }
 }
@@ -59,7 +67,14 @@ impl std::error::Error for TransportError {
             TransportError::Build(e) => Some(e),
             TransportError::Closed => None,
             TransportError::Backpressure { .. } => None,
+            TransportError::Tunnel(e) => Some(e),
         }
+    }
+}
+
+impl From<TunnelError> for TransportError {
+    fn from(e: TunnelError) -> Self {
+        TransportError::Tunnel(e)
     }
 }
 
@@ -92,7 +107,7 @@ impl TransportError {
     /// flight-recorder [`protoobf_core::telemetry::EventKind::Fail`]
     /// event (events store only integers so recording stays
     /// allocation-free): 1 io, 2 frame, 3 build, 4 closed,
-    /// 5 backpressure.
+    /// 5 backpressure, 6 tunnel.
     pub fn code(&self) -> u64 {
         match self {
             TransportError::Io(_) => 1,
@@ -100,6 +115,7 @@ impl TransportError {
             TransportError::Build(_) => 3,
             TransportError::Closed => 4,
             TransportError::Backpressure { .. } => 5,
+            TransportError::Tunnel(_) => 6,
         }
     }
 }

@@ -34,7 +34,7 @@ use std::time::Duration;
 
 use protoobf_core::message::Message;
 use protoobf_core::profile::{Endpoint, Fingerprint};
-use protoobf_core::sample::random_message;
+use protoobf_core::sample::sample_into;
 use protoobf_core::service::CodecService;
 use protoobf_core::{Codec, FormatGraph};
 use rand::rngs::StdRng;
@@ -221,7 +221,8 @@ impl Session for Relay<'_> {
 
 /// Drains the socket's ready bytes into the connection (non-blocking).
 /// Returns whether any byte moved; clean EOF is fed to the connection.
-fn read_into(
+/// Shared with the tunnel session ([`crate::tunnel`]).
+pub(crate) fn read_into(
     stream: &mut TcpStream,
     conn: &mut Conn<'_>,
     buf: &mut [u8],
@@ -256,7 +257,8 @@ fn read_into(
 
 /// Writes the connection's queued outbound bytes to the socket until it
 /// would block or the queue drains. Returns whether any byte moved.
-fn flush_from(
+/// Shared with the tunnel session ([`crate::tunnel`]).
+pub(crate) fn flush_from(
     stream: &mut TcpStream,
     conn: &mut Conn<'_>,
     metrics: &Metrics,
@@ -484,6 +486,10 @@ pub struct Responder<'s> {
     conn: Conn<'s>,
     /// Codec the sampled replies are drawn from (`reply_svc`'s).
     reply_svc: &'s CodecService,
+    /// Pooled reply scratch: one long-lived message refilled per reply
+    /// ([`sample_into`]), so answering does not allocate a fresh message
+    /// store per request.
+    reply: Message<'s>,
     rng: StdRng,
     read_buf: Vec<u8>,
     /// Edge-detector for [`Metrics::backpressure_events`], as in
@@ -508,6 +514,7 @@ impl<'s> Responder<'s> {
             stream,
             conn: Conn::new(request_svc, reply_svc),
             reply_svc,
+            reply: reply_svc.codec().message_seeded(seed),
             rng: StdRng::seed_from_u64(seed),
             read_buf: vec![0u8; 16 * 1024],
             gated: false,
@@ -541,10 +548,10 @@ impl Session for Responder<'_> {
                 read_into(&mut self.stream, &mut self.conn, &mut self.read_buf, self.metrics)?;
             // The decoded request's content is not inspected — arrival of
             // a structurally valid message is the contract; the reply is
-            // sampled from the *other* direction's grammar. Sampling
-            // builds a fresh message anyway, so (unlike the relay and
-            // echo paths) there is no reusable transcode target to route
-            // through here.
+            // sampled from the *other* direction's grammar into a pooled
+            // scratch message (stores reused across replies; only the
+            // sampled values themselves still allocate — see
+            // [`sample_into`]).
             loop {
                 if !self.conn.can_send() {
                     break;
@@ -556,9 +563,9 @@ impl Session for Responder<'_> {
                 self.metrics.stages.parse.finish(parse_t);
                 Metrics::add(&self.metrics.messages_in, 1);
                 self.metrics.frame_bytes_in.record(self.conn.last_inbound_frame_len() as u64);
-                let reply = random_message(self.reply_svc.codec(), &mut self.rng);
+                sample_into(self.reply_svc.codec(), &mut self.reply, &mut self.rng, &[]);
                 let serialize_t = self.metrics.stages.serialize.start();
-                self.conn.send(&reply)?;
+                self.conn.send(&self.reply)?;
                 self.metrics.stages.serialize.finish(serialize_t);
                 Metrics::add(&self.metrics.messages_out, 1);
                 self.metrics.frame_bytes_out.record(self.conn.last_outbound_frame_len() as u64);

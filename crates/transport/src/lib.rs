@@ -65,6 +65,7 @@ pub mod evloop;
 pub mod gateway;
 pub mod metrics;
 pub mod sys;
+pub mod tunnel;
 
 pub use admin::{serve_admin, AdminConn};
 pub use conn::{Conn, ConnState};
@@ -72,3 +73,4 @@ pub use error::TransportError;
 pub use evloop::{serve, Drive, LoopConfig, Session};
 pub use gateway::{Echo, Gateway, GatewayMode, LegServices, Relay, Responder};
 pub use metrics::{peer_token, Metrics, MetricsSnapshot, Telemetry};
+pub use tunnel::{spawn_reader, wake_pair, PayloadBuf, TunnelSession};

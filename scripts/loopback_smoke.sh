@@ -177,4 +177,72 @@ timeout "$CLIENT_TIMEOUT" "$BIN" send "builtin:$spec" \
 for pid in "$recv_pid" "$dec_pid" "$enc_pid"; do wait "$pid"; done
 echo "[smoke] telemetry plane: live scrape saw $msgs relayed messages"
 
+# The covert tunnel lane: a fixed file piped through a real two-process
+# tunnel (client + server binaries) over the same asymmetric profile
+# gateway chain, then diffed byte-for-byte. The client's stdin is held
+# open through a FIFO so both endpoints stay alive mid-transfer and the
+# goodput counters (payload_bytes_in/out) can be scraped live off each
+# endpoint's --admin plane before EOF releases the stream.
+wait_counter() { # <admin-port> <metric> <expected>
+    v=
+    for _ in $(seq 1 300); do
+        v=$(scrape "$1" /metrics 2>/dev/null \
+            | awk -v m="$2" '$1 == m {print $2}' || true)
+        [ "$v" = "$3" ] && return 0
+        sleep 0.1
+    done
+    echo "[smoke] timed out waiting for $2=$3 on port $1 (last: ${v:-none})" >&2
+    return 1
+}
+
+payload="$logdir/tunnel-payload.bin"
+seq -f 'covert payload line %05.0f' 1 3000 > "$payload"
+payload_bytes=$(wc -c < "$payload" | tr -d ' ')
+
+p_client=$PORT p_obf=$((PORT + 1)) p_server=$((PORT + 2))
+p_admin_c=$((PORT + 3)) p_admin_s=$((PORT + 4))
+PORT=$((PORT + 5))
+
+"$BIN" tunnel --profile "$profile" --listen "127.0.0.1:$p_server" \
+    --exit-on-eof --quiet --admin "127.0.0.1:$p_admin_s" \
+    < /dev/null > "$logdir/tunnel-out.bin" 2>"$logdir/tunnel-server.log" &
+srv_pid=$!
+"$BIN" gateway --profile "$profile" --mode decode \
+    --listen "127.0.0.1:$p_obf" --upstream "127.0.0.1:$p_server" --accept-limit 1 \
+    2>"$logdir/tunnel-decode.log" &
+dec_pid=$!
+"$BIN" gateway --profile "$profile" --mode encode \
+    --listen "127.0.0.1:$p_client" --upstream "127.0.0.1:$p_obf" --accept-limit 1 \
+    2>"$logdir/tunnel-encode.log" &
+enc_pid=$!
+pids+=("$srv_pid" "$dec_pid" "$enc_pid")
+
+wait_ready "tunnel server on" "$logdir/tunnel-server.log"
+wait_ready "gateway on" "$logdir/tunnel-decode.log"
+wait_ready "gateway on" "$logdir/tunnel-encode.log"
+
+fifo="$logdir/tunnel-in.fifo"
+mkfifo "$fifo"
+"$BIN" tunnel --profile "$profile" --connect "127.0.0.1:$p_client" \
+    --exit-on-eof --quiet --admin "127.0.0.1:$p_admin_c" \
+    < "$fifo" > /dev/null 2>"$logdir/tunnel-client.log" &
+cli_pid=$!
+pids+=("$cli_pid")
+exec 4>"$fifo" # unblocks the client's stdin open; stream stays live
+wait_ready "admin endpoint on" "$logdir/tunnel-client.log"
+cat "$payload" >&4
+
+# Mid-stream, both processes still up: the client must have sourced the
+# whole payload, the server must have sunk it — live goodput telemetry.
+wait_counter "$p_admin_c" protoobf_payload_bytes_out_total "$payload_bytes"
+wait_counter "$p_admin_s" protoobf_payload_bytes_in_total "$payload_bytes"
+
+exec 4>&- # EOF: both stream directions complete, everything exits
+for pid in "$cli_pid" "$srv_pid" "$dec_pid" "$enc_pid"; do wait "$pid"; done
+cmp "$payload" "$logdir/tunnel-out.bin" || {
+    echo "[smoke] tunnel output differs from the piped payload" >&2
+    exit 1
+}
+echo "[smoke] tunnel: $payload_bytes bytes byte-identical through the covert channel"
+
 echo "[smoke] all protocols passed"

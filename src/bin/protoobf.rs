@@ -19,6 +19,12 @@
 //!                                            clear-framed echo/responder server
 //! protoobf send <target> --connect A [--count N --admin HOST:PORT --quiet]
 //!                                            clear-framed client, verifies echoes
+//! protoobf tunnel <target> --connect A | --listen A
+//!                  [--exit-on-eof --backpressure BYTES --accept-limit N
+//!                   --admin HOST:PORT --quiet]
+//!                                            covert byte tunnel: stdin rides
+//!                                            carrier slots of sampled cover
+//!                                            messages, peer payload → stdout
 //! protoobf fuzz <target> [--cases N] [--corpus DIR]
 //!                                            plan-aware differential fuzzing;
 //!                                            exits non-zero on any divergence
@@ -75,8 +81,8 @@ use protoobf::core::fuzz::{fuzz_codec, FuzzConfig, Reproducer};
 use protoobf::core::sample::random_message;
 use protoobf::resilience;
 use protoobf::transport::{
-    evloop, peer_token, serve_admin, Echo, Gateway, GatewayMode, LoopConfig, Metrics, Responder,
-    Telemetry,
+    evloop, peer_token, serve_admin, spawn_reader, wake_pair, Echo, Gateway, GatewayMode,
+    LoopConfig, Metrics, PayloadBuf, Responder, Session, Telemetry, TunnelSession,
 };
 use protoobf::{Derivation, Endpoint, ObfConfig, Profile, ProfileExt, SpecSource, TransformKind};
 
@@ -96,13 +102,13 @@ impl From<String> for CliError {
 fn usage(msg: &str) -> String {
     format!(
         "error: {msg}\n\
-         usage: protoobf <check|print|dot|gen|demo|gateway|recv|send|fuzz|resilience>\n\
+         usage: protoobf <check|print|dot|gen|demo|gateway|recv|send|tunnel|fuzz|resilience>\n\
          \x20      <spec-file|builtin:NAME> | --profile FILE\n\
          \x20      [--key STRING] [--seed N (deprecated alias for --key N)] [--level N]\n\
          \x20      [-o FILE] [--listen ADDR] [--upstream ADDR] [--connect ADDR]\n\
          \x20      [--mode encode|decode] [--workers N] [--accept-limit N] [--count N]\n\
          \x20      [--accept-burst N] [--backpressure BYTES]\n\
-         \x20      [--admin HOST:PORT] [--quiet]\n\
+         \x20      [--admin HOST:PORT] [--quiet] [--exit-on-eof]\n\
          \x20      [--cases N] [--corpus DIR] [--samples N] [--max-level N]"
     )
 }
@@ -124,6 +130,7 @@ struct Options {
     backpressure: Option<usize>,
     admin: Option<String>,
     quiet: bool,
+    exit_on_eof: bool,
     count: usize,
     cases: Option<u32>,
     corpus: Option<String>,
@@ -149,6 +156,7 @@ fn parse_options(args: &[String], spec_required: bool) -> Result<Options, String
         backpressure: None,
         admin: None,
         quiet: false,
+        exit_on_eof: false,
         count: 16,
         cases: None,
         corpus: None,
@@ -180,6 +188,7 @@ fn parse_options(args: &[String], spec_required: bool) -> Result<Options, String
             }
             "--admin" => opts.admin = Some(addr("--admin", &value("--admin")?)?),
             "--quiet" => opts.quiet = true,
+            "--exit-on-eof" => opts.exit_on_eof = true,
             "--count" => opts.count = number("--count", &value("--count")?)?,
             "--cases" => opts.cases = Some(number("--cases", &value("--cases")?)?),
             "--corpus" => opts.corpus = Some(value("--corpus")?),
@@ -547,6 +556,106 @@ fn run() -> Result<(), CliError> {
                 if symmetric { "byte-identical" } else { "with parsed responses" }
             );
             print_summary("client done", &telemetry, opts.quiet);
+        }
+        "tunnel" => {
+            let endpoint = endpoint_for(&opts)?;
+            // Like send/recv, tunnel endpoints speak clear framing: the
+            // obfuscation gateways in between own the hostile wire. The
+            // carrier slots are classified on the *plain* grammar, and the
+            // gateways' transcode preserves plain values, so the covert
+            // payload survives any level of obfuscation in the chain.
+            let tx_svc = endpoint.clear_tx_service();
+            let rx_svc = endpoint.clear_rx_service();
+            let metrics = Arc::new(Metrics::new());
+            let mut registry = Telemetry::new(Arc::clone(&metrics));
+            registry.register_service("tx_clear", tx_svc);
+            registry.register_service("rx_clear", rx_svc);
+            let telemetry = Arc::new(registry);
+            // Stdin feeds a bounded payload buffer from a detached thread;
+            // the wake pipe turns payload arrival into socket readiness so
+            // the epoll loop re-drives the session.
+            let source = PayloadBuf::new();
+            let (wake_rx, wake_tx) = wake_pair().map_err(|e| e.to_string())?;
+            spawn_reader(std::io::stdin(), Arc::clone(&source), Some(wake_tx));
+            match (opts.connect.as_deref(), opts.listen.as_deref()) {
+                (Some(connect), None) => {
+                    let stream = std::net::TcpStream::connect(connect)
+                        .map_err(|e| format!("connect {connect}: {e}"))?;
+                    stream.set_nonblocking(true).map_err(|e| e.to_string())?;
+                    eprintln!("tunnel client → {connect}\nfingerprint {}", endpoint.fingerprint());
+                    let stdout = std::io::stdout();
+                    let mut session =
+                        TunnelSession::new(stream, rx_svc, tx_svc, source, stdout, 1, &metrics)
+                            .map_err(|e| e.to_string())?
+                            .with_wake(wake_rx)
+                            .exit_on_eof(opts.exit_on_eof);
+                    if let Some(cap) = opts.backpressure {
+                        session = session.outbound_cap(cap);
+                    }
+                    // A single client connection doesn't need the full
+                    // event loop: a mini drive loop with a short nap on
+                    // Idle keeps the binary simple and the socket hot.
+                    with_admin(opts.admin.as_deref(), &telemetry, |_shutdown| loop {
+                        match session.drive().map_err(|e| CliError::Run(e.to_string()))? {
+                            evloop::Drive::Done => break Ok(()),
+                            evloop::Drive::Progress => {}
+                            evloop::Drive::Idle => {
+                                std::thread::sleep(std::time::Duration::from_millis(1));
+                            }
+                        }
+                    })?;
+                    print_summary("tunnel client done", &telemetry, opts.quiet);
+                }
+                (None, Some(listen)) => {
+                    let listener = std::net::TcpListener::bind(listen)
+                        .map_err(|e| format!("bind {listen}: {e}"))?;
+                    let mut cfg = loop_config(&opts);
+                    // Stdin is one stream: by default serve exactly one
+                    // tunnel, then exit (--accept-limit overrides).
+                    if cfg.accept_limit.is_none() {
+                        cfg.accept_limit = Some(1);
+                    }
+                    eprintln!(
+                        "tunnel server on {listen} ({} workers)\nfingerprint {}",
+                        cfg.workers,
+                        endpoint.fingerprint()
+                    );
+                    // Only the first accepted session gets the stdin wake
+                    // pipe (and with it, fresh local payload).
+                    let wake_slot = std::sync::Mutex::new(Some(wake_rx));
+                    let seed = std::sync::atomic::AtomicU64::new(2);
+                    with_admin(opts.admin.as_deref(), &telemetry, |shutdown| {
+                        evloop::serve(listener, &cfg, shutdown, &metrics, |stream, peer| {
+                            let s = seed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            let mut sess = TunnelSession::new(
+                                stream,
+                                tx_svc,
+                                rx_svc,
+                                Arc::clone(&source),
+                                std::io::stdout(),
+                                s,
+                                &metrics,
+                            )?
+                            .exit_on_eof(opts.exit_on_eof)
+                            .with_token(peer_token(&peer));
+                            if let Some(w) = wake_slot.lock().unwrap().take() {
+                                sess = sess.with_wake(w);
+                            }
+                            if let Some(cap) = opts.backpressure {
+                                sess = sess.outbound_cap(cap);
+                            }
+                            Ok(sess)
+                        })
+                        .map_err(|e| CliError::Run(e.to_string()))
+                    })?;
+                    print_summary("tunnel server done", &telemetry, opts.quiet);
+                }
+                _ => {
+                    return Err(CliError::Usage(
+                        "tunnel needs exactly one of --connect ADDR or --listen ADDR".into(),
+                    ));
+                }
+            }
         }
         "fuzz" => {
             let profile = profile_for(&opts)?;

@@ -10,10 +10,12 @@
 //! pinned, regression-checked curve: level 0 must score high for the
 //! attacker, levels 1+ must score measurably lower.
 
-use protoobf_core::sample::random_message;
+use protoobf_core::sample::{random_message, random_message_pinned};
+use protoobf_core::tunnel::{ChannelMap, TunnelEncoder};
 use protoobf_core::{Codec, Obfuscator};
 use protoobf_pre::resilience::{attack, AttackParams, AttackScore};
 use rand::rngs::StdRng;
+use rand::Rng;
 use rand::SeedableRng;
 
 use crate::protocols::{dns, http, modbus};
@@ -69,6 +71,52 @@ pub fn sample_wires(codec: &Codec, n: usize, seed: u64) -> Vec<Vec<u8>> {
         .collect()
 }
 
+/// Samples `n` wires of **fresh** cover traffic: every message is a new
+/// draw (with the covert tunnel's carrier pins applied, so message
+/// shapes match [`sample_tunnel_wires`] exactly), serialized with fresh
+/// random material. The control arm of the tunnel-detectability
+/// comparison: identical sampling, no payload in the carriers.
+pub fn sample_cover_wires(codec: &Codec, n: usize, seed: u64) -> Vec<Vec<u8>> {
+    let map = ChannelMap::analyze(codec);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let msg = random_message_pinned(codec, &mut rng, map.pins());
+            codec
+                .serialize_seeded(&msg, seed ^ (i as u64).wrapping_mul(0x9E37_79B9))
+                .expect("sampled covers serialize")
+        })
+        .collect()
+}
+
+/// Samples `n` wires of **covert-tunnel** traffic: a random payload
+/// stream chunked into the carrier slots of sampler-generated cover
+/// messages ([`protoobf_core::tunnel::TunnelEncoder`]). The tunnel
+/// preserves every carrier instance's sampled length and leaves cover
+/// slots sampled, so against the PRE attacker this should be
+/// indistinguishable from [`sample_cover_wires`] at the same level —
+/// the claim `tests/resilience.rs` pins.
+pub fn sample_tunnel_wires(codec: &Codec, n: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut enc = TunnelEncoder::new(codec, seed).expect("builtin specs expose carrier slots");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x007A_77E1);
+    (0..n)
+        .map(|i| {
+            // Keep payload pending so every cover actually carries data.
+            if enc.pending_payload() < 512 {
+                let chunk: Vec<u8> = (0..512).map(|_| rng.gen()).collect();
+                enc.push(&chunk);
+            }
+            let frame = enc
+                .next_cover()
+                .expect("sampled covers reach carrier capacity")
+                .expect("payload is pending");
+            codec
+                .serialize_seeded(&frame.message, seed ^ (i as u64).wrapping_mul(0x9E37_79B9))
+                .expect("tunnel covers serialize")
+        })
+        .collect()
+}
+
 /// One cell of the trajectory: the graded attack at one level.
 #[derive(Debug, Clone, Copy)]
 pub struct LevelScore {
@@ -92,6 +140,28 @@ pub struct ResilienceReport {
 /// keyed per protocol), the analyst sees the mixed trace, and the
 /// grading uses the protocol names as ground truth.
 pub fn score_level(level: u32, samples_per_protocol: usize, seed: u64) -> LevelScore {
+    score_mixed(level, samples_per_protocol, seed, sample_wires)
+}
+
+/// [`score_level`] with fresh (pinned, payload-free) cover traffic from
+/// [`sample_cover_wires`] — the control arm of the tunnel comparison.
+pub fn score_level_cover(level: u32, samples_per_protocol: usize, seed: u64) -> LevelScore {
+    score_mixed(level, samples_per_protocol, seed, sample_cover_wires)
+}
+
+/// [`score_level`] with covert-tunnel traffic from
+/// [`sample_tunnel_wires`]: every builtin protocol's wires carry a live
+/// payload stream in their carrier slots.
+pub fn score_level_tunnel(level: u32, samples_per_protocol: usize, seed: u64) -> LevelScore {
+    score_mixed(level, samples_per_protocol, seed, sample_tunnel_wires)
+}
+
+fn score_mixed(
+    level: u32,
+    samples_per_protocol: usize,
+    seed: u64,
+    sampler: impl Fn(&Codec, usize, u64) -> Vec<Vec<u8>>,
+) -> LevelScore {
     let mut wires: Vec<Vec<u8>> = Vec::new();
     let mut labels: Vec<&'static str> = Vec::new();
     for (pi, proto) in BUILTIN_PROTOCOLS.iter().enumerate() {
@@ -105,7 +175,7 @@ pub fn score_level(level: u32, samples_per_protocol: usize, seed: u64) -> LevelS
                 .obfuscate()
                 .expect("builtin specs obfuscate at every level")
         };
-        wires.extend(sample_wires(&codec, samples_per_protocol, seed ^ (pi as u64 + 1)));
+        wires.extend(sampler(&codec, samples_per_protocol, seed ^ (pi as u64 + 1)));
         labels.extend(std::iter::repeat_n(*proto, samples_per_protocol));
     }
     let refs: Vec<&[u8]> = wires.iter().map(Vec::as_slice).collect();

@@ -7,7 +7,9 @@
 //! budgets; `protoobf resilience` (and the CI resilience job) run the
 //! same pipeline at full size and export `BENCH_resilience.json`.
 
-use protoobf::resilience::{export_json, score_level, score_trajectory, summarize};
+use protoobf::resilience::{
+    export_json, score_level, score_level_cover, score_level_tunnel, score_trajectory, summarize,
+};
 
 const SEED: u64 = 0xD5C_0BF;
 
@@ -34,6 +36,31 @@ fn obfuscation_degrades_the_inference_attack() {
         plain.attack.score,
         obfuscated.attack.score
     );
+}
+
+/// The covert tunnel's indistinguishability claim, pinned against the
+/// PRE attacker: carrying a live payload stream in the carrier slots
+/// must not make the mixed trace easier to align, cluster or recover
+/// than payload-free cover traffic sampled the same way (same level,
+/// same carrier pins, same per-message freshness). The tunnel preserves
+/// every carrier instance's sampled length and leaves cover slots
+/// sampled, so the wire-shape features the attack feeds on are
+/// unchanged; what *does* shift is carrier content entropy (uniform
+/// payload bytes instead of low-entropy sampler text), which moves the
+/// attacker's score down, never up — hence the one-sided margin.
+#[test]
+fn tunnel_streams_score_no_better_than_cover_traffic() {
+    for level in [0u32, 2] {
+        let cover = score_level_cover(level, 16, SEED);
+        let tunnel = score_level_tunnel(level, 16, SEED);
+        assert!(
+            tunnel.attack.score <= cover.attack.score + 0.1,
+            "level {level}: the attacker must not score tunnel streams above plain \
+             cover traffic (cover {:.3}, tunnel {:.3})",
+            cover.attack.score,
+            tunnel.attack.score
+        );
+    }
 }
 
 #[test]
