@@ -25,9 +25,15 @@
 //! # }
 //! ```
 
+//! The emitter intentionally walks the obfuscation graph (the paper's
+//! artifact is defined node-by-node over it); the runtime-oriented,
+//! plan-targeted backend is a separate follow-up tracked in ROADMAP.md
+//! and stubbed in [`plan`].
+
 pub mod cflow;
 pub mod emit;
 pub mod metrics;
+pub mod plan;
 
 pub use emit::{generate, GeneratedLibrary};
 pub use metrics::{measure, NormalizedPotency, PotencyMetrics};

@@ -1,0 +1,25 @@
+//! Placeholder for the **plan-targeted** code generator.
+//!
+//! The emitter in [`crate::emit`] deliberately walks the obfuscation
+//! graph because the artifact it produces *is the paper's measured
+//! object*: the potency metrics of §VII are defined over the generated C
+//! library, node by node. It is a measurement rendition, not a runtime
+//! backend, and it stays graph-shaped for that reason.
+//!
+//! The runtime-oriented successor sketched in ROADMAP.md ("Ahead-of-time
+//! codegen backend") targets the compiled [`protoobf_core::plan::CodecPlan`]
+//! instead: the plan's flat slot program — dense `u32` indices, pooled
+//! byte-op stacks, pre-resolved recovery/distribution programs — is
+//! exactly the IR a specializing code generator wants, and the new
+//! `protoobf_core::verify` pass gives it a machine-checkable contract to
+//! emit against (every diagnostic the verifier can raise is an invariant
+//! the generated code may assume). Differential coverage against the
+//! interpreter comes free from the existing fuzz harnesses.
+//!
+//! Until that backend lands this module only records the interface
+//! boundary, so downstream code has a stable path to probe.
+
+/// Whether the plan-targeted backend is implemented. Always `false` for
+/// now; flips when the ROADMAP item lands so callers can feature-probe
+/// instead of version-sniffing.
+pub const BACKEND_AVAILABLE: bool = false;

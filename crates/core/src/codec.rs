@@ -84,6 +84,14 @@ impl Codec {
                 found: format!("{} ({} nodes)", a.name(), a.len()),
             }
         })?;
+        // Debug builds statically verify every freshly compiled transcode
+        // program (jump nesting, plain/slot references, step shapes)
+        // before it enters the per-pairing cache.
+        #[cfg(debug_assertions)]
+        {
+            let diags = crate::verify::verify_copy_program(&src.graph, &self.graph, &prog);
+            assert!(diags.is_empty(), "compiled copy program failed verification: {diags:#?}");
+        }
         let prog = Arc::new(prog);
         let mut cache = self.copy_programs.lock().unwrap_or_else(|e| e.into_inner());
         if let Some((_, cached)) = cache.iter().find(|(u, _)| *u == uid) {

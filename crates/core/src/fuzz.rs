@@ -53,6 +53,7 @@ type Tamper = fn(&[u8], &mut Vec<u8>);
 /// The full differential stack over one codec: plan-vs-walk parsing plus
 /// both gateway transcode directions. Holds the three codecs every check
 /// needs so per-input checks allocate nothing beyond the parse itself.
+#[derive(Debug)]
 pub struct DiffOracle<'a> {
     codec: &'a Codec,
     clear: &'a Codec,

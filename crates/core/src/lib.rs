@@ -98,6 +98,13 @@
 //! # }
 //! ```
 
+// The crate's small unsafe surface (the lock-free session pool) must
+// stay explicit and documented: every unsafe operation sits in its own
+// block with a SAFETY comment, even inside unsafe fns.
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(clippy::undocumented_unsafe_blocks)]
+#![warn(missing_debug_implementations)]
+
 pub mod codec;
 pub mod dot;
 pub mod engine;
@@ -121,6 +128,7 @@ pub mod telemetry;
 pub mod transform;
 pub mod tunnel;
 pub mod value;
+pub mod verify;
 
 pub use codec::Codec;
 pub use engine::Obfuscator;
@@ -136,3 +144,4 @@ pub use telemetry::{FlightRecorder, LatencyHistogram, Metrics, MetricsSnapshot, 
 pub use transform::TransformKind;
 pub use tunnel::{ChannelMap, TunnelDecoder, TunnelEncoder, TunnelError};
 pub use value::{ByteOp, Endian, TerminalKind, Value};
+pub use verify::Diagnostic;

@@ -359,7 +359,20 @@ impl ObfGraph {
     /// codec, the pooled sessions and the transcode copy programs all
     /// share this one instance.
     pub fn plan(&self) -> &crate::plan::CodecPlan {
-        self.plan.get_or_init(|| crate::plan::CodecPlan::compile(self))
+        self.plan.get_or_init(|| {
+            let plan = crate::plan::CodecPlan::compile(self);
+            // Debug builds statically verify every freshly compiled plan
+            // (bounds, balance, recovery↔distribution duality, auto
+            // acyclicity) before anything interprets it. The verifier
+            // reads only the plain graph and node table — it must never
+            // call `plan()` back, which would deadlock this OnceLock.
+            #[cfg(debug_assertions)]
+            {
+                let diags = crate::verify::verify_plan(self, &plan);
+                assert!(diags.is_empty(), "compiled plan failed static verification: {diags:#?}");
+            }
+            plan
+        })
     }
 
     fn import(&mut self, plain: &FormatGraph, id: NodeId, parent: Option<ObfId>) -> ObfId {

@@ -76,6 +76,9 @@ pub struct FreeList<T> {
 // atomics. Sharing the pool therefore only ever hands `T`s across
 // threads, which `T: Send` permits.
 unsafe impl<T: Send> Send for FreeList<T> {}
+// SAFETY: same argument as the `Send` impl above — concurrent `&self`
+// access goes through atomics, and the item slots are only touched
+// under exclusive node ownership.
 unsafe impl<T: Send> Sync for FreeList<T> {}
 
 impl<T> FreeList<T> {

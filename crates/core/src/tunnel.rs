@@ -466,6 +466,7 @@ pub struct CoverFrame<'c> {
 /// cover messages. Feed with [`push`](TunnelEncoder::push), signal end of
 /// stream with [`finish`](TunnelEncoder::finish), and drain with
 /// [`next_cover`](TunnelEncoder::next_cover) until it returns `None`.
+#[derive(Debug)]
 pub struct TunnelEncoder<'c> {
     codec: &'c Codec,
     map: ChannelMap<'c>,
@@ -616,6 +617,7 @@ pub enum Accepted {
 /// Reassembles a payload stream from decoded cover messages, tolerating
 /// out-of-order and duplicated delivery. Corruption surfaces as typed
 /// [`TunnelError`]s; bytes are released strictly in order.
+#[derive(Debug)]
 pub struct TunnelDecoder<'c> {
     map: ChannelMap<'c>,
     chunk: Vec<u8>,

@@ -1,0 +1,1408 @@
+//! Static verification of compiled codec plans: a bytecode-verifier pass
+//! over the [`CodecPlan`] / [`CopyProgram`] IR.
+//!
+//! The paper's safety argument rests on two structural promises: every
+//! applied transformation is **invertible** (the recovery walk undoes the
+//! distribution walk exactly), and both endpoints derive **identical**
+//! codecs from one specification. The fuzzing and differential harnesses
+//! check those promises dynamically, after the fact; this module checks
+//! the compiled artifact itself, before any traffic flows — the same way a
+//! bytecode verifier validates a class file before the VM executes it.
+//!
+//! [`verify_plan`] walks one compiled plan and checks:
+//!
+//! * every slot / plain / pool index is in bounds (children, holders,
+//!   ops/bytes/consts/preds/steps ranges, predicate and reference
+//!   targets);
+//! * container scope depth never exceeds [`MAX_SCOPE`];
+//! * every recovery program is a balanced post-order stack program, every
+//!   distribution program a balanced pre-order one, and each store's
+//!   validation matches its slot's wire boundary;
+//! * each recovery program's dual distribution program is its **forward
+//!   mirror** (the invertibility invariant of the paper's
+//!   transformations);
+//! * the auto-field dependency graph is acyclic.
+//!
+//! [`verify_copy_program`] applies the same discipline to compiled
+//! transcode programs (relative jumps in bounds and properly nested,
+//! source/destination slot types in agreement), and
+//! [`verify_channel_map`] checks the covert tunnel's carrier
+//! classification against a traced serialization: carrier spans must lie
+//! inside their slots' wire extents.
+//!
+//! Failures are reported as [`Diagnostic`]s with stable `P...` codes (the
+//! `protoobf lint` CLI prints them verbatim); debug builds additionally
+//! run [`verify_plan`] on every plan compile and [`verify_copy_program`]
+//! on every copy-program compile, turning a miscompiled IR into an
+//! immediate panic instead of silent wire corruption.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::codec::Codec;
+use crate::graph::{NodeId, NodeType};
+use crate::message::MAX_SCOPE;
+use crate::obf::ObfGraph;
+use crate::plan::{
+    AutoCheckKind, BaseOp, CodecPlan, CopyProgram, CopyStep, DistCheck, DistProg, DistStep, PlanOp,
+    PoolRange, RecProg, RecStep, SeqB, SplitRuleC, TermB, NONE,
+};
+use crate::runtime;
+use crate::serialize::SlotSpan;
+use crate::tunnel::ChannelMap;
+use crate::value::ByteOp;
+
+/// One verifier finding: a stable diagnostic code plus a human-readable
+/// detail naming the offending slot/index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable machine-readable code (`P001`...). See the module docs for
+    /// the full table.
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.code, self.message)
+    }
+}
+
+/// `P001` — a copy-program relative jump (`Optional`/`Loop`) leaves the
+/// program or escapes its enclosing block.
+pub const JUMP_OUT_OF_BOUNDS: &str = "P001";
+/// `P002` — a wire-slot index is out of bounds or targets a dead slot.
+pub const SLOT_OUT_OF_BOUNDS: &str = "P002";
+/// `P003` — a pool range (ops/bytes/consts/preds/steps) is out of bounds.
+pub const POOL_OUT_OF_BOUNDS: &str = "P003";
+/// `P004` — a plain-graph index (subject, origin, counter, reference or
+/// auto target) is out of bounds or of the wrong node type.
+pub const PLAIN_OUT_OF_BOUNDS: &str = "P004";
+/// `P005` — a container scope depth exceeds [`MAX_SCOPE`] or disagrees
+/// with the graph.
+pub const SCOPE_TOO_DEEP: &str = "P005";
+/// `P006` — a recovery program is not a balanced post-order stack program.
+pub const REC_UNBALANCED: &str = "P006";
+/// `P007` — a distribution program is not a balanced pre-order program, or
+/// a store's validation disagrees with its slot's boundary.
+pub const DIST_UNBALANCED: &str = "P007";
+/// `P008` — a recovery program's dual distribution program is not its
+/// forward mirror (the invertibility invariant).
+pub const DUALITY_VIOLATION: &str = "P008";
+/// `P009` — the auto-field dependency graph has a cycle.
+pub const AUTO_CYCLE: &str = "P009";
+/// `P010` — a copy-program step disagrees with the plain specification's
+/// node types (source/destination slot types must agree).
+pub const COPY_TYPE_MISMATCH: &str = "P010";
+/// `P011` — a tunnel carrier span lies outside its slot's wire extent.
+pub const CARRIER_SPAN_OUT_OF_EXTENT: &str = "P011";
+
+fn diag(code: &'static str, message: String) -> Diagnostic {
+    Diagnostic { code, message }
+}
+
+/// True when the pool range `(start, len)` fits a pool of `len` items.
+fn range_ok(r: PoolRange, pool_len: usize) -> bool {
+    (r.0 as u64) + (r.1 as u64) <= pool_len as u64
+}
+
+/// Verifies one compiled plan against the graph it was compiled from.
+/// Returns every violation found (empty = verified).
+pub fn verify_plan(g: &ObfGraph, plan: &CodecPlan) -> Vec<Diagnostic> {
+    let mut v = Verifier { g, plan, diags: Vec::new() };
+    v.tables();
+    v.nodes();
+    v.depths();
+    let rec_ok = v.rec_programs();
+    let dist_ok = v.dist_programs();
+    v.duality(&rec_ok, &dist_ok);
+    v.autos();
+    v.diags
+}
+
+struct Verifier<'a> {
+    g: &'a ObfGraph,
+    plan: &'a CodecPlan,
+    diags: Vec<Diagnostic>,
+}
+
+impl Verifier<'_> {
+    fn push(&mut self, code: &'static str, message: String) {
+        self.diags.push(diag(code, message));
+    }
+
+    fn slots(&self) -> usize {
+        self.plan.nodes.len()
+    }
+
+    fn plain_len(&self) -> usize {
+        self.plan.holder.len()
+    }
+
+    /// Checks a slot reference: in bounds and live.
+    fn slot(&mut self, what: &str, s: u32) -> bool {
+        if s as usize >= self.slots() {
+            self.push(
+                SLOT_OUT_OF_BOUNDS,
+                format!("{what}: slot {s} out of bounds ({} slots)", self.slots()),
+            );
+            return false;
+        }
+        if matches!(self.plan.nodes[s as usize].op, PlanOp::Dead) {
+            self.push(SLOT_OUT_OF_BOUNDS, format!("{what}: slot {s} is dead"));
+            return false;
+        }
+        true
+    }
+
+    /// Checks a slot reference that must be a wire-carrying terminal.
+    fn term_slot(&mut self, what: &str, s: u32) -> bool {
+        if !self.slot(what, s) {
+            return false;
+        }
+        if !matches!(self.plan.nodes[s as usize].op, PlanOp::Term { .. }) {
+            self.push(SLOT_OUT_OF_BOUNDS, format!("{what}: slot {s} is not a terminal"));
+            return false;
+        }
+        true
+    }
+
+    /// Checks a plain-node reference.
+    fn plain(&mut self, what: &str, p: u32) -> bool {
+        if p as usize >= self.plain_len() {
+            self.push(
+                PLAIN_OUT_OF_BOUNDS,
+                format!("{what}: plain index {p} out of bounds ({} plain nodes)", self.plain_len()),
+            );
+            return false;
+        }
+        true
+    }
+
+    /// Checks a plain reference that must be a numeric terminal (a
+    /// `Length`/`Counter` reference or condition subject decoded as an
+    /// integer).
+    fn numeric_plain(&mut self, what: &str, p: u32) -> bool {
+        if !self.plain(what, p) {
+            return false;
+        }
+        let node = self.g.plain().node(NodeId(p));
+        if !node.is_terminal() {
+            self.push(PLAIN_OUT_OF_BOUNDS, format!("{what}: plain node {p} is not a terminal"));
+            return false;
+        }
+        true
+    }
+
+    fn ops_range(&mut self, what: &str, r: PoolRange) -> bool {
+        if !range_ok(r, self.plan.ops.len()) {
+            self.push(
+                POOL_OUT_OF_BOUNDS,
+                format!(
+                    "{what}: op range {}+{} out of bounds ({} pooled ops)",
+                    r.0,
+                    r.1,
+                    self.plan.ops.len()
+                ),
+            );
+            return false;
+        }
+        true
+    }
+
+    fn bytes_idx(&mut self, what: &str, i: u32) -> bool {
+        if i as usize >= self.plan.bytes.len() {
+            self.push(
+                POOL_OUT_OF_BOUNDS,
+                format!("{what}: byte-string {i} out of bounds ({} pooled)", self.plan.bytes.len()),
+            );
+            return false;
+        }
+        if self.plan.bytes[i as usize].is_empty() {
+            self.push(POOL_OUT_OF_BOUNDS, format!("{what}: pooled byte-string {i} is empty"));
+            return false;
+        }
+        true
+    }
+
+    /// Table sizes, root, children ranges and the holder map.
+    fn tables(&mut self) {
+        if self.slots() != self.g.allocated() {
+            self.push(
+                SLOT_OUT_OF_BOUNDS,
+                format!(
+                    "plan has {} slots for {} allocated graph nodes",
+                    self.slots(),
+                    self.g.allocated()
+                ),
+            );
+        }
+        let n_plain = self.g.plain().len();
+        for (table, len) in [
+            ("holder", self.plan.holder.len()),
+            ("plain_depth", self.plan.plain_depth.len()),
+            ("plain_endian", self.plan.plain_endian.len()),
+            ("rec", self.plan.rec.len()),
+        ] {
+            if len != n_plain {
+                self.push(
+                    PLAIN_OUT_OF_BOUNDS,
+                    format!("{table} table has {len} entries for {n_plain} plain nodes"),
+                );
+            }
+        }
+        if self.plan.dist.len() != self.slots() {
+            self.push(
+                SLOT_OUT_OF_BOUNDS,
+                format!(
+                    "dist table has {} entries for {} slots",
+                    self.plan.dist.len(),
+                    self.slots()
+                ),
+            );
+        }
+        self.slot("root", self.plan.root);
+        for i in 0..self.slots() {
+            let node = &self.plan.nodes[i];
+            if matches!(node.op, PlanOp::Dead) {
+                continue;
+            }
+            if !range_ok(node.children, self.plan.children.len()) {
+                self.push(
+                    SLOT_OUT_OF_BOUNDS,
+                    format!(
+                        "slot {i}: child range {}+{} out of bounds ({} child entries)",
+                        node.children.0,
+                        node.children.1,
+                        self.plan.children.len()
+                    ),
+                );
+                continue;
+            }
+            for &c in self.plan.kids(node) {
+                self.slot(&format!("slot {i} child"), c);
+            }
+        }
+        for p in 0..self.plan.holder.len() {
+            let h = self.plan.holder[p];
+            if h != NONE {
+                self.slot(&format!("holder of plain {p}"), h);
+            }
+        }
+    }
+
+    /// Per-node operand checks: pool indices, plain references, arity.
+    fn nodes(&mut self) {
+        for i in 0..self.slots() {
+            let node = self.plan.nodes[i].clone();
+            let arity = node.children.1;
+            let what = |part: &str| format!("slot {i} {part}");
+            match node.op {
+                PlanOp::Dead => {}
+                PlanOp::Term { base, boundary } => {
+                    self.base(i, &base);
+                    match boundary {
+                        TermB::Fixed(_) | TermB::End => {}
+                        TermB::Delim(d) => {
+                            self.bytes_idx(&what("delimiter"), d);
+                        }
+                        TermB::PlainLen { r, steps, .. } => {
+                            self.numeric_plain(&what("length reference"), r);
+                            if !range_ok(steps, self.plan.steps.len()) {
+                                self.push(
+                                    POOL_OUT_OF_BOUNDS,
+                                    what(&format!(
+                                        "length steps {}+{} out of bounds ({} pooled)",
+                                        steps.0,
+                                        steps.1,
+                                        self.plan.steps.len()
+                                    )),
+                                );
+                            }
+                        }
+                    }
+                }
+                PlanOp::Split { base, first_term } => {
+                    self.base(i, &base);
+                    self.term_slot(&what("first_term"), first_term);
+                    if arity != 2 {
+                        self.push(
+                            SLOT_OUT_OF_BOUNDS,
+                            what(&format!("split sequence has {arity} children, expected 2")),
+                        );
+                    }
+                }
+                PlanOp::Seq { boundary } => {
+                    if let SeqB::PlainLen { r, .. } = boundary {
+                        self.numeric_plain(&what("window reference"), r);
+                    }
+                }
+                PlanOp::Opt { subject, pred, origin, .. } => {
+                    self.numeric_plain(&what("condition subject"), subject);
+                    if pred as usize >= self.plan.preds.len() {
+                        self.push(
+                            POOL_OUT_OF_BOUNDS,
+                            what(&format!(
+                                "predicate {pred} out of bounds ({} pooled)",
+                                self.plan.preds.len()
+                            )),
+                        );
+                    }
+                    self.plain(&what("origin"), origin);
+                    if arity != 1 {
+                        self.push(
+                            SLOT_OUT_OF_BOUNDS,
+                            what(&format!("optional has {arity} children, expected 1")),
+                        );
+                    }
+                }
+                PlanOp::Rep { stop, origin, .. } => {
+                    match stop {
+                        crate::plan::RepStopC::Terminator(t) => {
+                            self.bytes_idx(&what("terminator"), t);
+                        }
+                        crate::plan::RepStopC::Exhausted => {}
+                        crate::plan::RepStopC::CountOf(s) => {
+                            self.slot(&what("count link"), s);
+                        }
+                    }
+                    if origin != NONE {
+                        self.plain(&what("origin"), origin);
+                    }
+                    if arity != 1 {
+                        self.push(
+                            SLOT_OUT_OF_BOUNDS,
+                            what(&format!("repetition has {arity} children, expected 1")),
+                        );
+                    }
+                }
+                PlanOp::Tab { counter, origin, .. } => {
+                    self.numeric_plain(&what("counter"), counter);
+                    if origin != NONE {
+                        self.plain(&what("origin"), origin);
+                    }
+                    if arity != 1 {
+                        self.push(
+                            SLOT_OUT_OF_BOUNDS,
+                            what(&format!("tabular has {arity} children, expected 1")),
+                        );
+                    }
+                }
+                PlanOp::Mirror => {
+                    if arity != 1 {
+                        self.push(
+                            SLOT_OUT_OF_BOUNDS,
+                            what(&format!("mirror has {arity} children, expected 1")),
+                        );
+                    }
+                }
+                PlanOp::Prefixed { width, .. } => {
+                    if width == 0 || width > 8 {
+                        self.push(
+                            POOL_OUT_OF_BOUNDS,
+                            what(&format!("length prefix width {width} outside 1..=8")),
+                        );
+                    }
+                    if arity != 1 {
+                        self.push(
+                            SLOT_OUT_OF_BOUNDS,
+                            what(&format!("prefixed has {arity} children, expected 1")),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    fn base(&mut self, slot: usize, base: &BaseOp) {
+        let what = |part: &str| format!("slot {slot} {part}");
+        match *base {
+            BaseOp::Source { plain } => {
+                self.plain(&what("source"), plain);
+            }
+            BaseOp::Pad { .. } | BaseOp::Inherit => {}
+            BaseOp::AutoLen { target, width, .. } | BaseOp::AutoCount { target, width, .. } => {
+                self.plain(&what("auto target"), target);
+                if width == 0 || width > 8 {
+                    self.push(
+                        PLAIN_OUT_OF_BOUNDS,
+                        what(&format!("auto encoding width {width} outside 1..=8")),
+                    );
+                }
+            }
+            BaseOp::Const { pool } => {
+                if pool as usize >= self.plan.consts.len() {
+                    self.push(
+                        POOL_OUT_OF_BOUNDS,
+                        what(&format!(
+                            "constant {pool} out of bounds ({} pooled)",
+                            self.plan.consts.len()
+                        )),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Scope depths: bounded by [`MAX_SCOPE`] and equal to the graph's
+    /// own container depth.
+    fn depths(&mut self) {
+        let plain = self.g.plain();
+        let n = self.plan.plain_depth.len().min(plain.len());
+        for i in 0..n {
+            let d = self.plan.plain_depth[i] as usize;
+            if d > MAX_SCOPE {
+                self.push(
+                    SCOPE_TOO_DEEP,
+                    format!("plain {i}: scope depth {d} exceeds MAX_SCOPE ({MAX_SCOPE})"),
+                );
+            } else if d != runtime::container_depth(plain, NodeId(i as u32)) {
+                self.push(
+                    SCOPE_TOO_DEEP,
+                    format!(
+                        "plain {i}: compiled scope depth {d} disagrees with the graph ({})",
+                        runtime::container_depth(plain, NodeId(i as u32))
+                    ),
+                );
+            }
+        }
+    }
+
+    /// Recovery programs: ranges, balance, load targets. Returns the
+    /// per-plain validity map the duality pass keys on.
+    fn rec_programs(&mut self) -> Vec<bool> {
+        let mut ok = vec![false; self.plan.rec.len()];
+        for (p, valid) in ok.iter_mut().enumerate() {
+            let Some(prog) = self.plan.rec[p] else { continue };
+            *valid = self.rec_program(&format!("plain {p}"), prog);
+        }
+        ok
+    }
+
+    fn rec_program(&mut self, what: &str, prog: RecProg) -> bool {
+        if !range_ok(prog.0, self.plan.rec_steps.len()) {
+            self.push(
+                POOL_OUT_OF_BOUNDS,
+                format!(
+                    "{what}: recovery program {}+{} out of bounds ({} steps pooled)",
+                    prog.0 .0,
+                    prog.0 .1,
+                    self.plan.rec_steps.len()
+                ),
+            );
+            return false;
+        }
+        let mut clean = true;
+        let mut depth: u64 = 0;
+        for (j, step) in self.plan.rec_prog(prog).to_vec().iter().enumerate() {
+            match *step {
+                RecStep::Load { obf, ops } => {
+                    clean &= self.term_slot(&format!("{what} recovery step {j}"), obf);
+                    clean &= self.ops_range(&format!("{what} recovery step {j}"), ops);
+                    depth += 1;
+                }
+                RecStep::Concat { ops } | RecStep::Op { ops, .. } => {
+                    clean &= self.ops_range(&format!("{what} recovery step {j}"), ops);
+                    if depth < 2 {
+                        self.push(
+                            REC_UNBALANCED,
+                            format!("{what}: recovery step {j} underflows the value stack"),
+                        );
+                        return false;
+                    }
+                    depth -= 1;
+                }
+            }
+        }
+        if depth != 1 {
+            self.push(
+                REC_UNBALANCED,
+                format!("{what}: recovery program leaves {depth} values on the stack, expected 1"),
+            );
+            return false;
+        }
+        clean
+    }
+
+    /// Distribution programs: ranges, balance, store targets and boundary
+    /// checks. Returns the per-slot validity map for the duality pass.
+    fn dist_programs(&mut self) -> Vec<bool> {
+        let mut ok = vec![false; self.plan.dist.len()];
+        for (s, valid) in ok.iter_mut().enumerate() {
+            let Some(prog) = self.plan.dist[s] else { continue };
+            *valid = self.dist_program(&format!("slot {s}"), prog);
+        }
+        ok
+    }
+
+    fn dist_program(&mut self, what: &str, prog: DistProg) -> bool {
+        if !range_ok(prog.0, self.plan.dist_steps.len()) {
+            self.push(
+                POOL_OUT_OF_BOUNDS,
+                format!(
+                    "{what}: distribution program {}+{} out of bounds ({} steps pooled)",
+                    prog.0 .0,
+                    prog.0 .1,
+                    self.plan.dist_steps.len()
+                ),
+            );
+            return false;
+        }
+        let mut clean = true;
+        // The program starts with exactly one input value on the stack and
+        // must consume everything it pushes (the serializer asserts this
+        // dynamically; here it is checked once, statically).
+        let mut depth: u64 = 1;
+        for (j, step) in self.plan.dist_prog(prog).to_vec().iter().enumerate() {
+            match *step {
+                DistStep::Store { obf, ops, check } => {
+                    let ctx = format!("{what} distribution step {j}");
+                    if self.term_slot(&ctx, obf) {
+                        clean &= self.store_check(&ctx, obf, check);
+                    } else {
+                        clean = false;
+                    }
+                    clean &= self.ops_range(&ctx, ops);
+                    if depth == 0 {
+                        self.push(
+                            DIST_UNBALANCED,
+                            format!("{what}: distribution step {j} underflows the value stack"),
+                        );
+                        return false;
+                    }
+                    depth -= 1;
+                }
+                DistStep::Split { ops, .. } => {
+                    clean &= self.ops_range(&format!("{what} distribution step {j}"), ops);
+                    if depth == 0 {
+                        self.push(
+                            DIST_UNBALANCED,
+                            format!("{what}: distribution step {j} underflows the value stack"),
+                        );
+                        return false;
+                    }
+                    depth += 1;
+                }
+            }
+        }
+        if depth != 0 {
+            self.push(
+                DIST_UNBALANCED,
+                format!("{what}: distribution program leaves {depth} values unconsumed"),
+            );
+            return false;
+        }
+        clean
+    }
+
+    /// A store's validation must mirror the target slot's wire boundary.
+    fn store_check(&mut self, what: &str, obf: u32, check: DistCheck) -> bool {
+        let PlanOp::Term { ref boundary, .. } = self.plan.nodes[obf as usize].op else {
+            return false;
+        };
+        let agrees = match (boundary, check) {
+            (TermB::Fixed(n), DistCheck::Fixed(k)) => *n == k,
+            (TermB::Delim(d), DistCheck::Delim(e)) => {
+                d == &e
+                    || (range_ok((*d, 1), self.plan.bytes.len())
+                        && range_ok((e, 1), self.plan.bytes.len())
+                        && self.plan.bytes[*d as usize] == self.plan.bytes[e as usize])
+            }
+            (TermB::PlainLen { .. } | TermB::End, DistCheck::None) => true,
+            _ => false,
+        };
+        if !agrees {
+            self.push(
+                DIST_UNBALANCED,
+                format!("{what}: store validation {check:?} disagrees with slot {obf}'s boundary"),
+            );
+        }
+        agrees
+    }
+
+    /// The invertibility invariant: for every plain terminal whose holder
+    /// has both programs compiled, the distribution program must be the
+    /// forward mirror (pre-order) of the recovery program (post-order) —
+    /// same leaves, same constant-op stacks, inverse combination rules in
+    /// mirrored order.
+    fn duality(&mut self, rec_ok: &[bool], dist_ok: &[bool]) {
+        let n = self.plan.rec.len().min(self.plan.holder.len());
+        for (p, &ok) in rec_ok.iter().enumerate().take(n) {
+            let Some(rec) = self.plan.rec[p] else { continue };
+            let h = self.plan.holder[p];
+            if h == NONE || h as usize >= self.plan.dist.len() {
+                continue;
+            }
+            let Some(dist) = self.plan.dist[h as usize] else { continue };
+            // Only compare structurally valid programs: bounds or balance
+            // failures were already reported above and would cascade here.
+            if !ok || !dist_ok[h as usize] {
+                continue;
+            }
+            if let Some(msg) = self.mirror_mismatch(rec, dist) {
+                self.push(DUALITY_VIOLATION, format!("plain {p} (holder slot {h}): {msg}"));
+            }
+        }
+    }
+
+    /// Rebuilds the value tree from the post-order recovery program and
+    /// compares its pre-order rendition against the distribution program.
+    /// Returns a description of the first mismatch.
+    fn mirror_mismatch(&self, rec: RecProg, dist: DistProg) -> Option<String> {
+        enum Node {
+            Leaf { obf: u32, ops: PoolRange },
+            Branch { op: Option<ByteOp>, ops: PoolRange, left: usize, right: usize },
+        }
+        let mut arena: Vec<Node> = Vec::new();
+        let mut stack: Vec<usize> = Vec::new();
+        for step in self.plan.rec_prog(rec) {
+            match *step {
+                RecStep::Load { obf, ops } => {
+                    arena.push(Node::Leaf { obf, ops });
+                    stack.push(arena.len() - 1);
+                }
+                RecStep::Concat { ops } | RecStep::Op { ops, .. } => {
+                    let op = match *step {
+                        RecStep::Op { op, .. } => Some(op),
+                        _ => None,
+                    };
+                    let right = stack.pop()?;
+                    let left = stack.pop()?;
+                    arena.push(Node::Branch { op, ops, left, right });
+                    stack.push(arena.len() - 1);
+                }
+            }
+        }
+        let root = stack.pop()?;
+        // Pre-order emission of the rebuilt tree, compared step-by-step.
+        let dist_steps = self.plan.dist_prog(dist);
+        let mut cursor = 0usize;
+        let mut todo = vec![root];
+        while let Some(ix) = todo.pop() {
+            let Some(step) = dist_steps.get(cursor) else {
+                return Some(format!(
+                    "distribution program has {} steps, recovery mirror expects more",
+                    dist_steps.len()
+                ));
+            };
+            match (&arena[ix], *step) {
+                (Node::Leaf { obf, ops }, DistStep::Store { obf: so, ops: sops, .. }) => {
+                    if *obf != so {
+                        return Some(format!(
+                            "step {cursor}: store targets slot {so}, recovery loads slot {obf}"
+                        ));
+                    }
+                    if self.plan.ops(*ops) != self.plan.ops(sops) {
+                        return Some(format!(
+                            "step {cursor}: slot {so}'s constant-op stacks differ between \
+                             recovery and distribution"
+                        ));
+                    }
+                }
+                (Node::Leaf { obf, .. }, DistStep::Split { .. }) => {
+                    return Some(format!(
+                        "step {cursor}: distribution splits where recovery loads slot {obf}"
+                    ));
+                }
+                (Node::Branch { op, ops, left, right }, DistStep::Split { ops: sops, rule }) => {
+                    let rule_agrees = match (op, rule) {
+                        (None, SplitRuleC::At(_) | SplitRuleC::Half) => true,
+                        (Some(o), SplitRuleC::Op(r)) => *o == r,
+                        _ => false,
+                    };
+                    if !rule_agrees {
+                        return Some(format!(
+                            "step {cursor}: split rule {rule:?} is not the forward mirror of \
+                             the recovery combination"
+                        ));
+                    }
+                    if self.plan.ops(*ops) != self.plan.ops(sops) {
+                        return Some(format!(
+                            "step {cursor}: split-expression op stacks differ between \
+                             recovery and distribution"
+                        ));
+                    }
+                    // Pre-order: left subtree first (push right, then left).
+                    todo.push(*right);
+                    todo.push(*left);
+                }
+                (Node::Branch { .. }, DistStep::Store { obf, .. }) => {
+                    return Some(format!(
+                        "step {cursor}: distribution stores to slot {obf} where recovery \
+                         combines two values"
+                    ));
+                }
+            }
+            cursor += 1;
+        }
+        if cursor != dist_steps.len() {
+            return Some(format!(
+                "distribution program has {} trailing steps beyond the recovery mirror",
+                dist_steps.len() - cursor
+            ));
+        }
+        None
+    }
+
+    /// Auto-check operands and the auto-field dependency graph (an auto
+    /// field must not derive from a subtree that contains itself or
+    /// another auto field deriving back from it).
+    fn autos(&mut self) {
+        let plain = self.g.plain();
+        let autos = self.plan.autos.clone();
+        let mut target_of: Vec<Option<u32>> = Vec::with_capacity(autos.len());
+        let mut by_plain = std::collections::HashMap::new();
+        for (i, a) in autos.iter().enumerate() {
+            let what = format!("auto check {i}");
+            self.plain(&what, a.plain);
+            self.term_slot(&format!("{what} first_term"), a.first_term);
+            let target = match a.kind {
+                AutoCheckKind::Literal(c) => {
+                    if c as usize >= self.plan.consts.len() {
+                        self.push(
+                            POOL_OUT_OF_BOUNDS,
+                            format!(
+                                "{what}: constant {c} out of bounds ({} pooled)",
+                                self.plan.consts.len()
+                            ),
+                        );
+                    }
+                    None
+                }
+                AutoCheckKind::LengthOf { target, .. }
+                | AutoCheckKind::CounterOf { target, .. } => {
+                    if self.plain(&format!("{what} target"), target) {
+                        Some(target)
+                    } else {
+                        None
+                    }
+                }
+            };
+            target_of.push(target);
+            if (a.plain as usize) < plain.len() {
+                by_plain.insert(a.plain, i);
+            }
+        }
+        // Edges: auto i → auto j when j's field lies inside i's target
+        // subtree (i's derived value depends on j's subtree content).
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); autos.len()];
+        for (i, target) in target_of.iter().enumerate() {
+            let Some(t) = target else { continue };
+            for y in plain.subtree(NodeId(*t)) {
+                if let Some(&j) = by_plain.get(&y.0) {
+                    edges[i].push(j);
+                }
+            }
+        }
+        // Depth-first cycle detection (0 unvisited / 1 on stack / 2 done).
+        let mut color = vec![0u8; autos.len()];
+        for start in 0..autos.len() {
+            if color[start] != 0 {
+                continue;
+            }
+            let mut stack = vec![(start, 0usize)];
+            color[start] = 1;
+            while let Some(&mut (n, ref mut e)) = stack.last_mut() {
+                if *e < edges[n].len() {
+                    let next = edges[n][*e];
+                    *e += 1;
+                    match color[next] {
+                        0 => {
+                            color[next] = 1;
+                            stack.push((next, 0));
+                        }
+                        1 => {
+                            let name =
+                                |i: usize| plain.node(NodeId(autos[i].plain)).name().to_string();
+                            self.push(
+                                AUTO_CYCLE,
+                                format!(
+                                    "auto field {:?} depends on a subtree containing {:?}, \
+                                     which derives back from it",
+                                    name(n),
+                                    name(next)
+                                ),
+                            );
+                            return;
+                        }
+                        _ => {}
+                    }
+                } else {
+                    color[n] = 2;
+                    stack.pop();
+                }
+            }
+        }
+    }
+}
+
+/// Verifies a compiled transcode program against the (source,
+/// destination) graph pair it was compiled for: relative jumps stay
+/// inside the program and properly nested, every plain/slot/pool
+/// reference is in bounds, and step shapes agree with the shared plain
+/// specification's node types.
+pub fn verify_copy_program(src: &ObfGraph, dst: &ObfGraph, prog: &CopyProgram) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let (sp, dp) = (src.plan(), dst.plan());
+    let plain = src.plain();
+    if !runtime::plains_match(plain, dst.plain()) {
+        diags.push(diag(
+            COPY_TYPE_MISMATCH,
+            format!(
+                "copy program pairs foreign specifications {:?} and {:?}",
+                plain.name(),
+                dst.plain().name()
+            ),
+        ));
+        return diags;
+    }
+    let n = prog.steps.len();
+    // Stack of enclosing block end indices (exclusive): a jump may end a
+    // block early but must never escape the enclosing one.
+    let mut blocks: Vec<usize> = Vec::new();
+    for (i, step) in prog.steps.iter().enumerate() {
+        while blocks.last().is_some_and(|&e| i >= e) {
+            blocks.pop();
+        }
+        let mut block = |width: u32, label: &str| {
+            let end = i + 1 + width as usize;
+            if end > n {
+                diags.push(diag(
+                    JUMP_OUT_OF_BOUNDS,
+                    format!(
+                        "step {i}: {label} jump over {width} steps leaves the {n}-step program"
+                    ),
+                ));
+                return;
+            }
+            if let Some(&e) = blocks.last() {
+                if end > e {
+                    diags.push(diag(
+                        JUMP_OUT_OF_BOUNDS,
+                        format!(
+                            "step {i}: {label} jump to {end} escapes the enclosing block ({e})"
+                        ),
+                    ));
+                    return;
+                }
+            }
+            blocks.push(end);
+        };
+        match *step {
+            CopyStep::Optional { plain: p, skip } => {
+                block(skip, "optional");
+                match plain.get(NodeId(p)) {
+                    None => diags.push(diag(
+                        PLAIN_OUT_OF_BOUNDS,
+                        format!("step {i}: optional plain {p} out of bounds"),
+                    )),
+                    Some(node) if !matches!(node.node_type(), NodeType::Optional(_)) => {
+                        diags.push(diag(
+                            COPY_TYPE_MISMATCH,
+                            format!(
+                                "step {i}: optional step targets plain {p} ({}), not an optional",
+                                node.node_type().notation()
+                            ),
+                        ));
+                    }
+                    Some(_) => {}
+                }
+            }
+            CopyStep::Loop { plain: p, body } => {
+                block(body, "loop");
+                match plain.get(NodeId(p)) {
+                    None => diags.push(diag(
+                        PLAIN_OUT_OF_BOUNDS,
+                        format!("step {i}: loop plain {p} out of bounds"),
+                    )),
+                    Some(node)
+                        if !matches!(
+                            node.node_type(),
+                            NodeType::Repetition(_) | NodeType::Tabular
+                        ) =>
+                    {
+                        diags.push(diag(
+                            COPY_TYPE_MISMATCH,
+                            format!(
+                                "step {i}: loop step targets plain {p} ({}), not a container",
+                                node.node_type().notation()
+                            ),
+                        ));
+                    }
+                    Some(_) => {}
+                }
+            }
+            CopyStep::Value { plain: p, rec, dist } => {
+                match plain.get(NodeId(p)) {
+                    None => diags.push(diag(
+                        PLAIN_OUT_OF_BOUNDS,
+                        format!("step {i}: value plain {p} out of bounds"),
+                    )),
+                    Some(node) if !node.is_terminal() => diags.push(diag(
+                        COPY_TYPE_MISMATCH,
+                        format!("step {i}: value step targets plain {p}, not a terminal"),
+                    )),
+                    Some(node) if node.auto().is_auto() => diags.push(diag(
+                        COPY_TYPE_MISMATCH,
+                        format!(
+                            "step {i}: value step copies auto field {:?} (rematerialized by \
+                             the destination serializer)",
+                            node.name()
+                        ),
+                    )),
+                    Some(_) => {}
+                }
+                if !range_ok(rec.0, sp.rec_steps.len()) {
+                    diags.push(diag(
+                        POOL_OUT_OF_BOUNDS,
+                        format!("step {i}: recovery program out of bounds in the source plan"),
+                    ));
+                }
+                if !range_ok(dist.0, dp.dist_steps.len()) {
+                    diags.push(diag(
+                        POOL_OUT_OF_BOUNDS,
+                        format!(
+                            "step {i}: distribution program out of bounds in the destination plan"
+                        ),
+                    ));
+                }
+            }
+            CopyStep::ValueDirect { src_obf, src_ops, dist } => {
+                if src_obf as usize >= sp.nodes.len()
+                    || !matches!(sp.nodes[src_obf as usize].op, PlanOp::Term { .. })
+                {
+                    diags.push(diag(
+                        SLOT_OUT_OF_BOUNDS,
+                        format!(
+                            "step {i}: direct source slot {src_obf} is not a terminal of the \
+                             source plan"
+                        ),
+                    ));
+                }
+                if !range_ok(src_ops, sp.ops.len()) {
+                    diags.push(diag(
+                        POOL_OUT_OF_BOUNDS,
+                        format!("step {i}: source op range out of bounds in the source plan"),
+                    ));
+                }
+                if !range_ok(dist.0, dp.dist_steps.len()) {
+                    diags.push(diag(
+                        POOL_OUT_OF_BOUNDS,
+                        format!(
+                            "step {i}: distribution program out of bounds in the destination plan"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    diags
+}
+
+/// Verifies the covert tunnel's carrier classification for `codec`: every
+/// carrier must own a value channel in the compiled plan, and in a traced
+/// serialization of a sampled (pinned) cover message every produced span
+/// must lie inside its parent's wire extent — carrier spans in
+/// particular, since payload bytes are committed to exactly those ranges.
+pub fn verify_channel_map(codec: &Codec, map: &ChannelMap<'_>) -> Vec<Diagnostic> {
+    let plan = codec.plan();
+    let mut diags = Vec::new();
+    let mut carrier_slots = Vec::new();
+    for &c in map.carriers() {
+        match plan.holder_slot(c) {
+            Some(h) => carrier_slots.push(h),
+            None => diags.push(diag(
+                CARRIER_SPAN_OUT_OF_EXTENT,
+                format!(
+                    "carrier {:?} has no value channel in the compiled plan",
+                    codec.plain().node(c).name()
+                ),
+            )),
+        }
+    }
+    // One traced serialization of a deterministic sampled cover message:
+    // the spans are the byte ranges the tunnel encoder would write payload
+    // into.
+    let mut rng = StdRng::seed_from_u64(0x0bf_11a7);
+    let msg = crate::sample::random_message_pinned(codec, &mut rng, map.pins());
+    let mut session = codec.serializer();
+    let (mut wire, mut spans) = (Vec::new(), Vec::new());
+    if session.serialize_traced(&msg, &mut wire, &mut spans).is_ok() {
+        diags.extend(check_spans(&spans, wire.len(), plan, &carrier_slots));
+    }
+    diags
+}
+
+/// Pure span-containment check behind [`verify_channel_map`]: spans are
+/// recorded in pre-order and must nest — each inside the enclosing one and
+/// inside the produced wire. Kept separate so tests can corrupt a span
+/// list directly and prove the rule fires.
+fn check_spans(
+    spans: &[SlotSpan],
+    wire_len: usize,
+    plan: &CodecPlan,
+    carrier_slots: &[u32],
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut stack: Vec<SlotSpan> = Vec::new();
+    for s in spans {
+        let role = if carrier_slots.contains(&s.slot) { "carrier slot" } else { "slot" };
+        if s.slot as usize >= plan.nodes.len() {
+            diags.push(diag(
+                CARRIER_SPAN_OUT_OF_EXTENT,
+                format!("span of unknown slot {} ({} slots)", s.slot, plan.nodes.len()),
+            ));
+            continue;
+        }
+        if s.start > s.end || s.end as usize > wire_len {
+            diags.push(diag(
+                CARRIER_SPAN_OUT_OF_EXTENT,
+                format!(
+                    "{role} {}: span {}..{} outside the {wire_len}-byte wire",
+                    s.slot, s.start, s.end
+                ),
+            ));
+            continue;
+        }
+        while stack.last().is_some_and(|top| s.start >= top.end) {
+            stack.pop();
+        }
+        if let Some(top) = stack.last() {
+            if s.start < top.start || s.end > top.end {
+                diags.push(diag(
+                    CARRIER_SPAN_OUT_OF_EXTENT,
+                    format!(
+                        "{role} {}: span {}..{} escapes the enclosing slot {}'s extent {}..{}",
+                        s.slot, s.start, s.end, top.slot, top.start, top.end
+                    ),
+                ));
+                continue;
+            }
+        }
+        stack.push(*s);
+    }
+    diags
+}
+
+/// Full static verification of one codec: the plan pass plus the tunnel
+/// carrier-span pass. This is what `protoobf lint` runs per derivation
+/// leg.
+pub fn verify_codec(codec: &Codec) -> Vec<Diagnostic> {
+    let mut diags = verify_plan(codec.obf_graph(), codec.plan());
+    let map = ChannelMap::analyze(codec);
+    diags.extend(verify_channel_map(codec, &map));
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{AutoValue, Boundary, Condition, GraphBuilder, Predicate};
+    use crate::plan::RepStopC;
+    use crate::transform::{apply, TransformKind};
+    use crate::value::{TerminalKind, Value};
+
+    /// Test-only corruption hook, mirroring `fuzz.rs`'s wire tamper: the
+    /// plan is compiled clean, corrupted in place, and re-verified — each
+    /// verifier rule must fire on its matching corruption.
+    fn verify_tampered(g: &ObfGraph, tamper: impl FnOnce(&mut CodecPlan)) -> Vec<Diagnostic> {
+        let mut plan = CodecPlan::compile(g);
+        tamper(&mut plan);
+        verify_plan(g, &plan)
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    fn sample() -> ObfGraph {
+        let mut b = GraphBuilder::new("s");
+        let root = b.root_sequence("m", Boundary::End);
+        let len = b.uint_be(root, "len", 2);
+        let data = b.terminal(root, "data", TerminalKind::Bytes, Boundary::Length(len));
+        b.set_auto(len, AutoValue::LengthOf(data));
+        let flag = b.uint_be(root, "flag", 1);
+        let opt = b.optional(
+            root,
+            "extra",
+            Condition { subject: flag, predicate: Predicate::Equals(Value::from_bytes(vec![1])) },
+        );
+        b.uint_be(opt, "ev", 2);
+        ObfGraph::from_plain(&b.build().unwrap())
+    }
+
+    fn transformed() -> ObfGraph {
+        let mut g = sample();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let data = g.plain().resolve_names(&["data"]).unwrap();
+        let h = g.holder_of(data).unwrap();
+        apply(&mut g, h, TransformKind::ConstAdd, &mut rng).unwrap();
+        let h = g.holder_of(data).unwrap();
+        apply(&mut g, h, TransformKind::SplitXor, &mut rng).unwrap();
+        g
+    }
+
+    #[test]
+    fn clean_plans_verify_clean() {
+        for g in [sample(), transformed()] {
+            let plan = CodecPlan::compile(&g);
+            assert_eq!(verify_plan(&g, &plan), vec![], "false positive on a clean plan");
+        }
+    }
+
+    #[test]
+    fn p002_slot_out_of_bounds_fires() {
+        let d = verify_tampered(&sample(), |p| p.children[0] = 999);
+        assert!(codes(&d).contains(&SLOT_OUT_OF_BOUNDS), "{d:?}");
+    }
+
+    #[test]
+    fn p002_dead_reference_fires() {
+        // A transformed graph has detached (dead) slots; point the root at
+        // one of them.
+        let g = transformed();
+        let dead = {
+            let plan = CodecPlan::compile(&g);
+            (0..plan.nodes.len())
+                .find(|&i| matches!(plan.nodes[i].op, PlanOp::Dead))
+                .expect("transformed graphs leave dead slots") as u32
+        };
+        let mut plan = CodecPlan::compile(&g);
+        plan.root = dead;
+        let d = verify_plan(&g, &plan);
+        assert!(codes(&d).contains(&SLOT_OUT_OF_BOUNDS), "{d:?}");
+    }
+
+    #[test]
+    fn p003_pool_range_fires() {
+        let d = verify_tampered(&transformed(), |p| {
+            let step = p
+                .rec_steps
+                .iter_mut()
+                .find(|s| matches!(s, RecStep::Load { .. }))
+                .expect("has a load step");
+            if let RecStep::Load { ops, .. } = step {
+                ops.0 = 10_000;
+                ops.1 = 4;
+            }
+        });
+        assert!(codes(&d).contains(&POOL_OUT_OF_BOUNDS), "{d:?}");
+    }
+
+    #[test]
+    fn p004_plain_reference_fires() {
+        let d = verify_tampered(&sample(), |p| {
+            for n in &mut p.nodes {
+                if let PlanOp::Opt { subject, .. } = &mut n.op {
+                    *subject = 999;
+                }
+            }
+        });
+        assert!(codes(&d).contains(&PLAIN_OUT_OF_BOUNDS), "{d:?}");
+    }
+
+    #[test]
+    fn p005_scope_depth_fires() {
+        let d = verify_tampered(&sample(), |p| p.plain_depth[0] = (MAX_SCOPE + 1) as u8);
+        assert!(codes(&d).contains(&SCOPE_TOO_DEEP), "{d:?}");
+        // A depth within bounds but disagreeing with the graph also fires.
+        let d = verify_tampered(&sample(), |p| p.plain_depth[0] = 3);
+        assert!(codes(&d).contains(&SCOPE_TOO_DEEP), "{d:?}");
+    }
+
+    #[test]
+    fn p006_unbalanced_recovery_fires() {
+        let d = verify_tampered(&sample(), |p| {
+            let prog = p.rec.iter_mut().flatten().next().expect("has a recovery program");
+            prog.0 .1 = 0; // empty program: no value left on the stack
+        });
+        assert!(codes(&d).contains(&REC_UNBALANCED), "{d:?}");
+        // Underflow: a combine step with only one loaded value.
+        let d = verify_tampered(&transformed(), |p| {
+            let (at, len) = {
+                let prog = p.rec.iter().flatten().find(|r| r.0 .1 >= 3).expect("split program");
+                (prog.0 .0, prog.0 .1)
+            };
+            // Rewrite the program's steps to [Load, Combine, ...]: drop the
+            // second Load by duplicating the combine earlier.
+            let combine = p.rec_steps[(at + len - 1) as usize];
+            p.rec_steps[(at + 1) as usize] = combine;
+        });
+        assert!(codes(&d).contains(&REC_UNBALANCED), "{d:?}");
+    }
+
+    #[test]
+    fn p007_unbalanced_distribution_fires() {
+        let d = verify_tampered(&sample(), |p| {
+            let prog = p.dist.iter_mut().flatten().next().expect("has a distribution program");
+            prog.0 .1 = 0; // empty program: the input value is never consumed
+        });
+        assert!(codes(&d).contains(&DIST_UNBALANCED), "{d:?}");
+    }
+
+    #[test]
+    fn p007_store_check_mismatch_fires() {
+        let d = verify_tampered(&sample(), |p| {
+            for s in &mut p.dist_steps {
+                if let DistStep::Store { check, .. } = s {
+                    *check = DistCheck::Fixed(77);
+                }
+            }
+        });
+        assert!(codes(&d).contains(&DIST_UNBALANCED), "{d:?}");
+    }
+
+    #[test]
+    fn p008_duality_violation_fires() {
+        // Flip the forward split rule out from under the recovery program:
+        // the pair no longer mirrors, so round-trips would corrupt.
+        let d = verify_tampered(&transformed(), |p| {
+            for s in &mut p.dist_steps {
+                if let DistStep::Split { rule: SplitRuleC::Op(op), .. } = s {
+                    *op = match op {
+                        ByteOp::Xor => ByteOp::Add,
+                        _ => ByteOp::Xor,
+                    };
+                }
+            }
+        });
+        assert!(codes(&d).contains(&DUALITY_VIOLATION), "{d:?}");
+        // Re-target a store at a different (live, terminal) slot.
+        let d = verify_tampered(&sample(), |p| {
+            let slots: Vec<u32> = (0..p.nodes.len() as u32)
+                .filter(|&i| matches!(p.nodes[i as usize].op, PlanOp::Term { .. }))
+                .collect();
+            let at = p
+                .dist_steps
+                .iter()
+                .position(|s| matches!(s, DistStep::Store { .. }))
+                .expect("has a store step");
+            let DistStep::Store { obf, .. } = p.dist_steps[at] else { unreachable!() };
+            let other = *slots.iter().find(|&&t| t != obf).expect("second terminal");
+            // Keep the store check agreeing with the new slot so only the
+            // duality rule can catch the retarget.
+            let check = match &p.nodes[other as usize].op {
+                PlanOp::Term { boundary: TermB::Fixed(n), .. } => DistCheck::Fixed(*n),
+                _ => DistCheck::None,
+            };
+            if let DistStep::Store { obf, check: c, .. } = &mut p.dist_steps[at] {
+                *obf = other;
+                *c = check;
+            }
+        });
+        assert!(codes(&d).contains(&DUALITY_VIOLATION), "{d:?}");
+    }
+
+    #[test]
+    fn p009_auto_cycle_fires() {
+        // Point the auto length's target at the root: its own subtree now
+        // contains the auto field — a self-dependency.
+        let g = sample();
+        let root = g.plain().root();
+        let d = verify_tampered(&g, move |p| {
+            for a in &mut p.autos {
+                if let AutoCheckKind::LengthOf { target, .. } = &mut a.kind {
+                    *target = root.0;
+                }
+            }
+        });
+        assert!(codes(&d).contains(&AUTO_CYCLE), "{d:?}");
+    }
+
+    #[test]
+    fn p001_copy_jump_out_of_bounds_fires() {
+        let src = sample();
+        let dst = transformed();
+        let mut prog = CopyProgram::compile(&src, &dst).expect("same plain spec");
+        assert_eq!(verify_copy_program(&src, &dst, &prog), vec![], "clean program");
+        for s in &mut prog.steps {
+            if let CopyStep::Optional { skip, .. } = s {
+                *skip = 1000;
+            }
+        }
+        let d = verify_copy_program(&src, &dst, &prog);
+        assert!(codes(&d).contains(&JUMP_OUT_OF_BOUNDS), "{d:?}");
+    }
+
+    #[test]
+    fn p010_copy_type_mismatch_fires() {
+        let src = sample();
+        let dst = transformed();
+        let mut prog = CopyProgram::compile(&src, &dst).expect("same plain spec");
+        let terminal = src.plain().resolve_names(&["flag"]).unwrap();
+        for s in &mut prog.steps {
+            if let CopyStep::Optional { plain, .. } = s {
+                *plain = terminal.0; // an optional step aimed at a terminal
+            }
+        }
+        let d = verify_copy_program(&src, &dst, &prog);
+        assert!(codes(&d).contains(&COPY_TYPE_MISMATCH), "{d:?}");
+    }
+
+    #[test]
+    fn p011_carrier_span_out_of_extent_fires() {
+        let g = sample();
+        let plan = CodecPlan::compile(&g);
+        // A child span escaping its parent's extent.
+        let spans = [
+            SlotSpan { slot: 0, start: 0, end: 10, depth: 0 },
+            SlotSpan { slot: 1, start: 5, end: 12, depth: 0 },
+        ];
+        let d = check_spans(&spans, 12, &plan, &[1]);
+        assert!(codes(&d).contains(&CARRIER_SPAN_OUT_OF_EXTENT), "{d:?}");
+        // A span past the end of the wire.
+        let spans = [SlotSpan { slot: 0, start: 0, end: 10, depth: 0 }];
+        let d = check_spans(&spans, 8, &plan, &[]);
+        assert!(codes(&d).contains(&CARRIER_SPAN_OUT_OF_EXTENT), "{d:?}");
+    }
+
+    #[test]
+    fn p002_rep_count_link_fires() {
+        // Corrupt a CountOf link if the graph has one; otherwise corrupt a
+        // holder entry — both are slot references.
+        let d = verify_tampered(&sample(), |p| {
+            let has_count = p
+                .nodes
+                .iter()
+                .any(|n| matches!(n.op, PlanOp::Rep { stop: RepStopC::CountOf(_), .. }));
+            if has_count {
+                for n in &mut p.nodes {
+                    if let PlanOp::Rep { stop: RepStopC::CountOf(s), .. } = &mut n.op {
+                        *s = 999;
+                    }
+                }
+            } else {
+                p.holder[0] = 998;
+            }
+        });
+        assert!(codes(&d).contains(&SLOT_OUT_OF_BOUNDS), "{d:?}");
+    }
+
+    #[test]
+    fn copy_program_verifies_clean_both_directions() {
+        let clear = sample();
+        let obf = transformed();
+        let fwd = CopyProgram::compile(&clear, &obf).unwrap();
+        let back = CopyProgram::compile(&obf, &clear).unwrap();
+        assert_eq!(verify_copy_program(&clear, &obf, &fwd), vec![]);
+        assert_eq!(verify_copy_program(&obf, &clear, &back), vec![]);
+    }
+
+    #[test]
+    fn channel_map_verifies_clean() {
+        let g = sample();
+        let codec = Codec::from_parts(g, Vec::new());
+        let map = ChannelMap::analyze(&codec);
+        assert!(!map.is_empty(), "sample spec has a carrier");
+        assert_eq!(verify_channel_map(&codec, &map), vec![]);
+    }
+
+    #[test]
+    fn verify_codec_covers_transformed_graphs() {
+        let codec = Codec::from_parts(transformed(), Vec::new());
+        assert_eq!(verify_codec(&codec), vec![]);
+    }
+}

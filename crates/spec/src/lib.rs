@@ -43,6 +43,7 @@
 
 pub mod ast;
 pub mod error;
+pub mod lint;
 pub mod lower;
 pub mod parser;
 pub mod print;

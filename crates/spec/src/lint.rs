@@ -1,0 +1,402 @@
+//! Specification linting: heuristic checks over a validated
+//! [`FormatGraph`] (and a derived codec) for the structural traps that
+//! pass validation but bite at runtime.
+//!
+//! Where [`protoobf_core::verify`] proves hard invariants of the compiled
+//! IR (its `P...` codes are errors), this module flags *suspect
+//! specifications* — constructs that are legal but ambiguous or
+//! degenerate. `L...` codes are warnings: `protoobf lint` reports them
+//! with exit 0 unless `--deny-warnings` is given.
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | `L001` | an optional branch is statically decided (predicate can never — or always — match) |
+//! | `L002` | a repetition's element content can alias its terminator (the DNS label/terminator class) |
+//! | `L003` | the message type has zero covert-carrier capacity (a tunnel would carry nothing) |
+//! | `L004` | the obfuscation configuration degenerates at the requested level |
+
+use std::fmt;
+
+use protoobf_core::graph::{AutoValue, NodeType, Predicate, StopRule};
+use protoobf_core::profile::ObfConfig;
+use protoobf_core::value::TerminalKind;
+use protoobf_core::{ChannelMap, Codec, FormatGraph, Value};
+
+/// One lint finding: a stable warning code plus a human-readable detail
+/// naming the offending field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lint {
+    /// Stable machine-readable code (`L001`...). See the module docs.
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.code, self.message)
+    }
+}
+
+/// `L001` — an optional branch whose predicate is statically decided.
+pub const UNREACHABLE_OPTIONAL: &str = "L001";
+/// `L002` — element content can alias a repetition terminator.
+pub const TERMINATOR_ALIASING: &str = "L002";
+/// `L003` — zero covert-carrier capacity.
+pub const ZERO_CARRIER_CAPACITY: &str = "L003";
+/// `L004` — degenerate transform configuration for the requested level.
+pub const DEGENERATE_TRANSFORMS: &str = "L004";
+
+fn lint(code: &'static str, message: String) -> Lint {
+    Lint { code, message }
+}
+
+/// Lints one plain specification graph. Purely structural — no codec or
+/// obfuscation configuration needed.
+pub fn lint_graph(g: &FormatGraph) -> Vec<Lint> {
+    let mut out = Vec::new();
+    for id in g.preorder() {
+        let node = g.node(id);
+        match node.node_type() {
+            NodeType::Optional(cond) => {
+                let subject = g.node(cond.subject);
+                if let Some(verdict) =
+                    static_verdict(&cond.predicate, subject.auto(), subject.node_type())
+                {
+                    out.push(lint(
+                        UNREACHABLE_OPTIONAL,
+                        format!(
+                            "optional {:?}: predicate on {:?} is statically {} — the branch is {}",
+                            node.name(),
+                            subject.name(),
+                            verdict,
+                            if verdict { "always present" } else { "unreachable" },
+                        ),
+                    ));
+                }
+            }
+            NodeType::Repetition(StopRule::Terminator(t)) => {
+                out.extend(terminator_aliasing(g, id, node.name(), t));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Statically evaluates an optional's predicate where possible: `Some(b)`
+/// when the branch is decided at specification time.
+fn static_verdict(
+    pred: &Predicate,
+    subject_auto: &AutoValue,
+    subject_type: &NodeType,
+) -> Option<bool> {
+    // A constant subject decides the predicate outright.
+    if let AutoValue::Literal(v) = subject_auto {
+        return Some(pred.eval(v));
+    }
+    // An empty candidate set can never match.
+    if let Predicate::OneOf(vs) = pred {
+        if vs.is_empty() {
+            return Some(false);
+        }
+    }
+    // Fixed-width integer subjects compare by exact byte string: a
+    // candidate of the wrong width can never equal the recovered value.
+    if let NodeType::Terminal(TerminalKind::UInt { width, .. }) = subject_type {
+        let fits = |v: &Value| v.len() == *width;
+        return match pred {
+            Predicate::Equals(v) if !fits(v) => Some(false),
+            Predicate::NotEquals(v) if !fits(v) => Some(true),
+            Predicate::OneOf(vs) if !vs.iter().any(fits) => Some(false),
+            _ => None,
+        };
+    }
+    None
+}
+
+/// The DNS label/terminator class of ambiguity: a repetition stops when
+/// its terminator appears at the start of the remaining input, so any
+/// element whose *first wire bytes* can equal the terminator parses as
+/// end-of-list instead. Flags the three ways a specification can produce
+/// such bytes.
+fn terminator_aliasing(
+    g: &FormatGraph,
+    rep: protoobf_core::NodeId,
+    rep_name: &str,
+    term: &[u8],
+) -> Vec<Lint> {
+    let mut out = Vec::new();
+    // First wire terminal of the element (the bytes a parser compares
+    // against the terminator).
+    let Some(first) = g.subtree(rep).into_iter().find(|&x| x != rep && g.node(x).is_terminal())
+    else {
+        return out;
+    };
+    let f = g.node(first);
+    let aliases = |detail: String| {
+        lint(
+            TERMINATOR_ALIASING,
+            format!("repetition {rep_name:?} (terminator {term:02x?}): {detail}"),
+        )
+    };
+    match (f.auto(), f.node_type()) {
+        // Length/count prefix: a zero value emits zero bytes — if the
+        // terminator is that zero prefix, an empty element *is* the
+        // terminator (DNS forbids zero-length labels for exactly this
+        // reason).
+        (
+            AutoValue::LengthOf(_) | AutoValue::CounterOf(_),
+            NodeType::Terminal(TerminalKind::UInt { width, .. }),
+        ) if term.len() <= *width && term.iter().all(|&b| b == 0) => {
+            out.push(aliases(format!(
+                "an element whose {:?} prefix encodes zero is indistinguishable from the \
+                 terminator — forbid empty elements or change the terminator",
+                f.name(),
+            )));
+        }
+        // Constant first field sharing a prefix with the terminator:
+        // every element (or none) aliases.
+        (AutoValue::Literal(v), _) => {
+            let b = v.as_bytes();
+            if b.starts_with(term) || term.starts_with(b) {
+                out.push(aliases(format!(
+                    "constant first field {:?} ({:02x?}) shares a prefix with the terminator",
+                    f.name(),
+                    b,
+                )));
+            }
+        }
+        // Free application content in first position: nothing stops a
+        // value from beginning with the terminator bytes.
+        (AutoValue::None, NodeType::Terminal(TerminalKind::Bytes | TerminalKind::Ascii)) => {
+            out.push(aliases(format!(
+                "application-controlled first field {:?} may begin with the terminator bytes \
+                 — such an element parses as end-of-list",
+                f.name(),
+            )));
+        }
+        _ => {}
+    }
+    out
+}
+
+/// Lints a derived codec against the obfuscation configuration that
+/// produced it: covert-carrier capacity and transform degeneracy.
+pub fn lint_codec(codec: &Codec, obf: &ObfConfig) -> Vec<Lint> {
+    let mut out = Vec::new();
+    if ChannelMap::analyze(codec).is_empty() {
+        out.push(lint(
+            ZERO_CARRIER_CAPACITY,
+            format!(
+                "{:?} has no covert-carrier fields — a tunnel over this codec would carry \
+                 no payload",
+                codec.plain().name(),
+            ),
+        ));
+    }
+    if obf.level > 0 {
+        if obf.allowed.is_empty() {
+            out.push(lint(
+                DEGENERATE_TRANSFORMS,
+                format!(
+                    "level {} requested with an empty transform allow-list — the derivation \
+                     degenerates to the identity codec",
+                    obf.level,
+                ),
+            ));
+        } else if codec.transform_count() == 0 {
+            out.push(lint(
+                DEGENERATE_TRANSFORMS,
+                format!(
+                    "level {} requested but the derivation applied no transformations — \
+                     traffic is emitted in the clear",
+                    obf.level,
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_spec;
+
+    fn codes(lints: &[Lint]) -> Vec<&'static str> {
+        lints.iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn clean_spec_lints_clean() {
+        let g = parse_spec(
+            r#"
+            message Clean {
+                u8 function;
+                u16 length = len(payload);
+                bytes payload sized_by length;
+                optional extra if function == 0x01 {
+                    u16 value;
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(lint_graph(&g), vec![]);
+    }
+
+    #[test]
+    fn l001_constant_subject_fires() {
+        let g = parse_spec(
+            r#"
+            message M {
+                u8 version = const 2;
+                optional legacy if version == 1 {
+                    u16 pad;
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        let l = lint_graph(&g);
+        assert!(codes(&l).contains(&UNREACHABLE_OPTIONAL), "{l:?}");
+        assert!(l[0].message.contains("unreachable"), "{l:?}");
+    }
+
+    #[test]
+    fn l001_always_present_fires() {
+        let g = parse_spec(
+            r#"
+            message M {
+                u8 version = const 2;
+                optional body if version != 1 {
+                    u16 v;
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        let l = lint_graph(&g);
+        assert!(codes(&l).contains(&UNREACHABLE_OPTIONAL), "{l:?}");
+        assert!(l[0].message.contains("always present"), "{l:?}");
+    }
+
+    #[test]
+    fn l002_zero_length_prefix_alias_fires() {
+        // The DNS shape: label length prefix + zero terminator.
+        let g = parse_spec(
+            r#"
+            message M {
+                repeat name until "\x00" {
+                    u8 label_len = len(label);
+                    bytes label sized_by label_len;
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        let l = lint_graph(&g);
+        assert!(codes(&l).contains(&TERMINATOR_ALIASING), "{l:?}");
+    }
+
+    #[test]
+    fn l002_free_content_alias_fires() {
+        let g = parse_spec(
+            r#"
+            message M {
+                repeat items until "\r\n" {
+                    ascii word until " ";
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        let l = lint_graph(&g);
+        assert!(codes(&l).contains(&TERMINATOR_ALIASING), "{l:?}");
+    }
+
+    #[test]
+    fn l002_distinct_constant_prefix_is_clean() {
+        let g = parse_spec(
+            r#"
+            message M {
+                repeat records until "\xff" {
+                    u8 tag = const 1;
+                    u8 value;
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(lint_graph(&g), vec![], "tag 0x01 cannot alias terminator 0xff");
+    }
+
+    #[test]
+    fn l003_zero_capacity_fires() {
+        let g = parse_spec(
+            r#"
+            message M {
+                u16 id;
+                u16 flags;
+            }
+            "#,
+        )
+        .unwrap();
+        let codec = Codec::identity(&g);
+        let l = lint_codec(&codec, &ObfConfig::default());
+        assert!(codes(&l).contains(&ZERO_CARRIER_CAPACITY), "{l:?}");
+    }
+
+    #[test]
+    fn l004_degenerate_config_fires() {
+        let g = parse_spec(
+            r#"
+            message M {
+                u16 length = len(data);
+                bytes data sized_by length;
+            }
+            "#,
+        )
+        .unwrap();
+        // Identity codec at a non-zero requested level: no transformations
+        // were applied.
+        let codec = Codec::identity(&g);
+        let cfg = ObfConfig { key: b"k".to_vec(), level: 2, ..ObfConfig::default() };
+        let l = lint_codec(&codec, &cfg);
+        assert!(codes(&l).contains(&DEGENERATE_TRANSFORMS), "{l:?}");
+        // An empty allow-list at level > 0 also fires.
+        let cfg = ObfConfig { key: Vec::new(), level: 1, allowed: Vec::new() };
+        let l = lint_codec(&codec, &cfg);
+        assert!(codes(&l).contains(&DEGENERATE_TRANSFORMS), "{l:?}");
+        // Level 0 is deliberate cleartext: no warning.
+        let cfg = ObfConfig { key: Vec::new(), level: 0, allowed: Vec::new() };
+        assert!(!codes(&lint_codec(&codec, &cfg)).contains(&DEGENERATE_TRANSFORMS));
+    }
+
+    #[test]
+    fn dns_builtin_shape_warns_but_only_l002() {
+        // The real DNS specs retain the label/terminator ambiguity by
+        // protocol convention ("a label length can never be zero") — the
+        // linter must flag it as a warning and nothing else.
+        let g = parse_spec(
+            r#"
+            message DnsLike {
+                u16 id;
+                u16 qdcount = count(questions);
+                tabular questions count_by qdcount {
+                    repeat qname until "\x00" {
+                        u8 label_len = len(label);
+                        bytes label sized_by label_len;
+                    }
+                    u16 qtype;
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        let l = lint_graph(&g);
+        assert!(!l.is_empty());
+        assert!(l.iter().all(|x| x.code == TERMINATOR_ALIASING), "{l:?}");
+    }
+}

@@ -32,6 +32,7 @@ const MAX_REQUEST_HEAD: usize = 8 * 1024;
 /// completes the request.
 const READ_CHUNK: usize = 1024;
 
+#[derive(Debug)]
 enum AdminState {
     /// Accumulating the request head (until `\r\n\r\n` or the cap).
     Reading,
@@ -40,6 +41,7 @@ enum AdminState {
 }
 
 /// One admin-plane HTTP connection; see the [module docs](self).
+#[derive(Debug)]
 pub struct AdminConn {
     stream: TcpStream,
     telemetry: Arc<Telemetry>,

@@ -93,6 +93,7 @@ impl<'s> LegServices<'s> {
 /// [`CodecService::transcode_target`]), so the whole steady-state relay
 /// loop — decode, transcode, re-encode — performs zero per-message heap
 /// allocation.
+#[derive(Debug)]
 pub struct Relay<'s> {
     down: TcpStream,
     up: TcpStream,
@@ -365,6 +366,7 @@ fn pump_direction(
 /// A framed echo session: parses every inbound message and sends it
 /// straight back on the same codec — the stand-in "real server" for
 /// gateway smoke tests and the `protoobf recv` subcommand.
+#[derive(Debug)]
 pub struct Echo<'s> {
     stream: TcpStream,
     conn: Conn<'s>,
@@ -481,6 +483,7 @@ impl Session for Echo<'_> {
 /// decode gateway when the two directions speak different grammars and a
 /// byte [`Echo`] therefore cannot apply. Used by `protoobf recv` for
 /// asymmetric profiles.
+#[derive(Debug)]
 pub struct Responder<'s> {
     stream: TcpStream,
     conn: Conn<'s>,
@@ -606,6 +609,7 @@ impl Session for Responder<'_> {
 /// plus which side of the obfuscated wire this instance faces.
 /// [`Gateway::serve`] relays accepted connections to `upstream` until
 /// shut down.
+#[derive(Debug)]
 pub struct Gateway {
     down_rx: Arc<CodecService>,
     down_tx: Arc<CodecService>,

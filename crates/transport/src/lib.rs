@@ -57,6 +57,13 @@
 //! one profile file and verify their derivations agree by comparing
 //! fingerprints before sending traffic.
 
+// The crate's unsafe surface (the raw-syscall epoll shim in [`sys`])
+// must stay explicit and documented: every unsafe operation sits in its
+// own block with a SAFETY comment, even inside unsafe fns.
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(clippy::undocumented_unsafe_blocks)]
+#![warn(missing_debug_implementations)]
+
 pub mod admin;
 pub mod conn;
 pub mod duplex;

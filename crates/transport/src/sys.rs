@@ -95,9 +95,11 @@ pub struct Epoll {
     fd: i32,
 }
 
-// The epoll fd is just a kernel handle; all methods take &self and the
-// kernel serializes ctl/wait internally.
+// SAFETY: the epoll fd is just a kernel handle; all methods take &self
+// and the kernel serializes ctl/wait internally.
 unsafe impl Send for Epoll {}
+// SAFETY: as above — every method is &self and the kernel is the only
+// mutable state, so concurrent calls from any thread are fine.
 unsafe impl Sync for Epoll {}
 
 impl Epoll {
@@ -109,6 +111,7 @@ impl Epoll {
     /// otherwise the kernel's errno (e.g. fd exhaustion).
     pub fn new() -> io::Result<Epoll> {
         const EPOLL_CLOEXEC: usize = 0o2000000;
+        // SAFETY: epoll_create1 takes no pointers; a flags-only syscall.
         let fd = syscall_result(unsafe { syscall3(nr::EPOLL_CREATE1, EPOLL_CLOEXEC, 0, 0) })?;
         Ok(Epoll { fd: fd as i32 })
     }
@@ -152,6 +155,9 @@ impl Epoll {
             Some(d) => d.as_millis().min(i32::MAX as u128) as isize,
         };
         loop {
+            // SAFETY: the event buffer outlives the call and its length
+            // is passed alongside; the null sigmask (arg 5 = 0) makes
+            // the kernel skip the sigset read entirely.
             let res = unsafe {
                 syscall6(
                     nr::EPOLL_PWAIT,
@@ -173,6 +179,9 @@ impl Epoll {
 
     fn ctl(&self, op: usize, fd: i32, events: u32, token: u64) -> io::Result<()> {
         let mut ev = EpollEvent { events, token };
+        // SAFETY: `ev` is a live, correctly laid out (#[repr] asserted
+        // by the ABI test below) epoll_event the kernel reads before the
+        // call returns; no pointer escapes it.
         syscall_result(unsafe {
             syscall6(
                 nr::EPOLL_CTL,
@@ -190,6 +199,8 @@ impl Epoll {
 
 impl Drop for Epoll {
     fn drop(&mut self) {
+        // SAFETY: close takes no pointers; the fd is owned by self and
+        // never used again after drop.
         let _ = syscall_result(unsafe { syscall3(nr::CLOSE, self.fd as usize, 0, 0) });
     }
 }
@@ -217,6 +228,8 @@ pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
         max: u64,
     }
     let mut current = Rlimit64 { cur: 0, max: 0 };
+    // SAFETY: `current` is a live #[repr(C)] rlimit64 the kernel fills
+    // before returning; the new-limit pointer (arg 3) is null = read-only.
     syscall_result(unsafe {
         syscall6(nr::PRLIMIT64, 0, RLIMIT_NOFILE, 0, &mut current as *mut Rlimit64 as usize, 0, 0)
     })?;
@@ -224,6 +237,8 @@ pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
         return Ok(current.cur);
     }
     let new = Rlimit64 { cur: want.min(current.max), max: current.max };
+    // SAFETY: `new` is a live #[repr(C)] rlimit64 the kernel only reads;
+    // the old-limit pointer (arg 4) is null = nothing written back.
     syscall_result(unsafe {
         syscall6(nr::PRLIMIT64, 0, RLIMIT_NOFILE, &new as *const Rlimit64 as usize, 0, 0, 0)
     })?;
@@ -287,19 +302,25 @@ unsafe fn syscall6(
     a5: usize,
 ) -> isize {
     let ret: isize;
-    core::arch::asm!(
-        "syscall",
-        inlateout("rax") n as isize => ret,
-        in("rdi") a0,
-        in("rsi") a1,
-        in("rdx") a2,
-        in("r10") a3,
-        in("r8") a4,
-        in("r9") a5,
-        lateout("rcx") _,
-        lateout("r11") _,
-        options(nostack),
-    );
+    // SAFETY: the x86-64 Linux syscall ABI — args in rdi/rsi/rdx/r10/
+    // r8/r9, number in rax, rcx/r11 clobbered by the instruction. The
+    // caller guarantees any pointers among the args are valid for the
+    // specific syscall `n`.
+    unsafe {
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") n as isize => ret,
+            in("rdi") a0,
+            in("rsi") a1,
+            in("rdx") a2,
+            in("r10") a3,
+            in("r8") a4,
+            in("r9") a5,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
     ret
 }
 
@@ -314,17 +335,22 @@ unsafe fn syscall6(
     a5: usize,
 ) -> isize {
     let ret: isize;
-    core::arch::asm!(
-        "svc 0",
-        in("x8") n,
-        inlateout("x0") a0 => ret,
-        in("x1") a1,
-        in("x2") a2,
-        in("x3") a3,
-        in("x4") a4,
-        in("x5") a5,
-        options(nostack),
-    );
+    // SAFETY: the aarch64 Linux syscall ABI — args in x0..x5, number in
+    // x8, result in x0. The caller guarantees any pointers among the
+    // args are valid for the specific syscall `n`.
+    unsafe {
+        core::arch::asm!(
+            "svc 0",
+            in("x8") n,
+            inlateout("x0") a0 => ret,
+            in("x1") a1,
+            in("x2") a2,
+            in("x3") a3,
+            in("x4") a4,
+            in("x5") a5,
+            options(nostack),
+        );
+    }
     ret
 }
 
@@ -342,7 +368,9 @@ unsafe fn syscall6(
 }
 
 unsafe fn syscall3(n: usize, a0: usize, a1: usize, a2: usize) -> isize {
-    syscall6(n, a0, a1, a2, 0, 0, 0)
+    // SAFETY: same contract as `syscall6`, forwarded with the unused
+    // argument slots zeroed (every syscall ignores args past its arity).
+    unsafe { syscall6(n, a0, a1, a2, 0, 0, 0) }
 }
 
 #[cfg(test)]

@@ -193,6 +193,21 @@ pub struct TunnelSession<'s, W: Write + Send> {
     token: u64,
 }
 
+// Manual impl: the payload sink `W` is any `Write` and need not be
+// `Debug`; everything identifying the session is printed.
+impl<W: Write + Send> std::fmt::Debug for TunnelSession<'_, W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TunnelSession")
+            .field("token", &self.token)
+            .field("conn", &self.conn)
+            .field("source_finished", &self.source_finished)
+            .field("sent_shutdown", &self.sent_shutdown)
+            .field("exit_on_eof", &self.exit_on_eof)
+            .field("gated", &self.gated)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<'s, W: Write + Send> TunnelSession<'s, W> {
     /// Wraps a connected (non-blocking) socket: inbound frames parse with
     /// `rx`'s codec and feed the decoder, outbound cover messages sample

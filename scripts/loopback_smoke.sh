@@ -45,6 +45,30 @@ wait_ready() { # <pattern> <log-file>
     return 1
 }
 
+# Static pre-flight: every configuration the chains below deploy must
+# pass the plan verifier and spec linter before any process starts. A
+# lint error here is a codec bug, not a deployment flake — fail fast
+# with no ports, processes or timeouts in the picture. (The asymmetric
+# chain profile is written here so it can be linted up front; the
+# profile chain section below reuses the same file.)
+profile="$logdir/chain.profile"
+cat > "$profile" <<'PROFILE'
+profile protoobf/1
+tx builtin:dns-query
+rx builtin:dns-response
+key "loopback smoke shared secret"
+level 2
+PROFILE
+
+for spec in dns-query http-request modbus-request; do
+    "$BIN" lint "builtin:$spec" --seed $SEED --level $LEVEL \
+        >"$logdir/lint-$spec.log" 2>&1 \
+        || { echo "[smoke] lint failed for builtin:$spec" >&2; exit 1; }
+done
+"$BIN" lint --profile "$profile" >"$logdir/lint-profile.log" 2>&1 \
+    || { echo "[smoke] lint failed for the chain profile" >&2; exit 1; }
+echo "[smoke] lint pre-flight: all chain configurations verify clean"
+
 for spec in dns-query http-request modbus-request; do
     p_client=$PORT p_obf=$((PORT + 1)) p_server=$((PORT + 2))
     PORT=$((PORT + 3))
@@ -76,18 +100,10 @@ done
 
 # The profile-driven chain: everything — including an asymmetric
 # request/response split (dns-query up, dns-response back) — configured
-# by copies of ONE profile file. The gateways must print equal
-# fingerprints; the responder answers each query with a response-grammar
-# message the client verifies parse.
-profile="$logdir/chain.profile"
-cat > "$profile" <<'PROFILE'
-profile protoobf/1
-tx builtin:dns-query
-rx builtin:dns-response
-key "loopback smoke shared secret"
-level 2
-PROFILE
-
+# by copies of ONE profile file (written — and linted — in the
+# pre-flight above). The gateways must print equal fingerprints; the
+# responder answers each query with a response-grammar message the
+# client verifies parse.
 p_client=$PORT p_obf=$((PORT + 1)) p_server=$((PORT + 2))
 PORT=$((PORT + 3))
 

@@ -3,6 +3,10 @@
 //! ```text
 //! protoobf check <target>                    validate; with --profile also
 //!                                            print the derivation fingerprint
+//! protoobf lint <target> [--deny-warnings]   static verification + spec lint:
+//!                                            machine-readable diagnostics
+//!                                            (P… errors exit 1, L… warnings
+//!                                            exit 0 unless --deny-warnings)
 //! protoobf print <target>                    re-print the canonical form
 //!                                            (spec text, or profile + summary)
 //! protoobf dot <target> [--level N --key K]  Graphviz (plain or obfuscated)
@@ -78,7 +82,9 @@ use std::sync::Arc;
 use protoobf::codegen::{generate, measure};
 use protoobf::core::framing::{FrameReader, FrameWriter};
 use protoobf::core::fuzz::{fuzz_codec, FuzzConfig, Reproducer};
+use protoobf::core::plan::CopyProgram;
 use protoobf::core::sample::random_message;
+use protoobf::core::verify;
 use protoobf::resilience;
 use protoobf::transport::{
     evloop, peer_token, serve_admin, spawn_reader, wake_pair, Echo, Gateway, GatewayMode,
@@ -102,13 +108,13 @@ impl From<String> for CliError {
 fn usage(msg: &str) -> String {
     format!(
         "error: {msg}\n\
-         usage: protoobf <check|print|dot|gen|demo|gateway|recv|send|tunnel|fuzz|resilience>\n\
+         usage: protoobf <check|lint|print|dot|gen|demo|gateway|recv|send|tunnel|fuzz|resilience>\n\
          \x20      <spec-file|builtin:NAME> | --profile FILE\n\
          \x20      [--key STRING] [--seed N (deprecated alias for --key N)] [--level N]\n\
          \x20      [-o FILE] [--listen ADDR] [--upstream ADDR] [--connect ADDR]\n\
          \x20      [--mode encode|decode] [--workers N] [--accept-limit N] [--count N]\n\
          \x20      [--accept-burst N] [--backpressure BYTES]\n\
-         \x20      [--admin HOST:PORT] [--quiet] [--exit-on-eof]\n\
+         \x20      [--admin HOST:PORT] [--quiet] [--exit-on-eof] [--deny-warnings]\n\
          \x20      [--cases N] [--corpus DIR] [--samples N] [--max-level N]"
     )
 }
@@ -131,6 +137,7 @@ struct Options {
     admin: Option<String>,
     quiet: bool,
     exit_on_eof: bool,
+    deny_warnings: bool,
     count: usize,
     cases: Option<u32>,
     corpus: Option<String>,
@@ -157,6 +164,7 @@ fn parse_options(args: &[String], spec_required: bool) -> Result<Options, String
         admin: None,
         quiet: false,
         exit_on_eof: false,
+        deny_warnings: false,
         count: 16,
         cases: None,
         corpus: None,
@@ -189,6 +197,7 @@ fn parse_options(args: &[String], spec_required: bool) -> Result<Options, String
             "--admin" => opts.admin = Some(addr("--admin", &value("--admin")?)?),
             "--quiet" => opts.quiet = true,
             "--exit-on-eof" => opts.exit_on_eof = true,
+            "--deny-warnings" => opts.deny_warnings = true,
             "--count" => opts.count = number("--count", &value("--count")?)?,
             "--cases" => opts.cases = Some(number("--cases", &value("--cases")?)?),
             "--corpus" => opts.corpus = Some(value("--corpus")?),
@@ -316,6 +325,69 @@ fn run() -> Result<(), CliError> {
                     protoobf::resolve_spec(profile_for(&opts)?.tx()).map_err(CliError::Run)?;
                 graph.validate().map_err(|e| CliError::Run(e.to_string()))?;
                 describe("", &graph);
+            }
+        }
+        "lint" => {
+            // Static verification of the compiled IR (P… errors) plus the
+            // specification lints (L… warnings) — the offline form of the
+            // debug-build compile asserts, over every leg of the profile.
+            let profile = profile_for(&opts)?;
+            let derivation = profile
+                .derive_with(&protoobf::StdResolver)
+                .map_err(|e| CliError::Run(e.to_string()))?;
+            let mut errors = 0usize;
+            let mut warnings = 0usize;
+            let mut legs = vec![("tx", &derivation.tx)];
+            if let Some(rx) = &derivation.rx {
+                legs.push(("rx", rx));
+            }
+            for (leg, codec) in legs {
+                let name = codec.plain().name().to_string();
+                let mut emit = |code: &str, message: &str| {
+                    let severity = if code.starts_with('P') { "error" } else { "warning" };
+                    if severity == "error" {
+                        errors += 1;
+                    } else {
+                        warnings += 1;
+                    }
+                    println!("{code} {severity} {leg} {name}: {message}");
+                };
+                for d in verify::verify_codec(codec) {
+                    emit(d.code, &d.message);
+                }
+                // The gateway pairing this leg would run in production:
+                // clear↔obfuscated transcode programs, both directions.
+                let clear = protoobf::Codec::identity(codec.plain());
+                for (src, dst) in [(&clear, codec), (codec, &clear)] {
+                    match CopyProgram::compile(src.obf_graph(), dst.obf_graph()) {
+                        Some(prog) => {
+                            for d in
+                                verify::verify_copy_program(src.obf_graph(), dst.obf_graph(), &prog)
+                            {
+                                emit(d.code, &d.message);
+                            }
+                        }
+                        None => emit(
+                            verify::COPY_TYPE_MISMATCH,
+                            "clear↔obfuscated pairing rejected: plain specifications diverged",
+                        ),
+                    }
+                }
+                for l in protoobf::spec::lint::lint_graph(codec.plain()) {
+                    emit(l.code, &l.message);
+                }
+                for l in protoobf::spec::lint::lint_codec(codec, profile.obf()) {
+                    emit(l.code, &l.message);
+                }
+            }
+            println!("lint: {errors} error(s), {warnings} warning(s)");
+            if errors > 0 {
+                return Err(CliError::Run(format!("lint failed with {errors} error(s)")));
+            }
+            if warnings > 0 && opts.deny_warnings {
+                return Err(CliError::Run(format!(
+                    "lint: {warnings} warning(s) denied (--deny-warnings)"
+                )));
             }
         }
         "print" => {

@@ -408,3 +408,86 @@ fn resilience_rejects_a_spec_argument() {
     assert_eq!(out.status.code(), Some(2), "{}", String::from_utf8_lossy(&out.stderr));
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
 }
+
+/// `lint` over a clean builtin: zero diagnostics, exit 0.
+#[test]
+fn lint_passes_a_clean_builtin() {
+    let out = cli()
+        .args(["lint", "builtin:modbus-request", "--level", "2", "--key", "lint"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("lint: 0 error(s), 0 warning(s)"), "{stdout}");
+}
+
+/// DNS retains the label/terminator ambiguity by protocol convention:
+/// `lint` reports it as an `L002` warning and still exits 0.
+#[test]
+fn lint_warns_on_dns_terminator_aliasing() {
+    let out = cli().args(["lint", "builtin:dns-query", "--level", "1"]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("L002 warning"), "{stdout}");
+    assert!(stdout.contains("0 error(s)"), "{stdout}");
+}
+
+/// `--deny-warnings` turns those warnings into exit 1.
+#[test]
+fn lint_deny_warnings_fails_on_warnings() {
+    let out = cli()
+        .args(["lint", "builtin:dns-query", "--level", "1", "--deny-warnings"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--deny-warnings"));
+
+    // A warning-free spec passes even under --deny-warnings.
+    let out = cli()
+        .args(["lint", "builtin:modbus-response", "--level", "2", "--deny-warnings"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+}
+
+/// A statically false optional branch in a user spec is an L001 warning.
+#[test]
+fn lint_flags_unreachable_optional() {
+    let path = write_spec(
+        "lint-unreachable",
+        r#"
+        message M {
+            u8 version = const 2;
+            optional legacy if version == 1 {
+                u16 pad;
+            }
+        }
+        "#,
+    );
+    let out = cli().args(["lint"]).arg(&path).args(["--deny-warnings"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("L001 warning"),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+/// `lint --profile` covers both legs of an asymmetric deployment.
+#[test]
+fn lint_profile_covers_both_legs() {
+    let path = write_profile("lint", ASYM_PROFILE);
+    let out = cli().args(["lint", "--profile"]).arg(&path).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("tx DnsQuery"), "{stdout}");
+    assert!(stdout.contains("rx DnsResponse"), "{stdout}");
+}
+
+/// `lint` without a target is a usage error (exit 2).
+#[test]
+fn lint_without_target_is_a_usage_error() {
+    let out = cli().args(["lint"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
